@@ -1,0 +1,146 @@
+//! A* point-to-point search guided by ALT lower bounds — the search
+//! algorithm the ALT index was originally designed for [15].
+//!
+//! The potential `π(v) = lower_bound(v, t)` is *consistent* (it derives
+//! from the triangle inequality over landmark distances), so A* with
+//! reduced costs `w(u,v) − π(u) + π(v)` settles each vertex once and
+//! returns exact distances while exploring a cone toward the target
+//! instead of a full Dijkstra ball.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kspin_graph::{Graph, VertexId, Weight, INFINITY};
+
+use crate::AltIndex;
+
+/// Reusable ALT-A* search state.
+pub struct AltAstar {
+    dist: Vec<Weight>,
+    epoch: Vec<u32>,
+    closed: Vec<u32>,
+    cur: u32,
+    heap: BinaryHeap<(Reverse<Weight>, VertexId)>,
+    /// Vertices settled by the last query (exploration-effort metric).
+    settled: usize,
+}
+
+impl AltAstar {
+    /// Creates state for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AltAstar {
+            dist: vec![INFINITY; n],
+            epoch: vec![0; n],
+            closed: vec![0; n],
+            cur: 0,
+            heap: BinaryHeap::new(),
+            settled: 0,
+        }
+    }
+
+    /// Exact distance from `s` to `t`, guided by `alt`'s potentials.
+    pub fn distance(&mut self, graph: &Graph, alt: &AltIndex, s: VertexId, t: VertexId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            self.epoch.iter_mut().for_each(|e| *e = u32::MAX);
+            self.closed.iter_mut().for_each(|e| *e = u32::MAX);
+            self.cur = 1;
+        }
+        self.heap.clear();
+        self.settled = 0;
+        // Heap keys are f = g + π(v); g values live in `dist`.
+        self.set(s, 0);
+        self.heap.push((Reverse(alt.lower_bound(s, t)), s));
+        while let Some((Reverse(_), v)) = self.heap.pop() {
+            // The potential is consistent, so the first pop of a vertex
+            // carries its final g; later (stale) pops are skipped outright.
+            if self.closed[v as usize] == self.cur {
+                continue;
+            }
+            self.closed[v as usize] = self.cur;
+            let g = self.get(v);
+            self.settled += 1;
+            if v == t {
+                return g;
+            }
+            for (u, w) in graph.neighbors(v) {
+                let ng = g + w;
+                if ng < self.get(u) {
+                    self.set(u, ng);
+                    self.heap.push((Reverse(ng + alt.lower_bound(u, t)), u));
+                }
+            }
+        }
+        INFINITY
+    }
+
+    /// Vertices settled by the last query.
+    pub fn last_settled(&self) -> usize {
+        self.settled
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> Weight {
+        if self.epoch[v as usize] == self.cur {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: VertexId, d: Weight) {
+        self.epoch[v as usize] = self.cur;
+        self.dist[v as usize] = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LandmarkStrategy;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::Dijkstra;
+
+    #[test]
+    fn exact_on_road_network() {
+        let g = road_network(&RoadNetworkConfig::new(600, 91));
+        let alt = AltIndex::build(&g, 8, LandmarkStrategy::Farthest, 1);
+        let mut astar = AltAstar::new(g.num_vertices());
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 99, 444] {
+            dij.sssp(&g, s);
+            for t in (0..g.num_vertices() as VertexId).step_by(41) {
+                let want = dij.space().distance(t).unwrap();
+                assert_eq!(astar.distance(&g, &alt, s, t), want, "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn explores_less_than_dijkstra() {
+        let g = road_network(&RoadNetworkConfig::new(3000, 92));
+        let alt = AltIndex::build(&g, 16, LandmarkStrategy::Farthest, 1);
+        let mut astar = AltAstar::new(g.num_vertices());
+        // A long query: A* should settle well under the full vertex count.
+        let t = g.num_vertices() as VertexId - 1;
+        let _ = astar.distance(&g, &alt, 0, t);
+        assert!(
+            astar.last_settled() * 2 < g.num_vertices(),
+            "A* settled {} of {} vertices",
+            astar.last_settled(),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let g = road_network(&RoadNetworkConfig::new(200, 93));
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 1);
+        let mut astar = AltAstar::new(g.num_vertices());
+        assert_eq!(astar.distance(&g, &alt, 5, 5), 0);
+    }
+}

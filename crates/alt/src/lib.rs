@@ -1,0 +1,248 @@
+//! ALT landmark index (Goldberg & Harrelson [15]).
+//!
+//! K-SPIN's Lower Bounding Module (§3, module 1) needs a cheap, admissible
+//! lower bound on network distance between arbitrary vertex pairs. ALT
+//! pre-computes exact distances from a small set of *landmark* vertices to
+//! every vertex; the triangle inequality then gives
+//! `|d(L,u) − d(L,v)| ≤ d(u,v)` for every landmark `L`, and the maximum over
+//! landmarks is the reported bound. The paper uses m = 16 landmarks (§5.1),
+//! chosen by farthest selection as in [16].
+
+pub mod astar;
+
+pub use astar::AltAstar;
+
+use kspin_graph::{Dijkstra, Graph, VertexId, Weight, INFINITY};
+
+/// Landmark selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkStrategy {
+    /// Greedy farthest-point selection: each landmark maximizes the minimum
+    /// network distance to those already chosen. The road-network default.
+    Farthest,
+    /// Uniformly random vertices — cheaper to select, looser bounds. Used
+    /// by the ablation bench.
+    Random,
+}
+
+/// The ALT index: `m` landmarks with full distance vectors.
+#[derive(Debug, Clone)]
+pub struct AltIndex {
+    landmarks: Vec<VertexId>,
+    /// `dist[l][v]` = network distance from landmark `l` to vertex `v`
+    /// (symmetric on undirected graphs).
+    dist: Vec<Vec<Weight>>,
+}
+
+impl AltIndex {
+    /// Builds an index with `num_landmarks` landmarks.
+    ///
+    /// Farthest selection seeds from a deterministic function of `seed`, so
+    /// builds are reproducible.
+    ///
+    /// # Panics
+    /// If the graph is empty or `num_landmarks` is zero.
+    pub fn build(graph: &Graph, num_landmarks: usize, strategy: LandmarkStrategy, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        assert!(n > 0, "cannot build ALT over an empty graph");
+        assert!(num_landmarks > 0, "need at least one landmark");
+        let m = num_landmarks.min(n);
+        let mut dijkstra = Dijkstra::new(n);
+        let mut landmarks = Vec::with_capacity(m);
+        let mut dist = Vec::with_capacity(m);
+
+        match strategy {
+            LandmarkStrategy::Farthest => {
+                // min_dist[v] = distance from v to the nearest chosen landmark.
+                let mut min_dist = vec![INFINITY; n];
+                let mut next = (seed % n as u64) as VertexId;
+                for _ in 0..m {
+                    landmarks.push(next);
+                    let d = Self::distances_from(graph, &mut dijkstra, next);
+                    let mut best = next;
+                    let mut best_d = 0;
+                    for v in 0..n {
+                        let dv = d[v].min(min_dist[v]);
+                        min_dist[v] = dv;
+                        // Ignore unreachable vertices when picking the next
+                        // landmark (they would otherwise absorb every pick).
+                        if dv > best_d && dv < INFINITY {
+                            best_d = dv;
+                            best = v as VertexId;
+                        }
+                    }
+                    dist.push(d);
+                    next = best;
+                }
+            }
+            LandmarkStrategy::Random => {
+                let mut state = seed | 1;
+                let mut chosen = std::collections::HashSet::new();
+                while landmarks.len() < m {
+                    // xorshift64* — avoids a rand dependency in the hot path.
+                    state ^= state >> 12;
+                    state ^= state << 25;
+                    state ^= state >> 27;
+                    let v = ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) % n as u64) as VertexId;
+                    if chosen.insert(v) {
+                        landmarks.push(v);
+                        dist.push(Self::distances_from(graph, &mut dijkstra, v));
+                    }
+                }
+            }
+        }
+        AltIndex { landmarks, dist }
+    }
+
+    fn distances_from(graph: &Graph, dijkstra: &mut Dijkstra, l: VertexId) -> Vec<Weight> {
+        dijkstra.sssp(graph, l);
+        let space = dijkstra.space();
+        (0..graph.num_vertices() as VertexId)
+            .map(|v| space.distance(v).unwrap_or(INFINITY))
+            .collect()
+    }
+
+    /// The chosen landmark vertices.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// Admissible lower bound on `d(u, v)`:
+    /// `max_L |d(L,u) − d(L,v)|`. O(m) with m a small constant (§5.1).
+    #[inline]
+    pub fn lower_bound(&self, u: VertexId, v: VertexId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        let mut best: Weight = 0;
+        for d in &self.dist {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            // A landmark that cannot reach either endpoint tells us nothing.
+            if du >= INFINITY || dv >= INFINITY {
+                continue;
+            }
+            let bound = du.abs_diff(dv);
+            if bound > best {
+                best = bound;
+            }
+        }
+        best
+    }
+
+    /// Index size in bytes (the m × n distance table dominates).
+    pub fn size_bytes(&self) -> usize {
+        self.dist.iter().map(|d| d.len() * 4).sum::<usize>() + self.landmarks.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::GraphBuilder;
+
+    fn small_network() -> Graph {
+        road_network(&RoadNetworkConfig::new(500, 17))
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_everywhere() {
+        let g = small_network();
+        let alt = AltIndex::build(&g, 8, LandmarkStrategy::Farthest, 3);
+        let mut d = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 13, 99, 250] {
+            d.sssp(&g, s);
+            let space = d.space();
+            for v in 0..g.num_vertices() as VertexId {
+                let exact = space.distance(v).unwrap();
+                let lb = alt.lower_bound(s, v);
+                assert!(lb <= exact, "lb {lb} > exact {exact} for ({s}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_exact_to_a_landmark() {
+        // For u = L, |d(L,L) − d(L,v)| = d(L,v), so the bound to a landmark
+        // itself is exact.
+        let g = small_network();
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 3);
+        let l = alt.landmarks()[0];
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.sssp(&g, l);
+        let space = d.space();
+        for v in (0..g.num_vertices() as VertexId).step_by(37) {
+            assert_eq!(alt.lower_bound(l, v), space.distance(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_on_identical_vertices_and_symmetric() {
+        let g = small_network();
+        let alt = AltIndex::build(&g, 6, LandmarkStrategy::Farthest, 9);
+        assert_eq!(alt.lower_bound(42, 42), 0);
+        for (u, v) in [(0u32, 100u32), (5, 250), (33, 34)] {
+            assert_eq!(alt.lower_bound(u, v), alt.lower_bound(v, u));
+        }
+    }
+
+    #[test]
+    fn farthest_is_competitive_with_random() {
+        let g = small_network();
+        let far = AltIndex::build(&g, 8, LandmarkStrategy::Farthest, 3);
+        let rnd = AltIndex::build(&g, 8, LandmarkStrategy::Random, 3);
+        let mut sum_far = 0u64;
+        let mut sum_rnd = 0u64;
+        for u in (0..g.num_vertices() as VertexId).step_by(29) {
+            for v in (0..g.num_vertices() as VertexId).step_by(41) {
+                sum_far += far.lower_bound(u, v) as u64;
+                sum_rnd += rnd.lower_bound(u, v) as u64;
+            }
+        }
+        assert!(
+            sum_far * 10 >= sum_rnd * 9,
+            "farthest bounds unexpectedly loose: {sum_far} vs {sum_rnd}"
+        );
+    }
+
+    #[test]
+    fn landmark_count_is_clamped_to_graph_size() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let alt = AltIndex::build(&g, 16, LandmarkStrategy::Farthest, 0);
+        assert_eq!(alt.landmarks().len(), 3);
+        assert_eq!(alt.lower_bound(0, 2), 2);
+    }
+
+    #[test]
+    fn disconnected_components_dont_poison_bounds() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 5);
+        b.add_edge(2, 3, 7);
+        let g = b.build();
+        let alt = AltIndex::build(&g, 2, LandmarkStrategy::Farthest, 0);
+        // Bound between components must not be a wild wrapped value; any
+        // finite value is admissible because the true distance is infinite.
+        let lb = alt.lower_bound(0, 2);
+        assert!(lb < INFINITY);
+        // Within-component bounds still work.
+        assert!(alt.lower_bound(0, 1) <= 5);
+    }
+
+    #[test]
+    fn size_accounts_for_distance_tables() {
+        let g = small_network();
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 1);
+        assert!(alt.size_bytes() >= 4 * g.num_vertices() * 4);
+    }
+
+    #[test]
+    fn builds_reproducibly() {
+        let g = small_network();
+        let a = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 5);
+        let b = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 5);
+        assert_eq!(a.landmarks(), b.landmarks());
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 10: disjunctive Boolean kNN query time, varying k (a) and the
+//! number of query keywords (b).
+//!
+//! Methods: KS-CH, KS-HL, G-tree (adapted to BkNN as in §7.1), FS-FBS.
+//! Expected shape: KS-HL fastest; KS-CH ≈ G-tree on the easy settings
+//! (disjunction matches near objects and G-tree reuses distances) but ahead
+//! as keyword counts grow; FS-FBS trails.
+
+use kspin::adapters::{ChDistance, HlDistance};
+use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_core::{Op, QueryEngine};
+use kspin_fsfbs::{FsFbs, FsFbsConfig};
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); all query times in microseconds");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+    let fsfbs = FsFbs::build(&ds.graph, &ds.corpus, &o.hl, FsFbsConfig::default());
+
+    let run = |k: usize, num_terms: usize| -> Vec<f64> {
+        let qs = std_queries(&ds, num_terms);
+        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let t_hl = time_per_query(&qs, |q| {
+            e_hl.bknn(q.vertex, k, &q.terms, Op::Or);
+        });
+        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let t_ch = time_per_query(&qs, |q| {
+            e_ch.bknn(q.vertex, k, &q.terms, Op::Or);
+        });
+        let t_gtree = time_per_query(&qs, |q| {
+            sk.bknn(q.vertex, k, &q.terms, false, OccurrenceMode::Aggregated);
+        });
+        let t_fs = time_per_query(&qs, |q| {
+            fsfbs.bknn(q.vertex, k, &q.terms, false);
+        });
+        vec![t_hl, t_ch, t_gtree, t_fs]
+    };
+
+    header(
+        "Fig 10(a): disjunctive BkNN query time vs k (2 terms)",
+        &["k", "KS-HL", "KS-CH", "G-tree", "FS-FBS"],
+    );
+    for k in [1usize, 5, 10, 25, 50] {
+        row(k, &run(k, 2));
+    }
+
+    header(
+        "Fig 10(b): disjunctive BkNN query time vs #terms (k=10)",
+        &["#terms", "KS-HL", "KS-CH", "G-tree", "FS-FBS"],
+    );
+    for terms in 1..=6usize {
+        row(terms, &run(10, terms));
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 12: query time vs road network size — top-k (a) and disjunctive
+//! BkNN (b) across the scale ladder (k = 10, 2 terms).
+//!
+//! Expected shape: every method slows with |V|, but the aggregated methods
+//! degrade faster (higher hierarchy levels aggregate more keywords, losing
+//! pruning power), so K-SPIN's relative advantage *grows* with scale.
+
+use kspin::adapters::{ChDistance, HlDistance};
+use kspin_bench::{build_dataset, build_oracles, full_scale, header, row, std_queries, time_per_query, SCALES};
+use kspin_core::{Op, QueryEngine};
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+use kspin_road::RoadIndex;
+
+fn main() {
+    let max_vertices = if full_scale() { usize::MAX } else { SCALES[2].1 };
+    let mut topk_rows = Vec::new();
+    let mut bknn_rows = Vec::new();
+
+    for (name, vertices) in SCALES {
+        if vertices > max_vertices {
+            continue;
+        }
+        eprintln!("building {name} ({vertices} vertices)…");
+        let ds = build_dataset(name, vertices);
+        let o = build_oracles(&ds);
+        let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+        let road = RoadIndex::build(&o.gt, &ds.graph, &ds.corpus);
+        let qs = std_queries(&ds, 2);
+
+        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let topk = vec![
+            time_per_query(&qs, |q| {
+                e_hl.top_k(q.vertex, 10, &q.terms);
+            }),
+            time_per_query(&qs, |q| {
+                e_ch.top_k(q.vertex, 10, &q.terms);
+            }),
+            time_per_query(&qs, |q| {
+                sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::Aggregated);
+            }),
+            time_per_query(&qs, |q| {
+                road.top_k(q.vertex, 10, &q.terms);
+            }),
+        ];
+        let bknn = vec![
+            time_per_query(&qs, |q| {
+                e_hl.bknn(q.vertex, 10, &q.terms, Op::Or);
+            }),
+            time_per_query(&qs, |q| {
+                e_ch.bknn(q.vertex, 10, &q.terms, Op::Or);
+            }),
+            time_per_query(&qs, |q| {
+                sk.bknn(q.vertex, 10, &q.terms, false, OccurrenceMode::Aggregated);
+            }),
+        ];
+        topk_rows.push((name, topk));
+        bknn_rows.push((name, bknn));
+    }
+
+    header(
+        "Fig 12(a): top-k query time vs network size (us; k=10, 2 terms)",
+        &["dataset", "KS-HL", "KS-CH", "G-tree", "ROAD"],
+    );
+    for (name, values) in topk_rows {
+        row(name, &values);
+    }
+
+    header(
+        "Fig 12(b): disjunctive BkNN query time vs network size (us)",
+        &["dataset", "KS-HL", "KS-CH", "G-tree"],
+    );
+    for (name, values) in bknn_rows {
+        row(name, &values);
+    }
+}

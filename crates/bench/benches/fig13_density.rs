@@ -1,0 +1,72 @@
+//! Figure 13: single-keyword BkNN query time vs keyword object density
+//! `|inv(t)| / |V|` (k = 10).
+//!
+//! Keywords are bucketed by density decade; single-keyword queries isolate
+//! frequency effects from multi-keyword interactions. Expected shape:
+//! K-SPIN stays ahead of G-tree across every bucket, with the smallest gap
+//! here (single keywords are aggregation's best case, §7.2).
+
+use kspin::adapters::{ChDistance, HlDistance};
+use kspin_bench::{build_dataset, build_oracles, default_scale, header, row};
+use kspin_core::{Op, QueryEngine};
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+use kspin_text::workload::query_vertices;
+use kspin_text::TermId;
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); all query times in microseconds");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+
+    // Density buckets: [lo, hi) over |inv(t)| / |V|. The last bucket is
+    // open-ended, as in the paper.
+    let buckets: [(f64, f64); 4] = [
+        (1e-5, 1e-4),
+        (1e-4, 1e-3),
+        (1e-3, 1e-2),
+        (1e-2, f64::INFINITY),
+    ];
+    let nv = ds.graph.num_vertices() as f64;
+    let qvs = query_vertices(ds.graph.num_vertices(), 40, 0x1357);
+
+    header(
+        "Fig 13: single-keyword BkNN query time vs keyword density (k=10)",
+        &["density>=", "#keywords", "KS-HL", "KS-CH", "G-tree"],
+    );
+    for (lo, hi) in buckets {
+        let terms: Vec<TermId> = (0..ds.corpus.num_terms() as TermId)
+            .filter(|&t| {
+                let d = ds.corpus.inv_len(t) as f64 / nv;
+                d >= lo && d < hi
+            })
+            .take(10)
+            .collect();
+        if terms.is_empty() {
+            row(format!("{lo:.0e}"), &[0.0, -1.0, -1.0, -1.0]);
+            continue;
+        }
+        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let time = |f: &mut dyn FnMut(TermId, u32)| -> f64 {
+            let t0 = std::time::Instant::now();
+            for &t in &terms {
+                for &q in &qvs {
+                    f(t, q);
+                }
+            }
+            t0.elapsed().as_secs_f64() / (terms.len() * qvs.len()) as f64 * 1e6
+        };
+        let t_hl = time(&mut |t, q| {
+            e_hl.bknn(q, 10, &[t], Op::Or);
+        });
+        let t_ch = time(&mut |t, q| {
+            e_ch.bknn(q, 10, &[t], Op::Or);
+        });
+        let t_gtree = time(&mut |t, q| {
+            sk.bknn(q, 10, &[t], false, OccurrenceMode::Aggregated);
+        });
+        row(format!("{lo:.0e}"), &[terms.len() as f64, t_hl, t_ch, t_gtree]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 14: index size (a) and construction time (b) per technique
+//! across dataset scales.
+//!
+//! Expected shape: "Input" < K-SPIN keyword index < CH < G-tree < ROAD ≪
+//! HL/FS-FBS (label-based indexes trade memory for speed); K-SPIN's build
+//! parallelizes while the baselines' builds do not.
+
+use std::time::Instant;
+
+use kspin_bench::{build_dataset, full_scale, header, mib, row, SCALES};
+use kspin_fsfbs::{FsFbs, FsFbsConfig};
+use kspin_gtree::GtreeSpatialKeyword;
+use kspin_road::RoadIndex;
+
+fn main() {
+    let max_vertices = if full_scale() { usize::MAX } else { SCALES[2].1 };
+    let mut size_rows = Vec::new();
+    let mut time_rows = Vec::new();
+
+    for (name, vertices) in SCALES {
+        if vertices > max_vertices {
+            continue;
+        }
+        eprintln!("building {name} ({vertices} vertices)…");
+        let ds = build_dataset(name, vertices);
+
+        let t0 = Instant::now();
+        let alt = kspin_alt::AltIndex::build(&ds.graph, 16, kspin_alt::LandmarkStrategy::Farthest, 0);
+        let t_alt = t0.elapsed().as_secs_f64();
+        let index = kspin_core::KspinIndex::build(&ds.graph, &ds.corpus, &kspin_core::KspinConfig::default());
+        let t_kspin = index.stats().build_seconds + t_alt;
+
+        let t0 = Instant::now();
+        let ch = kspin_ch::ContractionHierarchy::build(&ds.graph, &kspin_ch::ChConfig::default());
+        let t_ch = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let hl = kspin_hl::HubLabels::build(&ch);
+        let t_hl = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let gt = kspin_gtree::GTree::build(&ds.graph, &kspin_gtree::tree::GtreeConfig::default());
+        let sk = GtreeSpatialKeyword::build(&gt, &ds.graph, &ds.corpus);
+        let t_gt = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let road = RoadIndex::build(&gt, &ds.graph, &ds.corpus);
+        let t_road = t0.elapsed().as_secs_f64() + t_gt; // shares the hierarchy build
+
+        let t0 = Instant::now();
+        let fsfbs = FsFbs::build(&ds.graph, &ds.corpus, &hl, FsFbsConfig::default());
+        let t_fs = t0.elapsed().as_secs_f64() + t_ch + t_hl; // needs the labels
+
+        let input = ds.graph.size_bytes() + ds.corpus.size_bytes();
+        size_rows.push((
+            name,
+            vec![
+                mib(input),
+                mib(index.size_bytes() + alt.size_bytes()),
+                mib(ch.size_bytes()),
+                mib(hl.size_bytes()),
+                mib(gt.size_bytes() + sk.size_bytes()),
+                mib(gt.size_bytes() + road.size_bytes()),
+                mib(hl.size_bytes() + fsfbs.size_bytes()),
+            ],
+        ));
+        time_rows.push((
+            name,
+            vec![t_kspin, t_ch, t_ch + t_hl, t_gt, t_road, t_fs],
+        ));
+    }
+
+    header(
+        "Fig 14(a): index sizes (MiB)",
+        &["dataset", "Input", "K-SPIN+ALT", "CH", "HL", "G-tree", "ROAD", "FS-FBS"],
+    );
+    for (name, values) in size_rows {
+        row(name, &values);
+    }
+
+    header(
+        "Fig 14(b): construction time (s)",
+        &["dataset", "K-SPIN+ALT", "CH", "HL", "G-tree", "ROAD", "FS-FBS"],
+    );
+    for (name, values) in time_rows {
+        row(name, &values);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 15: the §7.4 apples-to-apples deep dive — top-k query time of
+//! KS-GT (K-SPIN using G-tree's index as its distance module), Gtree-Opt
+//! (per-keyword occurrence lists) and the original G-tree algorithm, all on
+//! the *same* G-tree index, varying k.
+//!
+//! Expected shape: Gtree-Opt improves marginally over G-tree (it only saves
+//! pseudo-document lookups); KS-GT wins by a wide margin despite paying for
+//! lower bounds and heap maintenance on top.
+
+use kspin::adapters::GtreeNetworkDistance;
+use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_core::QueryEngine;
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); 2 terms; times in microseconds");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+
+    header(
+        "Fig 15: top-k query time on the shared G-tree index",
+        &["k", "KS-GT", "Gtree-Opt", "G-tree"],
+    );
+    for k in [1usize, 5, 10, 25, 50] {
+        let qs = std_queries(&ds, 2);
+        let mut e = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            GtreeNetworkDistance::new(&o.gt, &ds.graph),
+        );
+        let t_ksgt = time_per_query(&qs, |q| {
+            e.top_k(q.vertex, k, &q.terms);
+        });
+        let t_opt = time_per_query(&qs, |q| {
+            sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::PerKeyword);
+        });
+        let t_gtree = time_per_query(&qs, |q| {
+            sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::Aggregated);
+        });
+        row(k, &[t_ksgt, t_opt, t_gtree]);
+    }
+}

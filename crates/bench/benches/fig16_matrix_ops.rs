@@ -1,0 +1,61 @@
+//! Figure 16: matrix operations (lookup+add during distance assembly) per
+//! top-k query for KS-GT vs Gtree-Opt vs G-tree — the machine-independent
+//! false-positive measurement of §7.4.2.
+//!
+//! Expected shape: G-tree and Gtree-Opt perform **identical** matrix
+//! operations (occurrence-list separation cannot undo the aggregation's
+//! information loss), while KS-GT does far fewer — direct evidence that
+//! keyword separation eliminates false positives rather than just shaving
+//! constant factors.
+
+use kspin::adapters::GtreeNetworkDistance;
+use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries};
+use kspin_core::QueryEngine;
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); 2 terms; matrix ops per query");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+
+    header(
+        "Fig 16: matrix operations per top-k query on the shared G-tree index",
+        &["k", "KS-GT", "Gtree-Opt", "G-tree", "pseudo-doc lookups: Opt", "G-tree"],
+    );
+    for k in [1usize, 5, 10, 25, 50] {
+        let qs = std_queries(&ds, 2);
+        let mut ops_ksgt = 0u64;
+        for q in &qs {
+            let mut dist = GtreeNetworkDistance::new(&o.gt, &ds.graph);
+            let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, dist);
+            let _ = e.top_k(q.vertex, k, &q.terms);
+            dist = e.into_distance();
+            ops_ksgt += dist.total_ops();
+        }
+        let mut ops_opt = 0u64;
+        let mut lookups_opt = 0u64;
+        for q in &qs {
+            ops_opt += sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::PerKeyword).1;
+            lookups_opt += sk.last_pseudo_lookups();
+        }
+        let mut ops_agg = 0u64;
+        let mut lookups_agg = 0u64;
+        for q in &qs {
+            ops_agg += sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::Aggregated).1;
+            lookups_agg += sk.last_pseudo_lookups();
+        }
+        let n = qs.len() as f64;
+        row(
+            k,
+            &[
+                ops_ksgt as f64 / n,
+                ops_opt as f64 / n,
+                ops_agg as f64 / n,
+                lookups_opt as f64 / n,
+                lookups_agg as f64 / n,
+            ],
+        );
+    }
+}

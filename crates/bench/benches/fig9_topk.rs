@@ -1,0 +1,66 @@
+//! Figure 9: top-k query time, varying k (a) and the number of query
+//! keywords (b), on the largest in-budget dataset.
+//!
+//! Methods: KS-CH, KS-HL (stands in for KS-PHL), KS-GT, G-tree, ROAD.
+//! Expected shape: KS-HL ≪ KS-CH < KS-GT ≤ G-tree < ROAD, with the gap to
+//! the aggregated methods growing as k shrinks relevance of far groups.
+
+use kspin::adapters::{ChDistance, GtreeNetworkDistance, HlDistance};
+use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_core::QueryEngine;
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+use kspin_road::RoadIndex;
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); all query times in microseconds");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+    let road = RoadIndex::build(&o.gt, &ds.graph, &ds.corpus);
+
+    let run = |k: usize, num_terms: usize| -> Vec<f64> {
+        let qs = std_queries(&ds, num_terms);
+        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let t_ch = time_per_query(&qs, |q| {
+            e_ch.top_k(q.vertex, k, &q.terms);
+        });
+        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let t_hl = time_per_query(&qs, |q| {
+            e_hl.top_k(q.vertex, k, &q.terms);
+        });
+        let mut e_gt = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            GtreeNetworkDistance::new(&o.gt, &ds.graph),
+        );
+        let t_ksgt = time_per_query(&qs, |q| {
+            e_gt.top_k(q.vertex, k, &q.terms);
+        });
+        let t_gtree = time_per_query(&qs, |q| {
+            sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::Aggregated);
+        });
+        let t_road = time_per_query(&qs, |q| {
+            road.top_k(q.vertex, k, &q.terms);
+        });
+        vec![t_hl, t_ch, t_ksgt, t_gtree, t_road]
+    };
+
+    header(
+        "Fig 9(a): top-k query time vs k (2 terms)",
+        &["k", "KS-HL", "KS-CH", "KS-GT", "G-tree", "ROAD"],
+    );
+    for k in [1usize, 5, 10, 25, 50] {
+        row(k, &run(k, 2));
+    }
+
+    header(
+        "Fig 9(b): top-k query time vs #terms (k=10)",
+        &["#terms", "KS-HL", "KS-CH", "KS-GT", "G-tree", "ROAD"],
+    );
+    for terms in 1..=6usize {
+        row(terms, &run(10, terms));
+    }
+}

@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the framework's hot primitives:
+//! ALT lower bounds, CH / HL / G-tree point-to-point distances, NVD point
+//! location, on-demand heap creation + drain, and the pseudo-lower-bound
+//! computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use kspin_alt::{AltIndex, LandmarkStrategy};
+use kspin_ch::{ChConfig, ChQuery, ContractionHierarchy};
+use kspin_core::heap::{HeapContext, InvertedHeap};
+use kspin_core::{KspinConfig, KspinIndex};
+use kspin_graph::generate::{road_network, RoadNetworkConfig};
+use kspin_graph::Graph;
+use kspin_gtree::tree::GtreeConfig;
+use kspin_gtree::{GTree, GtreeDistance};
+use kspin_hl::HubLabels;
+use kspin_text::generate::{corpus, CorpusConfig};
+use kspin_text::{Corpus, TermId};
+
+struct World {
+    graph: Graph,
+    corpus: Corpus,
+    alt: AltIndex,
+    index: KspinIndex,
+    ch: ContractionHierarchy,
+    hl: HubLabels,
+    gt: GTree,
+    frequent: TermId,
+}
+
+fn world() -> World {
+    let graph = road_network(&RoadNetworkConfig::new(20_000, 7));
+    let (corpus, _) = corpus(&CorpusConfig::new(graph.num_vertices(), 7));
+    let alt = AltIndex::build(&graph, 16, LandmarkStrategy::Farthest, 0);
+    let index = KspinIndex::build(&graph, &corpus, &KspinConfig::default());
+    let ch = ContractionHierarchy::build(&graph, &ChConfig::default());
+    let hl = HubLabels::build(&ch);
+    let gt = GTree::build(&graph, &GtreeConfig::default());
+    let frequent = (0..corpus.num_terms() as TermId)
+        .max_by_key(|&t| corpus.inv_len(t))
+        .unwrap();
+    World {
+        graph,
+        corpus,
+        alt,
+        index,
+        ch,
+        hl,
+        gt,
+        frequent,
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let w = world();
+    let n = w.graph.num_vertices() as u32;
+
+    c.bench_function("alt_lower_bound", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            black_box(w.alt.lower_bound(i, (i * 7 + 13) % n))
+        })
+    });
+
+    c.bench_function("ch_distance", |b| {
+        let mut q = ChQuery::new(&w.ch);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            black_box(q.distance(i, (i * 31 + 7) % n))
+        })
+    });
+
+    c.bench_function("hl_distance", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            black_box(w.hl.distance(i, (i * 31 + 7) % n))
+        })
+    });
+
+    c.bench_function("gtree_distance_cold", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            let mut d = GtreeDistance::new(&w.gt, &w.graph, i);
+            black_box(d.distance((i * 31 + 7) % n))
+        })
+    });
+
+    c.bench_function("gtree_distance_materialized", |b| {
+        let mut d = GtreeDistance::new(&w.gt, &w.graph, 11);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            black_box(d.distance(i))
+        })
+    });
+
+    c.bench_function("heap_create_frequent_keyword", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)) % n;
+            let ctx = HeapContext::new(&w.graph, &w.corpus, &w.alt, i);
+            black_box(InvertedHeap::create(&w.index, w.frequent, &ctx).map(|h| h.len()))
+        })
+    });
+
+    c.bench_function("heap_extract_ten", |b| {
+        let ctx = HeapContext::new(&w.graph, &w.corpus, &w.alt, 1234 % n);
+        b.iter(|| {
+            let mut h = InvertedHeap::create(&w.index, w.frequent, &ctx).unwrap();
+            let mut sum = 0u64;
+            for _ in 0..10 {
+                match h.extract(&ctx) {
+                    Some(c) => sum += c.lower_bound as u64,
+                    None => break,
+                }
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = benches
+}
+criterion_main!(micro);

@@ -1,0 +1,113 @@
+//! Table 1: index size and query throughput (queries/second) on the
+//! largest in-budget dataset (default workload: k = 10, 2 terms).
+//!
+//! Expected shape (vs the paper's Table 1): KS-HL (the PHL stand-in) has
+//! the highest throughput at the largest index; KS-CH is several times
+//! faster than G-tree at a smaller footprint; ROAD trails on top-k and
+//! does not support BkNN; FS-FBS is slowest and its label-based index is
+//! the largest — the paper could not build it at the US scale at all.
+
+use kspin::adapters::{ChDistance, HlDistance};
+use kspin_bench::{build_dataset, build_oracles, default_scale, mib, qps, std_queries, time_per_query};
+use kspin_core::{Op, QueryEngine};
+use kspin_fsfbs::{FsFbs, FsFbsConfig};
+use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
+use kspin_road::RoadIndex;
+
+fn main() {
+    let (name, vertices) = default_scale();
+    println!("dataset: {name}-scale ({vertices} vertices); workload: k=10, 2 terms");
+    let ds = build_dataset(name, vertices);
+    let o = build_oracles(&ds);
+    let sk = GtreeSpatialKeyword::build(&o.gt, &ds.graph, &ds.corpus);
+    let road = RoadIndex::build(&o.gt, &ds.graph, &ds.corpus);
+    let fsfbs = FsFbs::build(&ds.graph, &ds.corpus, &o.hl, FsFbsConfig::default());
+    let qs = std_queries(&ds, 2);
+
+    let kspin_size = mib(o.index.size_bytes() + o.alt.size_bytes());
+
+    println!(
+        "\n=== Table 1: index size and throughput ===\n{:<24} {:>16} {:>12} {:>12}",
+        "Technique", "Index size (MiB)", "Top-k q/s", "BkNN q/s"
+    );
+    let print = |name: &str, size: f64, topk: f64, bknn: f64| {
+        let fmt = |v: f64| {
+            if v < 0.0 {
+                "x".to_string()
+            } else {
+                format!("{v:.0}")
+            }
+        };
+        println!("{name:<24} {size:>16.1} {:>12} {:>12}", fmt(topk), fmt(bknn));
+    };
+
+    {
+        let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let topk = qps(time_per_query(&qs, |q| {
+            e.top_k(q.vertex, 10, &q.terms);
+        }));
+        let bknn = qps(time_per_query(&qs, |q| {
+            e.bknn(q.vertex, 10, &q.terms, Op::Or);
+        }));
+        print(
+            "K-SPIN + CH",
+            kspin_size + mib(o.ch.size_bytes()),
+            topk,
+            bknn,
+        );
+    }
+    {
+        let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let topk = qps(time_per_query(&qs, |q| {
+            e.top_k(q.vertex, 10, &q.terms);
+        }));
+        let bknn = qps(time_per_query(&qs, |q| {
+            e.bknn(q.vertex, 10, &q.terms, Op::Or);
+        }));
+        print(
+            "K-SPIN + HL (for PHL)",
+            kspin_size + mib(o.hl.size_bytes()),
+            topk,
+            bknn,
+        );
+    }
+    {
+        let topk = qps(time_per_query(&qs, |q| {
+            sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::Aggregated);
+        }));
+        let bknn = qps(time_per_query(&qs, |q| {
+            sk.bknn(q.vertex, 10, &q.terms, false, OccurrenceMode::Aggregated);
+        }));
+        print(
+            "Spatial Keyword G-tree",
+            mib(o.gt.size_bytes() + sk.size_bytes()),
+            topk,
+            bknn,
+        );
+    }
+    {
+        let topk = qps(time_per_query(&qs, |q| {
+            road.top_k(q.vertex, 10, &q.terms);
+        }));
+        print(
+            "ROAD",
+            mib(o.gt.size_bytes() + road.size_bytes()),
+            topk,
+            -1.0, // the paper's Table 1 marks ROAD BkNN unsupported
+        );
+    }
+    {
+        let bknn = qps(time_per_query(&qs, |q| {
+            fsfbs.bknn(q.vertex, 10, &q.terms, false);
+        }));
+        print(
+            "FS-FBS",
+            mib(o.hl.size_bytes() + fsfbs.size_bytes()),
+            -1.0,
+            bknn,
+        );
+    }
+    println!("\n(x = query type not supported by the technique, as in the paper's Table 1;");
+    println!(" the paper additionally reports FS-FBS as unbuildable at US scale — its");
+    println!(" label-based index is already the largest here and scales superlinearly.)");
+}

@@ -1,0 +1,317 @@
+//! CH preprocessing: node ordering and contraction.
+//!
+//! Performance notes for planar-like road networks:
+//!
+//! * priorities use *dirty versioning* — a queue entry is re-evaluated only
+//!   if a neighbor was contracted since it was pushed;
+//! * the contraction endgame forms a near-clique of size ≈ treewidth; once
+//!   a vertex's live degree passes [`SKIP_WITNESS_DEGREE`] witness searches
+//!   are pointless (they nearly always fail inside the core) and all
+//!   pairwise shortcuts are added directly. Extra shortcuts never hurt
+//!   correctness — every shortcut weight is a real path length — they only
+//!   trade a little query time for a lot of build time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use kspin_graph::{Graph, VertexId, Weight, INFINITY};
+
+/// Above this live degree, contraction skips witness searches.
+const SKIP_WITNESS_DEGREE: usize = 24;
+
+/// Tuning knobs for contraction.
+#[derive(Debug, Clone)]
+pub struct ChConfig {
+    /// Settled-vertex budget per witness search. Larger → fewer unnecessary
+    /// shortcuts, slower build.
+    pub witness_budget: usize,
+    /// Hop limit per witness search.
+    pub witness_hops: usize,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig {
+            witness_budget: 50,
+            witness_hops: 5,
+        }
+    }
+}
+
+/// A built hierarchy: every vertex has a rank, and `upward` holds all edges
+/// (original + shortcuts) from lower- to higher-ranked endpoints. On an
+/// undirected graph the same upward graph serves both search directions.
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    rank: Vec<u32>,
+    up_offsets: Vec<u32>,
+    up_targets: Vec<VertexId>,
+    up_weights: Vec<Weight>,
+    num_shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Contracts `graph` into a hierarchy.
+    pub fn build(graph: &Graph, config: &ChConfig) -> Self {
+        Contractor::new(graph, config).run()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Contraction rank of `v` (0 = contracted first / least important).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Upward edges of `v`: neighbors with strictly higher rank.
+    #[inline]
+    pub fn upward(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.up_offsets[v as usize] as usize;
+        let hi = self.up_offsets[v as usize + 1] as usize;
+        self.up_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.up_weights[lo..hi].iter().copied())
+    }
+
+    /// Shortcut edges added during contraction.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Total directed upward edges.
+    pub fn num_upward_edges(&self) -> usize {
+        self.up_targets.len()
+    }
+
+    /// Approximate index size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rank.len() * 4 + self.up_offsets.len() * 4 + self.up_targets.len() * 8
+    }
+}
+
+/// Working state for one contraction run.
+struct Contractor<'a> {
+    config: &'a ChConfig,
+    /// Dynamic adjacency of the not-yet-contracted "core" graph.
+    /// Contracted vertices are physically unlinked, so every entry is live.
+    adj: Vec<HashMap<VertexId, Weight>>,
+    contracted: Vec<bool>,
+    deleted_neighbors: Vec<u32>,
+    rank: Vec<u32>,
+    /// All upward edges discovered so far as (from, to, weight).
+    edges: Vec<(VertexId, VertexId, Weight)>,
+    num_shortcuts: usize,
+    // Witness-search scratch.
+    wdist: Vec<Weight>,
+    wepoch: Vec<u32>,
+    wcur: u32,
+    wheap: BinaryHeap<(Reverse<Weight>, u32, VertexId)>,
+}
+
+impl<'a> Contractor<'a> {
+    fn new(graph: &Graph, config: &'a ChConfig) -> Self {
+        let n = graph.num_vertices();
+        let mut adj: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
+        for v in 0..n as VertexId {
+            for (u, w) in graph.neighbors(v) {
+                adj[v as usize].insert(u, w);
+            }
+        }
+        Contractor {
+            config,
+            adj,
+            contracted: vec![false; n],
+            deleted_neighbors: vec![0; n],
+            rank: vec![0; n],
+            edges: Vec::new(),
+            num_shortcuts: 0,
+            wdist: vec![INFINITY; n],
+            wepoch: vec![0; n],
+            wcur: 0,
+            wheap: BinaryHeap::new(),
+        }
+    }
+
+    fn run(mut self) -> ContractionHierarchy {
+        let n = self.adj.len();
+        // Record original edges before contraction mutates adjacency.
+        for u in 0..n {
+            for (&v, &w) in &self.adj[u] {
+                if (u as VertexId) < v {
+                    self.edges.push((u as VertexId, v, w));
+                }
+            }
+        }
+
+        // Dirty-versioned lazy priority queue (see module docs).
+        let mut version = vec![0u32; n];
+        let mut queue: BinaryHeap<(Reverse<i64>, u32, VertexId)> = (0..n as VertexId)
+            .map(|v| (Reverse(self.priority(v)), 0, v))
+            .collect();
+        let mut next_rank = 0u32;
+        while let Some((Reverse(_), ver, v)) = queue.pop() {
+            if self.contracted[v as usize] {
+                continue;
+            }
+            if ver != version[v as usize] {
+                let fresh = self.priority(v);
+                queue.push((Reverse(fresh), version[v as usize], v));
+                continue;
+            }
+            let neighbors: Vec<VertexId> = self.adj[v as usize].keys().copied().collect();
+            for &u in &neighbors {
+                version[u as usize] = version[u as usize].wrapping_add(1);
+            }
+            self.contract(v);
+            self.rank[v as usize] = next_rank;
+            next_rank += 1;
+        }
+
+        // Assemble the upward CSR.
+        let rank = self.rank;
+        let mut deg = vec![0u32; n + 1];
+        let mut directed: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.edges.len());
+        for &(u, v, w) in &self.edges {
+            let (lo, hi) = if rank[u as usize] < rank[v as usize] {
+                (u, v)
+            } else {
+                (v, u)
+            };
+            directed.push((lo, hi, w));
+        }
+        // Deduplicate parallel upward edges, keeping the minimum weight.
+        directed.sort_unstable();
+        directed.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
+        for &(lo, _, _) in &directed {
+            deg[lo as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let up_offsets = deg;
+        let mut up_targets = vec![0; directed.len()];
+        let mut up_weights = vec![0; directed.len()];
+        let mut cursor = up_offsets.clone();
+        for (lo, hi, w) in directed {
+            let c = &mut cursor[lo as usize];
+            up_targets[*c as usize] = hi;
+            up_weights[*c as usize] = w;
+            *c += 1;
+        }
+        ContractionHierarchy {
+            rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            num_shortcuts: self.num_shortcuts,
+        }
+    }
+
+    /// Priority = edge difference + deleted neighbors (standard heuristic).
+    fn priority(&mut self, v: VertexId) -> i64 {
+        let (shortcuts, removed) = self.simulate(v);
+        shortcuts as i64 - removed as i64 + self.deleted_neighbors[v as usize] as i64
+    }
+
+    /// Counts the shortcuts contracting `v` would add, without mutating.
+    fn simulate(&mut self, v: VertexId) -> (usize, usize) {
+        let deg = self.adj[v as usize].len();
+        if deg > SKIP_WITNESS_DEGREE {
+            // Endgame core: assume every pair needs a shortcut.
+            return (deg * deg.saturating_sub(1) / 2, deg);
+        }
+        let neighbors: Vec<(VertexId, Weight)> =
+            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+        let mut shortcuts = 0;
+        for i in 0..neighbors.len() {
+            let (u, wu) = neighbors[i];
+            for &(t, wt) in &neighbors[i + 1..] {
+                if !self.has_witness(u, t, wu + wt, v) {
+                    shortcuts += 1;
+                }
+            }
+        }
+        (shortcuts, neighbors.len())
+    }
+
+    fn contract(&mut self, v: VertexId) {
+        let neighbors: Vec<(VertexId, Weight)> =
+            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+        let skip_witness = neighbors.len() > SKIP_WITNESS_DEGREE;
+        for i in 0..neighbors.len() {
+            let (u, wu) = neighbors[i];
+            for &(t, wt) in &neighbors[i + 1..] {
+                let via = wu + wt;
+                if skip_witness || !self.has_witness(u, t, via, v) {
+                    self.insert_shortcut(u, t, via);
+                }
+            }
+        }
+        self.contracted[v as usize] = true;
+        for &(u, _) in &neighbors {
+            self.adj[u as usize].remove(&v);
+            self.deleted_neighbors[u as usize] += 1;
+        }
+        self.adj[v as usize] = HashMap::new();
+    }
+
+    fn insert_shortcut(&mut self, u: VertexId, t: VertexId, w: Weight) {
+        let e = self.adj[u as usize].entry(t).or_insert(Weight::MAX);
+        if w < *e {
+            *e = w;
+            self.adj[t as usize].insert(u, w);
+            self.edges.push((u, t, w));
+            self.num_shortcuts += 1;
+        }
+    }
+
+    /// Bounded Dijkstra from `u` toward `t` in the core graph minus
+    /// `excluded`; returns true if a path of length ≤ `limit` exists, in
+    /// which case the shortcut u–v–t is unnecessary.
+    fn has_witness(&mut self, u: VertexId, t: VertexId, limit: Weight, excluded: VertexId) -> bool {
+        self.wcur = self.wcur.wrapping_add(1);
+        if self.wcur == 0 {
+            self.wepoch.iter_mut().for_each(|e| *e = u32::MAX);
+            self.wcur = 1;
+        }
+        self.wheap.clear();
+        self.wheap.push((Reverse(0), 0, u));
+        self.wepoch[u as usize] = self.wcur;
+        self.wdist[u as usize] = 0;
+        let mut settled = 0;
+        while let Some((Reverse(d), hops, x)) = self.wheap.pop() {
+            if d > limit || settled >= self.config.witness_budget {
+                return false;
+            }
+            if self.wepoch[x as usize] == self.wcur && d > self.wdist[x as usize] {
+                continue;
+            }
+            if x == t {
+                return d <= limit;
+            }
+            settled += 1;
+            if hops as usize >= self.config.witness_hops {
+                continue;
+            }
+            for (&y, &w) in &self.adj[x as usize] {
+                if y == excluded {
+                    continue;
+                }
+                let nd = d + w;
+                if nd <= limit
+                    && (self.wepoch[y as usize] != self.wcur || nd < self.wdist[y as usize])
+                {
+                    self.wepoch[y as usize] = self.wcur;
+                    self.wdist[y as usize] = nd;
+                    self.wheap.push((Reverse(nd), hops + 1, y));
+                }
+            }
+        }
+        false
+    }
+}

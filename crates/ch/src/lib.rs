@@ -1,0 +1,91 @@
+//! Contraction Hierarchies (Geisberger et al. [10]).
+//!
+//! The low-memory Network Distance Module variant in the paper (KS-CH,
+//! Table 1). Vertices are contracted in importance order; shortcuts preserve
+//! shortest-path distances among the remaining vertices; a point-to-point
+//! query is a bidirectional Dijkstra restricted to upward edges.
+//!
+//! The implementation follows the standard recipe:
+//!
+//! * lazy-update priority queue over `edge difference + deleted neighbors`,
+//! * hop/space-bounded witness searches during contraction,
+//! * a CSR upward graph for cache-friendly queries.
+
+mod construction;
+mod query;
+
+pub use construction::{ChConfig, ContractionHierarchy};
+pub use query::ChQuery;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::{Dijkstra, GraphBuilder, VertexId, INFINITY};
+
+    #[test]
+    fn exact_on_random_road_network() {
+        let g = road_network(&RoadNetworkConfig::new(800, 23));
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut q = ChQuery::new(&ch);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 7, 111, 400, 750] {
+            let s = s.min(g.num_vertices() as u32 - 1);
+            dij.sssp(&g, s);
+            let space = dij.space();
+            for t in (0..g.num_vertices() as VertexId).step_by(53) {
+                let exact = space.distance(t).unwrap();
+                let got = q.distance(s, t);
+                assert_eq!(got, exact, "mismatch for ({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let g = road_network(&RoadNetworkConfig::new(200, 5));
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut q = ChQuery::new(&ch);
+        for v in [0u32, 50, 150] {
+            assert_eq!(q.distance(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinite() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        b.add_edge(2, 3, 4);
+        let g = b.build();
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut q = ChQuery::new(&ch);
+        assert_eq!(q.distance(0, 2), INFINITY);
+        assert_eq!(q.distance(0, 1), 3);
+        assert_eq!(q.distance(2, 3), 4);
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let mut b = GraphBuilder::new(6);
+        for v in 0..5 {
+            b.add_edge(v, v + 1, (v + 1) as u32);
+        }
+        let g = b.build();
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut q = ChQuery::new(&ch);
+        assert_eq!(q.distance(0, 5), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(q.distance(2, 4), 3 + 4);
+    }
+
+    #[test]
+    fn query_is_symmetric_and_matches_dijkstra() {
+        let g = road_network(&RoadNetworkConfig::new(300, 8));
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let mut q = ChQuery::new(&ch);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let d1 = q.distance(0, 99);
+        let d2 = q.distance(99, 0);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, dij.one_to_one(&g, 0, 99));
+    }
+}

@@ -1,0 +1,95 @@
+//! Bidirectional upward Dijkstra over a built hierarchy.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kspin_graph::{VertexId, Weight, INFINITY};
+
+use crate::construction::ContractionHierarchy;
+
+/// Reusable point-to-point query state.
+///
+/// A query runs two upward Dijkstras (from source and target) and takes the
+/// minimum combined distance over vertices settled by both. State is reused
+/// across queries via epochs, so a `ChQuery` performs no allocation in the
+/// steady state.
+pub struct ChQuery<'a> {
+    ch: &'a ContractionHierarchy,
+    dist: [Vec<Weight>; 2],
+    epoch: [Vec<u32>; 2],
+    cur: u32,
+    heap: BinaryHeap<(Reverse<Weight>, u8, VertexId)>,
+}
+
+impl<'a> ChQuery<'a> {
+    /// Creates query state for `ch`.
+    pub fn new(ch: &'a ContractionHierarchy) -> Self {
+        let n = ch.num_vertices();
+        ChQuery {
+            ch,
+            dist: [vec![INFINITY; n], vec![INFINITY; n]],
+            epoch: [vec![0; n], vec![0; n]],
+            cur: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Exact network distance between `s` and `t` ([`INFINITY`] when
+    /// disconnected).
+    pub fn distance(&mut self, s: VertexId, t: VertexId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            for side in &mut self.epoch {
+                side.iter_mut().for_each(|e| *e = u32::MAX);
+            }
+            self.cur = 1;
+        }
+        self.heap.clear();
+        self.relax(0, s, 0);
+        self.relax(1, t, 0);
+        let mut best = INFINITY;
+        while let Some((Reverse(d), side, v)) = self.heap.pop() {
+            if d >= best {
+                break; // No meeting point can improve once min key ≥ best.
+            }
+            let side = side as usize;
+            if self.get(side, v) < d {
+                continue; // stale
+            }
+            let other = 1 - side;
+            let od = self.get(other, v);
+            if od < INFINITY {
+                let total = d + od;
+                if total < best {
+                    best = total;
+                }
+            }
+            for (u, w) in self.ch.upward(v) {
+                let nd = d + w;
+                if nd < self.get(side, u) {
+                    self.relax(side, u, nd);
+                }
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn get(&self, side: usize, v: VertexId) -> Weight {
+        if self.epoch[side][v as usize] == self.cur {
+            self.dist[side][v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, side: usize, v: VertexId, d: Weight) {
+        self.epoch[side][v as usize] = self.cur;
+        self.dist[side][v as usize] = d;
+        self.heap.push((Reverse(d), side as u8, v));
+    }
+}

@@ -1,0 +1,95 @@
+//! The Query Processor module (§3 module 4): ties the index and the
+//! pluggable distance/lower-bound modules together and hosts the query
+//! algorithms implemented in [`crate::query`].
+
+use kspin_graph::Graph;
+use kspin_text::Corpus;
+
+use crate::index::KspinIndex;
+use crate::modules::{LowerBound, NetworkDistance};
+
+/// Per-query/side-channel instrumentation.
+///
+/// `dist_computations` is the paper's headline cost driver ("this module is
+/// the bottleneck", §3): the false-positive experiment (§7.4) compares
+/// methods on exactly this axis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Calls into the Network Distance Module.
+    pub dist_computations: usize,
+    /// Candidates extracted from inverted heaps (the κ of §5.1).
+    pub heap_extractions: usize,
+    /// Lower-bound computations across all heaps.
+    pub lb_computations: usize,
+    /// Candidates discarded without a distance computation (keyword filter,
+    /// duplicate, or lower-bound-score prune).
+    pub pruned_candidates: usize,
+}
+
+impl QueryStats {
+    pub(crate) fn clear(&mut self) {
+        *self = QueryStats::default();
+    }
+}
+
+/// A K-SPIN query engine: one borrowed index + corpus + lower-bound oracle,
+/// and an owned (mutable) network distance oracle.
+///
+/// ```no_run
+/// # use kspin_core::{KspinIndex, KspinConfig, QueryEngine, DijkstraDistance, Op};
+/// # use kspin_alt::{AltIndex, LandmarkStrategy};
+/// # let graph: kspin_graph::Graph = unimplemented!();
+/// # let corpus: kspin_text::Corpus = unimplemented!();
+/// let alt = AltIndex::build(&graph, 16, LandmarkStrategy::Farthest, 0);
+/// let index = KspinIndex::build(&graph, &corpus, &KspinConfig::default());
+/// let mut engine = QueryEngine::new(&graph, &corpus, &index, &alt, DijkstraDistance::new(&graph));
+/// let results = engine.bknn(42, 10, &[0, 1], Op::And);
+/// ```
+pub struct QueryEngine<'a, D: NetworkDistance> {
+    pub(crate) graph: &'a Graph,
+    pub(crate) corpus: &'a Corpus,
+    pub(crate) index: &'a KspinIndex,
+    pub(crate) lower_bound: &'a dyn LowerBound,
+    pub(crate) dist: D,
+    pub(crate) stats: QueryStats,
+}
+
+impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
+    /// Assembles an engine from the four framework modules.
+    pub fn new(
+        graph: &'a Graph,
+        corpus: &'a Corpus,
+        index: &'a KspinIndex,
+        lower_bound: &'a dyn LowerBound,
+        dist: D,
+    ) -> Self {
+        QueryEngine {
+            graph,
+            corpus,
+            index,
+            lower_bound,
+            dist,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Statistics accumulated since the last [`QueryEngine::reset_stats`].
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Clears the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// The distance module's name (for bench labels).
+    pub fn distance_name(&self) -> &'static str {
+        self.dist.name()
+    }
+
+    /// Releases the engine, returning the distance oracle.
+    pub fn into_distance(self) -> D {
+        self.dist
+    }
+}

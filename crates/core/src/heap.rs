@@ -1,0 +1,411 @@
+//! The Heap Generator (§3 module 3, §5): on-demand inverted heaps.
+//!
+//! An [`InvertedHeap`] for keyword `t` maintains **Property 1**: at any
+//! time, every object containing `t` not yet extracted has network distance
+//! from `q` at least the lower bound of the current top. That lets query
+//! processors consume candidates in lower-bound order while the heap is
+//! populated *lazily*:
+//!
+//! * **Initialization** — Observation 2b / Theorem 1: seed with the ρ
+//!   quadtree candidates (one of which is the 1NN of `q`) plus any lazily
+//!   attached objects; Zipf-tail keywords seed with their whole (≤ ρ) list.
+//! * **`LazyReheap`** (Algorithm 4) — after each extraction, insert the
+//!   extracted object's NVD-adjacent objects that were never inserted.
+//!
+//! Deleted objects (§6.2) are never *returned*, but their adjacencies are
+//! still expanded, so the frontier keeps growing past them.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kspin_graph::{Graph, VertexId, Weight};
+use kspin_text::{Corpus, ObjectId, TermId};
+
+use crate::index::{KeywordIndex, KspinIndex};
+use crate::modules::LowerBound;
+
+/// Everything a heap needs to compute lower bounds for one query.
+pub struct HeapContext<'a> {
+    pub graph: &'a Graph,
+    pub corpus: &'a Corpus,
+    pub lower_bound: &'a dyn LowerBound,
+    /// The query vertex.
+    pub q: VertexId,
+}
+
+impl<'a> HeapContext<'a> {
+    /// Creates a context for query vertex `q`.
+    pub fn new(
+        graph: &'a Graph,
+        corpus: &'a Corpus,
+        lower_bound: &'a dyn LowerBound,
+        q: VertexId,
+    ) -> Self {
+        HeapContext {
+            graph,
+            corpus,
+            lower_bound,
+            q,
+        }
+    }
+}
+
+/// An extracted candidate: corpus object plus the lower bound it carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    pub object: ObjectId,
+    pub lower_bound: Weight,
+}
+
+/// An on-demand inverted heap for one query keyword.
+///
+/// `None` is returned from constructors when the keyword has no live
+/// objects at all (query processors treat such heaps as exhausted).
+pub struct InvertedHeap<'a> {
+    entry: &'a KeywordIndex,
+    heap: BinaryHeap<(Reverse<Weight>, u32)>,
+    /// Marks NVD-local ids (or Small-list positions) already inserted, so
+    /// LazyReheap inserts each object at most once (Algorithm 4 line 3).
+    inserted: Vec<bool>,
+    /// Lower-bound computations performed (for the §5.1 cost accounting).
+    lb_computed: usize,
+}
+
+impl<'a> InvertedHeap<'a> {
+    /// Creates the heap for keyword `t` of `index`, or `None` if the
+    /// keyword indexes no objects.
+    pub fn create(index: &'a KspinIndex, t: TermId, ctx: &HeapContext<'_>) -> Option<Self> {
+        let entry = index.entry(t)?;
+        let mut heap = BinaryHeap::new();
+        let mut lb_computed = 0;
+        let inserted = match entry {
+            KeywordIndex::Small(s) => {
+                // Observation 1: the whole inverted list fits; seeding it
+                // entirely trivially satisfies Property 1.
+                let mut ins = vec![false; s.objects.len()];
+                for (i, &v) in s.vertices.iter().enumerate() {
+                    ins[i] = true;
+                    lb_computed += 1;
+                    heap.push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), i as u32));
+                }
+                ins
+            }
+            KeywordIndex::Nvd(n) => {
+                // Theorem 1: seeding with the quadtree leaf's candidates
+                // (which contain the 1NN of q) plus attached lazy inserts
+                // satisfies Property 1.
+                let mut ins = vec![false; n.apx.num_total()];
+                for local in n.apx.init_candidates(ctx.graph.coord(ctx.q)) {
+                    ins[local as usize] = true;
+                    let v = n.apx.object_vertex(local);
+                    lb_computed += 1;
+                    heap.push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), local));
+                }
+                ins
+            }
+        };
+        let mut h = InvertedHeap {
+            entry,
+            heap,
+            inserted,
+            lb_computed,
+        };
+        h.skip_deleted(ctx);
+        if h.heap.is_empty() {
+            return None;
+        }
+        Some(h)
+    }
+
+    /// `MINKEY(H)` — the lower bound of the current top (a live object).
+    /// `None` once exhausted.
+    pub fn min_key(&self) -> Option<Weight> {
+        self.heap.peek().map(|&(Reverse(d), _)| d)
+    }
+
+    /// Extracts the top candidate and runs `LazyReheap` so Property 1 keeps
+    /// holding for the remainder.
+    pub fn extract(&mut self, ctx: &HeapContext<'_>) -> Option<Candidate> {
+        let (Reverse(lb), local) = self.heap.pop()?;
+        self.reheap(local, ctx);
+        self.skip_deleted(ctx);
+        Some(Candidate {
+            object: self.corpus_id(local),
+            lower_bound: lb,
+        })
+    }
+
+    /// Algorithm 4: push never-inserted neighbors of `local` in the NVD
+    /// adjacency graph. Small keyword lists were fully seeded, so there is
+    /// nothing to do for them.
+    fn reheap(&mut self, local: u32, ctx: &HeapContext<'_>) {
+        let KeywordIndex::Nvd(n) = self.entry else {
+            return;
+        };
+        for &a in n.apx.adjacent(local) {
+            let slot = &mut self.inserted[a as usize];
+            if !*slot {
+                *slot = true;
+                let v = n.apx.object_vertex(a);
+                self.lb_computed += 1;
+                self.heap
+                    .push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), a));
+            }
+        }
+    }
+
+    /// Pops (and expands) deleted objects until the top is live. Keeps
+    /// `min_key` meaningful and guarantees `extract` returns live objects.
+    fn skip_deleted(&mut self, ctx: &HeapContext<'_>) {
+        while let Some(&(_, local)) = self.heap.peek() {
+            if self.is_live(local) {
+                break;
+            }
+            self.heap.pop();
+            self.reheap(local, ctx);
+        }
+    }
+
+    fn is_live(&self, local: u32) -> bool {
+        match self.entry {
+            KeywordIndex::Small(s) => s.alive[local as usize],
+            KeywordIndex::Nvd(n) => !n.apx.is_deleted(local),
+        }
+    }
+
+    fn corpus_id(&self, local: u32) -> ObjectId {
+        match self.entry {
+            KeywordIndex::Small(s) => s.objects[local as usize],
+            KeywordIndex::Nvd(n) => n.corpus_ids[local as usize],
+        }
+    }
+
+    /// Lower-bound computations this heap performed so far.
+    pub fn lb_computed(&self) -> usize {
+        self.lb_computed
+    }
+
+    /// Current number of buffered (not yet extracted) entries — small by
+    /// design ("the heap only contains a small number of objects due to
+    /// being lazily populated", §4.2 implementation notes).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no live candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::KspinConfig;
+    use crate::modules::DijkstraDistance;
+    use crate::modules::NetworkDistance;
+    use kspin_alt::{AltIndex, LandmarkStrategy};
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::Dijkstra;
+    use kspin_text::generate::{corpus as gen_corpus, CorpusConfig};
+
+    struct Fixture {
+        graph: Graph,
+        corpus: Corpus,
+        alt: AltIndex,
+        index: KspinIndex,
+    }
+
+    fn fixture(n: usize, seed: u64) -> Fixture {
+        let graph = road_network(&RoadNetworkConfig::new(n, seed));
+        let mut cc = CorpusConfig::new(graph.num_vertices(), seed ^ 1);
+        cc.object_fraction = 0.08;
+        let (corpus, _) = gen_corpus(&cc);
+        let alt = AltIndex::build(&graph, 8, LandmarkStrategy::Farthest, seed);
+        let index = KspinIndex::build(
+            &graph,
+            &corpus,
+            &KspinConfig {
+                rho: 4,
+                num_threads: 2,
+            },
+        );
+        Fixture {
+            graph,
+            corpus,
+            alt,
+            index,
+        }
+    }
+
+    /// A frequent term (NVD-backed) and a rare term (Small) of the corpus.
+    fn pick_terms(f: &Fixture) -> (TermId, TermId) {
+        let mut frequent = None;
+        let mut rare = None;
+        for t in 0..f.corpus.num_terms() as TermId {
+            let l = f.corpus.inv_len(t);
+            if l > 8 && frequent.is_none() {
+                frequent = Some(t);
+            }
+            if (1..=3).contains(&l) && rare.is_none() {
+                rare = Some(t);
+            }
+        }
+        (frequent.expect("no frequent term"), rare.expect("no rare term"))
+    }
+
+    #[test]
+    fn property1_holds_throughout_drain() {
+        // Drain an NVD-backed heap completely; every extraction's lower
+        // bound must under-approximate the true distance of all *later*
+        // extractions (Property 1 restated over the extraction sequence).
+        let f = fixture(900, 101);
+        let (t, _) = pick_terms(&f);
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 17);
+        let mut heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        let mut dij = Dijkstra::new(f.graph.num_vertices());
+        let mut extracted = Vec::new();
+        while let Some(c) = heap.extract(&ctx) {
+            extracted.push(c);
+        }
+        assert_eq!(extracted.len(), f.corpus.inv_len(t), "heap must drain the whole inverted list");
+        let dists: Vec<Weight> = extracted
+            .iter()
+            .map(|c| dij.one_to_one(&f.graph, 17, f.corpus.vertex_of(c.object)))
+            .collect();
+        for i in 0..extracted.len() {
+            for (j, &dj) in dists.iter().enumerate().skip(i) {
+                assert!(
+                    extracted[i].lower_bound <= dj,
+                    "LB of extraction {i} ({}) exceeds distance of later object {j} ({dj})",
+                    extracted[i].lower_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_lower_bounds_are_non_decreasing_enough_for_1nn() {
+        // The first extraction must identify an object whose distance is
+        // minimal among the keyword's objects when its LB equals its
+        // distance (1NN guarantee check in aggregate: the minimum true
+        // distance over the inverted list equals the minimum over the first
+        // extractions up to that distance).
+        let f = fixture(900, 103);
+        let (t, _) = pick_terms(&f);
+        let q = 42;
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, q);
+        let mut heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        let mut dij = Dijkstra::new(f.graph.num_vertices());
+        // True 1NN distance over the inverted list.
+        let best = f
+            .corpus
+            .inverted(t)
+            .iter()
+            .map(|p| dij.one_to_one(&f.graph, q, f.corpus.vertex_of(p.object)))
+            .min()
+            .unwrap();
+        // Drain until we see an object at distance `best`; Property 1 says
+        // no extraction before it may have LB above `best`.
+        loop {
+            let c = heap.extract(&ctx).expect("1NN must be extracted eventually");
+            assert!(c.lower_bound <= best);
+            if dij.one_to_one(&f.graph, q, f.corpus.vertex_of(c.object)) == best {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn small_keyword_heap_is_fully_seeded() {
+        let f = fixture(600, 105);
+        let (_, t) = pick_terms(&f);
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 3);
+        let heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        assert_eq!(heap.len(), f.corpus.inv_len(t));
+    }
+
+    #[test]
+    fn nvd_heap_is_lazily_seeded() {
+        let f = fixture(900, 101);
+        let (t, _) = pick_terms(&f);
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 11);
+        let heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        assert!(
+            heap.len() <= f.index.rho(),
+            "NVD heap seeded {} > rho {}",
+            heap.len(),
+            f.index.rho()
+        );
+        assert!(heap.len() < f.corpus.inv_len(t));
+    }
+
+    #[test]
+    fn unused_keyword_yields_no_heap() {
+        let f = fixture(600, 105);
+        // Find a term id with empty inverted list.
+        let unused = (0..f.corpus.num_terms() as TermId)
+            .find(|&t| f.corpus.inv_len(t) == 0)
+            .expect("corpus has no unused term");
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 0);
+        assert!(InvertedHeap::create(&f.index, unused, &ctx).is_none());
+    }
+
+    #[test]
+    fn deleted_objects_are_skipped_but_expansion_continues() {
+        let mut f = fixture(900, 107);
+        let (t, _) = pick_terms(&f);
+        // Delete the object nearest to q for keyword t.
+        let q = 5;
+        let mut dij = Dijkstra::new(f.graph.num_vertices());
+        let nearest = f
+            .corpus
+            .inverted(t)
+            .iter()
+            .map(|p| p.object)
+            .min_by_key(|&o| dij.one_to_one(&f.graph, q, f.corpus.vertex_of(o)))
+            .unwrap();
+        f.index.delete_from_term(nearest, t);
+
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, q);
+        let mut heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        let mut seen = Vec::new();
+        while let Some(c) = heap.extract(&ctx) {
+            assert_ne!(c.object, nearest, "deleted object escaped the heap");
+            seen.push(c.object);
+        }
+        assert_eq!(seen.len(), f.corpus.inv_len(t) - 1);
+    }
+
+    #[test]
+    fn lazily_inserted_object_is_discoverable() {
+        let mut f = fixture(900, 109);
+        let (t, _) = pick_terms(&f);
+        // Simulate insertion: rebuild the index without one object of t,
+        // then lazily insert it back.
+        let victim = f.corpus.inverted(t)[0].object;
+        let index = KspinIndex::build_filtered(
+            &f.graph,
+            &f.corpus,
+            |o| o != victim,
+            &KspinConfig {
+                rho: 4,
+                num_threads: 1,
+            },
+        );
+        f.index = index;
+        let mut dist = DijkstraDistance::new(&f.graph);
+        f.index
+            .insert_into_term(&f.graph, &f.corpus, victim, t, &mut dist as &mut dyn NetworkDistance);
+
+        let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 29);
+        let mut heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();
+        let mut found = false;
+        while let Some(c) = heap.extract(&ctx) {
+            if c.object == victim {
+                found = true;
+            }
+        }
+        assert!(found, "lazily inserted object never extracted");
+    }
+}

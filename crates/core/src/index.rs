@@ -1,0 +1,405 @@
+//! The Keyword Separated Index (§6).
+//!
+//! One independent spatial index per keyword:
+//!
+//! * keywords with `|inv(t)| ≤ ρ` get **no NVD at all** (Observation 1 —
+//!   under Zipf's law that is the vast majority); their inverted list *is*
+//!   the index,
+//! * frequent keywords get a [`ApproxNvd`] (§6.1) whose generators are the
+//!   keyword's objects.
+//!
+//! Keyword independence makes construction embarrassingly parallel
+//! (Observation 3); `build` fans terms out over worker threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use std::collections::HashMap;
+
+use kspin_graph::{Graph, VertexId};
+use kspin_nvd::ApproxNvd;
+use kspin_text::{Corpus, ObjectId, TermId};
+
+use crate::modules::NetworkDistance;
+
+/// Index construction parameters.
+#[derive(Debug, Clone)]
+pub struct KspinConfig {
+    /// The ρ threshold: keywords with at most this many objects skip NVD
+    /// construction, and NVD quadtrees stop splitting at ρ colors. Paper
+    /// default: 5.
+    pub rho: usize,
+    /// Worker threads for parallel per-keyword NVD construction.
+    pub num_threads: usize,
+}
+
+impl Default for KspinConfig {
+    fn default() -> Self {
+        KspinConfig {
+            rho: 5,
+            num_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+        }
+    }
+}
+
+/// Index for one Zipf-tail keyword: just its (mutable) object list.
+#[derive(Debug, Clone, Default)]
+pub struct SmallIndex {
+    pub(crate) objects: Vec<ObjectId>,
+    pub(crate) vertices: Vec<VertexId>,
+    pub(crate) alive: Vec<bool>,
+}
+
+impl SmallIndex {
+    fn push(&mut self, o: ObjectId, v: VertexId) {
+        self.objects.push(o);
+        self.vertices.push(v);
+        self.alive.push(true);
+    }
+
+    /// Live object count.
+    pub fn live_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Index for a frequent keyword: ρ-approximate NVD plus the mapping from
+/// NVD-local generator ids to corpus object ids.
+#[derive(Debug, Clone)]
+pub struct NvdIndex {
+    pub(crate) apx: ApproxNvd,
+    /// `corpus_ids[local] = corpus object id` (extended by lazy inserts).
+    pub(crate) corpus_ids: Vec<ObjectId>,
+    pub(crate) local_of: HashMap<ObjectId, u32>,
+}
+
+impl NvdIndex {
+    fn new(apx: ApproxNvd, corpus_ids: Vec<ObjectId>) -> Self {
+        let local_of = corpus_ids
+            .iter()
+            .enumerate()
+            .map(|(l, &o)| (o, l as u32))
+            .collect();
+        NvdIndex {
+            apx,
+            corpus_ids,
+            local_of,
+        }
+    }
+
+    /// The underlying approximate NVD.
+    pub fn nvd(&self) -> &ApproxNvd {
+        &self.apx
+    }
+}
+
+/// Per-keyword index: none (keyword unused), small list, or NVD.
+#[derive(Debug, Clone)]
+pub enum KeywordIndex {
+    /// `|inv(t)| ≤ ρ`: the object list is the whole index.
+    Small(SmallIndex),
+    /// Frequent keyword: ρ-approximate NVD.
+    Nvd(NvdIndex),
+}
+
+/// Construction statistics reported by the index benches (Figs. 6, 14).
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Keywords indexed with an NVD.
+    pub nvd_terms: usize,
+    /// Keywords indexed with a plain list (Observation 1 beneficiaries).
+    pub small_terms: usize,
+    /// Wall-clock build time in seconds.
+    pub build_seconds: f64,
+}
+
+/// The Keyword Separated Index over a whole corpus.
+#[derive(Debug)]
+pub struct KspinIndex {
+    rho: usize,
+    entries: Vec<Option<KeywordIndex>>,
+    stats: BuildStats,
+}
+
+impl KspinIndex {
+    /// Builds the index over all corpus objects.
+    pub fn build(graph: &Graph, corpus: &Corpus, config: &KspinConfig) -> Self {
+        Self::build_filtered(graph, corpus, |_| true, config)
+    }
+
+    /// Builds over the subset of objects for which `include` holds — the
+    /// §6.2 update experiment builds over (100−x)% and lazily inserts the
+    /// rest.
+    pub fn build_filtered<F>(graph: &Graph, corpus: &Corpus, include: F, config: &KspinConfig) -> Self
+    where
+        F: Fn(ObjectId) -> bool + Sync,
+    {
+        assert!(config.rho >= 1, "rho must be at least 1");
+        let start = Instant::now();
+        let num_terms = corpus.num_terms();
+        let next = AtomicUsize::new(0);
+        let threads = config.num_threads.max(1);
+
+        let mut shards: Vec<Vec<(TermId, KeywordIndex)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let next = &next;
+                let include = &include;
+                handles.push(scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= num_terms {
+                            break;
+                        }
+                        let t = t as TermId;
+                        if let Some(entry) = Self::build_term(graph, corpus, t, include, config.rho)
+                        {
+                            out.push((t, entry));
+                        }
+                    }
+                    out
+                }));
+            }
+            shards = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+        })
+        .expect("index build thread pool failed");
+
+        let mut entries: Vec<Option<KeywordIndex>> = (0..num_terms).map(|_| None).collect();
+        let mut stats = BuildStats::default();
+        for shard in shards {
+            for (t, entry) in shard {
+                match &entry {
+                    KeywordIndex::Small(_) => stats.small_terms += 1,
+                    KeywordIndex::Nvd(_) => stats.nvd_terms += 1,
+                }
+                entries[t as usize] = Some(entry);
+            }
+        }
+        stats.build_seconds = start.elapsed().as_secs_f64();
+        KspinIndex {
+            rho: config.rho,
+            entries,
+            stats,
+        }
+    }
+
+    fn build_term<F>(
+        graph: &Graph,
+        corpus: &Corpus,
+        t: TermId,
+        include: &F,
+        rho: usize,
+    ) -> Option<KeywordIndex>
+    where
+        F: Fn(ObjectId) -> bool,
+    {
+        let postings = corpus.inverted(t);
+        let mut objects = Vec::new();
+        let mut vertices = Vec::new();
+        for p in postings {
+            if include(p.object) {
+                objects.push(p.object);
+                vertices.push(corpus.vertex_of(p.object));
+            }
+        }
+        if objects.is_empty() {
+            return None;
+        }
+        if objects.len() <= rho {
+            let alive = vec![true; objects.len()];
+            return Some(KeywordIndex::Small(SmallIndex {
+                objects,
+                vertices,
+                alive,
+            }));
+        }
+        let apx = ApproxNvd::build(graph, &vertices, rho);
+        Some(KeywordIndex::Nvd(NvdIndex::new(apx, objects)))
+    }
+
+    /// The ρ the index was built with.
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The per-keyword index of `t`, if the keyword has any objects.
+    #[inline]
+    pub fn entry(&self, t: TermId) -> Option<&KeywordIndex> {
+        self.entries.get(t as usize).and_then(Option::as_ref)
+    }
+
+    /// Approximate index size in bytes (Keyword Separated Index only — the
+    /// distance and lower-bound modules report their own sizes).
+    pub fn size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| match e {
+                KeywordIndex::Small(s) => s.objects.len() * 9 + 24,
+                KeywordIndex::Nvd(n) => n.apx.size_bytes() + n.corpus_ids.len() * 12,
+            })
+            .sum()
+    }
+
+    // ---- §6.2 updates -------------------------------------------------
+
+    /// Lazily inserts corpus object `o` into the index of every keyword in
+    /// its document. The object must not already be present.
+    pub fn insert_object(
+        &mut self,
+        graph: &Graph,
+        corpus: &Corpus,
+        o: ObjectId,
+        dist: &mut dyn NetworkDistance,
+    ) {
+        let terms: Vec<TermId> = corpus.doc(o).iter().map(|p| p.term).collect();
+        for t in terms {
+            self.insert_into_term(graph, corpus, o, t, dist);
+        }
+    }
+
+    /// Marks corpus object `o` deleted in every keyword index of its
+    /// document.
+    pub fn delete_object(&mut self, corpus: &Corpus, o: ObjectId) {
+        let terms: Vec<TermId> = corpus.doc(o).iter().map(|p| p.term).collect();
+        for t in terms {
+            self.delete_from_term(o, t);
+        }
+    }
+
+    /// Adds object `o` to keyword `t`'s index ("adding a keyword to an
+    /// existing object" in §6.2).
+    pub fn insert_into_term(
+        &mut self,
+        graph: &Graph,
+        corpus: &Corpus,
+        o: ObjectId,
+        t: TermId,
+        dist: &mut dyn NetworkDistance,
+    ) {
+        let vertex = corpus.vertex_of(o);
+        if (t as usize) >= self.entries.len() {
+            self.entries.resize_with(t as usize + 1, || None);
+        }
+        match &mut self.entries[t as usize] {
+            slot @ None => {
+                let mut s = SmallIndex::default();
+                s.push(o, vertex);
+                *slot = Some(KeywordIndex::Small(s));
+                self.stats.small_terms += 1;
+            }
+            Some(KeywordIndex::Small(s)) => {
+                if let Some(i) = s.objects.iter().position(|&x| x == o) {
+                    assert!(!s.alive[i], "object {o} already in keyword {t} index");
+                    s.alive[i] = true;
+                } else {
+                    s.push(o, vertex);
+                }
+            }
+            Some(KeywordIndex::Nvd(n)) => {
+                if let Some(&local) = n.local_of.get(&o) {
+                    assert!(
+                        n.apx.is_deleted(local),
+                        "object {o} already in keyword {t} index"
+                    );
+                    n.apx.undelete_object(local);
+                } else {
+                    let mut d = |a: VertexId, b: VertexId| dist.distance(a, b);
+                    let local = n.apx.insert_object(vertex, graph.coord(vertex), &mut d);
+                    debug_assert_eq!(local as usize, n.corpus_ids.len());
+                    n.corpus_ids.push(o);
+                    n.local_of.insert(o, local);
+                }
+            }
+        }
+    }
+
+    /// Removes object `o` from keyword `t`'s index (mark-only).
+    pub fn delete_from_term(&mut self, o: ObjectId, t: TermId) {
+        match self.entries.get_mut(t as usize).and_then(Option::as_mut) {
+            None => panic!("keyword {t} has no index"),
+            Some(KeywordIndex::Small(s)) => {
+                let i = s
+                    .objects
+                    .iter()
+                    .position(|&x| x == o)
+                    .unwrap_or_else(|| panic!("object {o} not in keyword {t} index"));
+                assert!(s.alive[i], "object {o} already deleted from keyword {t}");
+                s.alive[i] = false;
+            }
+            Some(KeywordIndex::Nvd(n)) => {
+                let &local = n
+                    .local_of
+                    .get(&o)
+                    .unwrap_or_else(|| panic!("object {o} not in keyword {t} index"));
+                n.apx.delete_object(local);
+            }
+        }
+    }
+
+    /// Rebuilds keyword `t`'s index from its live object set, folding lazy
+    /// updates in (the amortized cost of Fig. 8(b)). Converts between
+    /// Small and NVD representations as the live count crosses ρ.
+    pub fn rebuild_term(&mut self, graph: &Graph, corpus: &Corpus, t: TermId) {
+        let Some(entry) = self.entries.get_mut(t as usize).and_then(Option::as_mut) else {
+            return;
+        };
+        let live: Vec<ObjectId> = match entry {
+            KeywordIndex::Small(s) => s
+                .objects
+                .iter()
+                .zip(&s.alive)
+                .filter(|&(_, &a)| a)
+                .map(|(&o, _)| o)
+                .collect(),
+            KeywordIndex::Nvd(n) => (0..n.apx.num_total() as u32)
+                .filter(|&l| !n.apx.is_deleted(l))
+                .map(|l| n.corpus_ids[l as usize])
+                .collect(),
+        };
+        if live.is_empty() {
+            self.entries[t as usize] = None;
+            return;
+        }
+        let vertices: Vec<VertexId> = live.iter().map(|&o| corpus.vertex_of(o)).collect();
+        let fresh = if live.len() <= self.rho {
+            KeywordIndex::Small(SmallIndex {
+                alive: vec![true; live.len()],
+                objects: live,
+                vertices,
+            })
+        } else {
+            KeywordIndex::Nvd(NvdIndex::new(ApproxNvd::build(graph, &vertices, self.rho), live))
+        };
+        self.entries[t as usize] = Some(fresh);
+    }
+
+    /// Live object count in `t`'s index (0 when the keyword is unused).
+    pub fn live_count(&self, t: TermId) -> usize {
+        match self.entry(t) {
+            None => 0,
+            Some(KeywordIndex::Small(s)) => s.live_count(),
+            Some(KeywordIndex::Nvd(n)) => (0..n.apx.num_total() as u32)
+                .filter(|&l| !n.apx.is_deleted(l))
+                .count(),
+        }
+    }
+}
+
+/// Fraction of indexed keywords that avoided NVD construction — the
+/// Observation-1 payoff, reported by the Fig. 14 bench.
+pub fn small_fraction(stats: &BuildStats) -> f64 {
+    let total = stats.nvd_terms + stats.small_terms;
+    if total == 0 {
+        0.0
+    } else {
+        stats.small_terms as f64 / total as f64
+    }
+}

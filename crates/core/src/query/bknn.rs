@@ -1,0 +1,187 @@
+//! Boolean kNN query processing (§4.1).
+//!
+//! * Disjunctive (Algorithm 1): one inverted heap per query keyword,
+//!   consumed in global lower-bound order.
+//! * Conjunctive (§4.1.2): drive from the least frequent keyword's heap
+//!   only; filter candidates lacking any other keyword *before* paying for
+//!   a network distance.
+//!
+//! Both terminate when the smallest heap lower bound reaches `D_k`, the
+//! distance of the current k-th best.
+
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use kspin_graph::{VertexId, Weight};
+use kspin_text::{ObjectId, TermId};
+
+use crate::engine::QueryEngine;
+use crate::heap::{HeapContext, InvertedHeap};
+use crate::index::KeywordIndex;
+use crate::modules::NetworkDistance;
+use crate::query::Op;
+
+impl<D: NetworkDistance> QueryEngine<'_, D> {
+    /// Boolean kNN (§2): the `k` nearest objects to `q` containing all
+    /// (`Op::And`) or any (`Op::Or`) of `terms`. Results are sorted by
+    /// ascending network distance (ties by object id) and are exact.
+    pub fn bknn(&mut self, q: VertexId, k: usize, terms: &[TermId], op: Op) -> Vec<(ObjectId, Weight)> {
+        let mut uniq = terms.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if k == 0 || uniq.is_empty() {
+            return Vec::new();
+        }
+        let ctx = HeapContext::new(self.graph, self.corpus, self.lower_bound, q);
+        let mut results = match op {
+            Op::Or => self.bknn_disjunctive(&ctx, k, &uniq),
+            Op::And => self.bknn_conjunctive(&ctx, k, &uniq),
+        };
+        results.sort_unstable_by_key(|&(o, d)| (d, o));
+        results
+    }
+
+    /// Algorithm 1. The paper drives heap selection through a priority
+    /// queue re-primed after each extraction; with at most a handful of
+    /// query keywords a fresh linear scan over the heaps is the same
+    /// selection with none of the staleness bookkeeping.
+    fn bknn_disjunctive(
+        &mut self,
+        ctx: &HeapContext<'_>,
+        k: usize,
+        terms: &[TermId],
+    ) -> Vec<(ObjectId, Weight)> {
+        let mut heaps: Vec<InvertedHeap<'_>> = terms
+            .iter()
+            .filter_map(|&t| InvertedHeap::create(self.index, t, ctx))
+            .collect();
+        let mut evaluated: HashSet<ObjectId> = HashSet::new();
+        // Max-heap of the best k so far; top = current D_k.
+        let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
+
+        loop {
+            let d_k = if best.len() == k {
+                best.peek().expect("non-empty").0
+            } else {
+                Weight::MAX
+            };
+            // Heap with the globally smallest lower bound (line 6).
+            let Some((i, min_lb)) = heaps
+                .iter()
+                .enumerate()
+                .filter_map(|(i, h)| h.min_key().map(|m| (i, m)))
+                .min_by_key(|&(_, m)| m)
+            else {
+                break;
+            };
+            if min_lb >= d_k {
+                break; // line 5: no unseen object can beat the k-th best
+            }
+            let c = heaps[i].extract(ctx).expect("non-empty heap");
+            self.stats.heap_extractions += 1;
+            // Any object in this heap contains its keyword, so only
+            // duplicates across heaps are filtered (line 10).
+            if !evaluated.insert(c.object) {
+                self.stats.pruned_candidates += 1;
+                continue;
+            }
+            let d = self.dist.distance(ctx.q, self.corpus.vertex_of(c.object));
+            self.stats.dist_computations += 1;
+            if best.len() < k {
+                best.push((d, c.object));
+            } else if d < d_k {
+                best.pop();
+                best.push((d, c.object));
+            }
+        }
+        self.finish_heap_stats(&heaps);
+        best.into_iter().map(|(d, o)| (o, d)).collect()
+    }
+
+    /// §4.1.2: drive from the least frequent keyword, filter on the cheap
+    /// containment check before any distance computation.
+    fn bknn_conjunctive(
+        &mut self,
+        ctx: &HeapContext<'_>,
+        k: usize,
+        terms: &[TermId],
+    ) -> Vec<(ObjectId, Weight)> {
+        // An empty keyword index means no object can satisfy the
+        // conjunction at all.
+        let driver = terms
+            .iter()
+            .copied()
+            .min_by_key(|&t| self.index.live_count(t));
+        let Some(driver) = driver else {
+            return Vec::new();
+        };
+        if terms.iter().any(|&t| self.index.live_count(t) == 0) {
+            return Vec::new();
+        }
+        let Some(mut heap) = InvertedHeap::create(self.index, driver, ctx) else {
+            return Vec::new();
+        };
+        let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
+        loop {
+            let d_k = if best.len() == k {
+                best.peek().expect("non-empty").0
+            } else {
+                Weight::MAX
+            };
+            let Some(min_lb) = heap.min_key() else { break };
+            if min_lb >= d_k {
+                break;
+            }
+            let c = heap.extract(ctx).expect("non-empty");
+            self.stats.heap_extractions += 1;
+            // Filter before distance: the whole point of keyword
+            // separation — false keyword matches never cost a graph
+            // operation.
+            if !self.satisfies_conjunction(c.object, terms) {
+                self.stats.pruned_candidates += 1;
+                continue;
+            }
+            let d = self.dist.distance(ctx.q, self.corpus.vertex_of(c.object));
+            self.stats.dist_computations += 1;
+            if best.len() < k {
+                best.push((d, c.object));
+            } else if d < d_k {
+                best.pop();
+                best.push((d, c.object));
+            }
+        }
+        self.stats.lb_computations += heap.lb_computed();
+        best.into_iter().map(|(d, o)| (o, d)).collect()
+    }
+
+    /// Containment across all terms, honoring per-keyword index updates:
+    /// an object whose keyword was removed from the index no longer
+    /// satisfies conjunctions mentioning it.
+    pub(crate) fn satisfies_conjunction(&self, o: ObjectId, terms: &[TermId]) -> bool {
+        terms
+            .iter()
+            .all(|&t| self.corpus.contains(o, t) && self.index_live(o, t))
+    }
+
+    /// Whether object `o` is live in keyword `t`'s index.
+    pub(crate) fn index_live(&self, o: ObjectId, t: TermId) -> bool {
+        match self.index.entry(t) {
+            None => false,
+            Some(KeywordIndex::Small(s)) => s
+                .objects
+                .iter()
+                .position(|&x| x == o)
+                .is_some_and(|i| s.alive[i]),
+            Some(KeywordIndex::Nvd(n)) => n
+                .local_of
+                .get(&o)
+                .is_some_and(|&l| !n.apx.is_deleted(l)),
+        }
+    }
+
+    pub(crate) fn finish_heap_stats(&mut self, heaps: &[InvertedHeap<'_>]) {
+        for h in heaps {
+            self.stats.lb_computations += h.lb_computed();
+        }
+    }
+}

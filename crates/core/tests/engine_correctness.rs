@@ -1,0 +1,436 @@
+//! End-to-end exactness: every K-SPIN query processor must return exactly
+//! what the network-expansion oracle returns, across operators, k values,
+//! keyword counts, ρ values, distance modules, and after updates.
+
+use kspin_alt::{AltIndex, LandmarkStrategy};
+use kspin_core::query::baseline::{brute_bknn, brute_topk};
+use kspin_core::{BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, Op, QueryEngine, ScoreModel};
+use kspin_text::TextModel;
+use kspin_graph::generate::{road_network, RoadNetworkConfig};
+use kspin_graph::{Graph, Weight};
+use kspin_text::generate::{corpus as gen_corpus, CorpusConfig};
+use kspin_text::workload::{query_vectors, WorkloadConfig};
+use kspin_text::{Corpus, ObjectId, TermId};
+
+struct World {
+    graph: Graph,
+    corpus: Corpus,
+    alt: AltIndex,
+    index: KspinIndex,
+}
+
+fn world(n: usize, seed: u64, rho: usize) -> World {
+    let graph = road_network(&RoadNetworkConfig::new(n, seed));
+    let mut cc = CorpusConfig::new(graph.num_vertices(), seed ^ 0xabc);
+    cc.object_fraction = 0.08;
+    let (corpus, _) = gen_corpus(&cc);
+    let alt = AltIndex::build(&graph, 8, LandmarkStrategy::Farthest, seed);
+    let index = KspinIndex::build(&graph, &corpus, &KspinConfig { rho, num_threads: 2 });
+    World {
+        graph,
+        corpus,
+        alt,
+        index,
+    }
+}
+
+fn engine(w: &World) -> QueryEngine<'_, DijkstraDistance<'_>> {
+    QueryEngine::new(
+        &w.graph,
+        &w.corpus,
+        &w.index,
+        &w.alt,
+        DijkstraDistance::new(&w.graph),
+    )
+}
+
+fn vectors(w: &World, len: usize) -> Vec<Vec<TermId>> {
+    let cfg = WorkloadConfig {
+        seed_terms: vec![0, 1, 2, 3, 4],
+        objects_per_term: 2,
+        vertices_per_vector: 1,
+        seed: 7,
+    };
+    query_vectors(&w.corpus, &cfg, len)
+}
+
+/// Distances must match exactly; object identity may differ only on ties.
+fn assert_same_distances(got: &[(ObjectId, Weight)], want: &[(ObjectId, Weight)], label: &str) {
+    let gd: Vec<Weight> = got.iter().map(|&(_, d)| d).collect();
+    let wd: Vec<Weight> = want.iter().map(|&(_, d)| d).collect();
+    assert_eq!(gd, wd, "{label}: distances differ\ngot  {got:?}\nwant {want:?}");
+}
+
+fn assert_same_scores(got: &[(ObjectId, f64)], want: &[(ObjectId, f64)], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: result counts differ");
+    for (i, ((_, gs), (_, ws))) in got.iter().zip(want).enumerate() {
+        assert!(
+            (gs - ws).abs() < 1e-9,
+            "{label}: score {i} differs: {gs} vs {ws}\ngot  {got:?}\nwant {want:?}"
+        );
+    }
+}
+
+#[test]
+fn bknn_matches_oracle_across_k_and_ops() {
+    let w = world(800, 11, 5);
+    let mut e = engine(&w);
+    for terms in vectors(&w, 2) {
+        for q in [3u32, 177, 555] {
+            for k in [1usize, 5, 10] {
+                for op in [Op::And, Op::Or] {
+                    let got = e.bknn(q, k, &terms, op);
+                    let want = brute_bknn(&w.graph, &w.corpus, q, k, &terms, op);
+                    assert_same_distances(&got, &want, &format!("q={q} k={k} op={op:?} terms={terms:?}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bknn_matches_oracle_across_term_counts() {
+    let w = world(800, 13, 5);
+    let mut e = engine(&w);
+    for len in 1..=4 {
+        for terms in vectors(&w, len).into_iter().take(3) {
+            for op in [Op::And, Op::Or] {
+                let got = e.bknn(42, 5, &terms, op);
+                let want = brute_bknn(&w.graph, &w.corpus, 42, 5, &terms, op);
+                assert_same_distances(&got, &want, &format!("len={len} op={op:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_matches_oracle() {
+    let w = world(800, 17, 5);
+    let mut e = engine(&w);
+    for len in 1..=3 {
+        for terms in vectors(&w, len).into_iter().take(4) {
+            for q in [9u32, 250, 700] {
+                for k in [1usize, 5, 10] {
+                    let got = e.top_k(q, k, &terms);
+                    let want = brute_topk(&w.graph, &w.corpus, q, k, &terms);
+                    assert_same_scores(&got, &want, &format!("q={q} k={k} terms={terms:?}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_exact_for_every_rho() {
+    // §6.1: approximation affects performance only — results stay exact.
+    for rho in [1usize, 3, 7, 11] {
+        let w = world(500, 19, rho);
+        let mut e = engine(&w);
+        let terms = vectors(&w, 2).remove(0);
+        let got = e.bknn(77, 5, &terms, Op::Or);
+        let want = brute_bknn(&w.graph, &w.corpus, 77, 5, &terms, Op::Or);
+        assert_same_distances(&got, &want, &format!("rho={rho}"));
+        let got = e.top_k(77, 5, &terms);
+        let want = brute_topk(&w.graph, &w.corpus, 77, 5, &terms);
+        assert_same_scores(&got, &want, &format!("rho={rho}"));
+    }
+}
+
+#[test]
+fn mixed_boolean_expression_matches_filtered_brute_force() {
+    let w = world(700, 23, 5);
+    let mut e = engine(&w);
+    let ts = vectors(&w, 3).remove(0);
+    // t0 AND (t1 OR t2)
+    let expr = BoolExpr::And(vec![BoolExpr::Term(ts[0]), BoolExpr::any(&[ts[1], ts[2]])]);
+    for q in [5u32, 340] {
+        let got = e.bknn_expr(q, 5, &expr);
+        // Oracle: filter objects by the expression, sort by distance.
+        let mut dij = kspin_graph::Dijkstra::new(w.graph.num_vertices());
+        dij.sssp(&w.graph, q);
+        let space = dij.space();
+        let mut want: Vec<(ObjectId, Weight)> = (0..w.corpus.num_objects() as ObjectId)
+            .filter(|&o| expr.matches(&w.corpus, o))
+            .filter_map(|o| space.distance(w.corpus.vertex_of(o)).map(|d| (o, d)))
+            .collect();
+        want.sort_unstable_by_key(|&(o, d)| (d, o));
+        want.truncate(5);
+        assert_same_distances(&got, &want, &format!("expr q={q}"));
+    }
+}
+
+#[test]
+fn query_on_unused_keywords_returns_empty() {
+    let w = world(400, 29, 5);
+    let mut e = engine(&w);
+    let unused = (0..w.corpus.num_terms() as TermId)
+        .find(|&t| w.corpus.inv_len(t) == 0)
+        .expect("corpus has an unused term");
+    assert!(e.bknn(0, 5, &[unused], Op::Or).is_empty());
+    assert!(e.bknn(0, 5, &[unused, 0], Op::And).is_empty());
+    assert!(e.top_k(0, 5, &[unused]).is_empty());
+    // Disjunction with one live keyword still answers.
+    assert!(!e.bknn(0, 5, &[unused, 0], Op::Or).is_empty());
+}
+
+#[test]
+fn query_from_object_vertex_returns_it_first() {
+    let w = world(400, 31, 5);
+    let mut e = engine(&w);
+    // Pick an object and query from its own vertex with its first keyword.
+    let o: ObjectId = 3.min(w.corpus.num_objects() as u32 - 1);
+    let t = w.corpus.doc(o)[0].term;
+    let q = w.corpus.vertex_of(o);
+    let got = e.bknn(q, 1, &[t], Op::Or);
+    assert_eq!(got[0].1, 0, "nearest object at distance 0");
+}
+
+#[test]
+fn duplicate_query_terms_are_harmless() {
+    let w = world(400, 37, 5);
+    let mut e = engine(&w);
+    let a = e.bknn(10, 5, &[0, 0, 1, 1], Op::Or);
+    let b = e.bknn(10, 5, &[0, 1], Op::Or);
+    assert_eq!(a, b);
+    let ta = e.top_k(10, 5, &[0, 0, 1]);
+    let tb = e.top_k(10, 5, &[0, 1]);
+    assert_eq!(ta.len(), tb.len());
+}
+
+#[test]
+fn kappa_stays_a_small_multiple_of_k() {
+    // §5.1: in practice κ ≤ 3k for BkNN and ≤ 5k for top-k. Give slack for
+    // small synthetic corpora (plus the ρ initialization overhead).
+    let w = world(900, 41, 5);
+    let mut e = engine(&w);
+    let terms = vectors(&w, 2).remove(0);
+    let k = 10;
+    e.reset_stats();
+    let _ = e.bknn(123, k, &terms, Op::Or);
+    let kappa = e.stats().heap_extractions;
+    assert!(kappa <= 8 * k + 20, "BkNN κ = {kappa} too large for k = {k}");
+    e.reset_stats();
+    let _ = e.top_k(123, k, &terms);
+    let kappa = e.stats().heap_extractions;
+    assert!(kappa <= 12 * k + 20, "top-k κ = {kappa} too large for k = {k}");
+}
+
+#[test]
+fn stats_count_distance_computations() {
+    let w = world(500, 43, 5);
+    let mut e = engine(&w);
+    e.reset_stats();
+    let res = e.bknn(7, 3, &[0], Op::Or);
+    let s = e.stats();
+    assert!(s.dist_computations >= res.len());
+    assert!(s.heap_extractions >= s.dist_computations);
+    assert!(s.lb_computations > 0);
+}
+
+/// Generic brute-force oracle over any (text, score) model pair.
+fn brute_topk_with(
+    w: &World,
+    q: u32,
+    k: usize,
+    terms: &[TermId],
+    text: TextModel,
+    score: ScoreModel,
+) -> Vec<f64> {
+    let query = kspin_text::QueryTerms::with_model(&w.corpus, terms, text);
+    let mut dij = kspin_graph::Dijkstra::new(w.graph.num_vertices());
+    dij.sssp(&w.graph, q);
+    let space = dij.space();
+    let mut scores: Vec<f64> = (0..w.corpus.num_objects() as ObjectId)
+        .filter_map(|o| {
+            let tr = query.relevance(&w.corpus, o);
+            if tr <= 0.0 {
+                return None; // candidates must share a keyword (§2)
+            }
+            let d = space.distance(w.corpus.vertex_of(o))?;
+            Some(score.combine(d, tr))
+        })
+        .collect();
+    scores.sort_by(f64::total_cmp);
+    scores.truncate(k);
+    scores
+}
+
+#[test]
+fn topk_is_exact_under_bm25() {
+    let w = world(700, 61, 5);
+    let mut e = engine(&w);
+    for terms in vectors(&w, 2).into_iter().take(3) {
+        for q in [5u32, 432] {
+            let got = e.top_k_with(q, 5, &terms, TextModel::BM25_DEFAULT, ScoreModel::WeightedDistance);
+            let want = brute_topk_with(&w, q, 5, &terms, TextModel::BM25_DEFAULT, ScoreModel::WeightedDistance);
+            assert_eq!(got.len(), want.len());
+            for ((_, gs), ws) in got.iter().zip(&want) {
+                assert!((gs - ws).abs() < 1e-9, "bm25 q={q} terms={terms:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_is_exact_under_weighted_sum() {
+    let w = world(700, 67, 5);
+    let mut e = engine(&w);
+    // Normalize by the network diameter proxy: twice the max edge-weight
+    // sum isn't needed — any fixed max_dist keeps the model monotone.
+    let score = ScoreModel::WeightedSum {
+        alpha: 0.6,
+        max_dist: 2_000_000,
+    };
+    for terms in vectors(&w, 2).into_iter().take(3) {
+        for q in [17u32, 640] {
+            for text in [TextModel::Cosine, TextModel::BM25_DEFAULT] {
+                let got = e.top_k_with(q, 5, &terms, text, score);
+                let want = brute_topk_with(&w, q, 5, &terms, text, score);
+                assert_eq!(got.len(), want.len());
+                for ((_, gs), ws) in got.iter().zip(&want) {
+                    assert!((gs - ws).abs() < 1e-9, "{text:?} q={q}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn score_models_rank_differently_but_both_exactly() {
+    // Sanity: the two score models are genuinely different rankings on at
+    // least some query (otherwise the weighted-sum path is untested).
+    let w = world(700, 71, 5);
+    let mut e = engine(&w);
+    let mut differ = false;
+    for terms in vectors(&w, 2) {
+        for q in [3u32, 99, 500] {
+            let a: Vec<ObjectId> = e.top_k(q, 5, &terms).iter().map(|&(o, _)| o).collect();
+            let b: Vec<ObjectId> = e
+                .top_k_with(
+                    q,
+                    5,
+                    &terms,
+                    TextModel::Cosine,
+                    ScoreModel::WeightedSum { alpha: 0.3, max_dist: 500_000 },
+                )
+                .iter()
+                .map(|&(o, _)| o)
+                .collect();
+            if a != b {
+                differ = true;
+            }
+        }
+    }
+    assert!(differ, "weighted-sum never changed any ranking — suspicious");
+}
+
+// ---- updates ----------------------------------------------------------
+
+#[test]
+fn results_stay_exact_after_lazy_insertions() {
+    // Build over 70% of objects, lazily insert the rest, then compare with
+    // the full-corpus oracle (Fig. 8(a)'s setting).
+    let w0 = world(700, 47, 5);
+    let cut = |o: ObjectId| o % 10 < 7;
+    let mut index = KspinIndex::build_filtered(
+        &w0.graph,
+        &w0.corpus,
+        |o| cut(o),
+        &KspinConfig { rho: 5, num_threads: 2 },
+    );
+    let mut dist = DijkstraDistance::new(&w0.graph);
+    for o in 0..w0.corpus.num_objects() as ObjectId {
+        if !cut(o) {
+            index.insert_object(&w0.graph, &w0.corpus, o, &mut dist);
+        }
+    }
+    let mut e = QueryEngine::new(
+        &w0.graph,
+        &w0.corpus,
+        &index,
+        &w0.alt,
+        DijkstraDistance::new(&w0.graph),
+    );
+    for terms in vectors(&w0, 2).into_iter().take(3) {
+        for q in [31u32, 444] {
+            let got = e.bknn(q, 5, &terms, Op::Or);
+            let want = brute_bknn(&w0.graph, &w0.corpus, q, 5, &terms, Op::Or);
+            assert_same_distances(&got, &want, "after lazy insertions");
+            let got = e.top_k(q, 5, &terms);
+            let want = brute_topk(&w0.graph, &w0.corpus, q, 5, &terms);
+            assert_same_scores(&got, &want, "top-k after lazy insertions");
+        }
+    }
+}
+
+#[test]
+fn results_stay_exact_after_deletions() {
+    let w = world(700, 53, 5);
+    let mut index = KspinIndex::build(&w.graph, &w.corpus, &KspinConfig { rho: 5, num_threads: 2 });
+    // Delete every 5th object.
+    let deleted: Vec<ObjectId> = (0..w.corpus.num_objects() as ObjectId)
+        .filter(|o| o % 5 == 0)
+        .collect();
+    for &o in &deleted {
+        index.delete_object(&w.corpus, o);
+    }
+    let mut e = QueryEngine::new(
+        &w.graph,
+        &w.corpus,
+        &index,
+        &w.alt,
+        DijkstraDistance::new(&w.graph),
+    );
+    let is_deleted = |o: ObjectId| o % 5 == 0;
+    for terms in vectors(&w, 2).into_iter().take(3) {
+        for q in [8u32, 600] {
+            let got = e.bknn(q, 5, &terms, Op::Or);
+            for &(o, _) in &got {
+                assert!(!is_deleted(o), "deleted object {o} returned");
+            }
+            // Oracle over the live subset.
+            let mut dij = kspin_graph::Dijkstra::new(w.graph.num_vertices());
+            dij.sssp(&w.graph, q);
+            let space = dij.space();
+            let mut want: Vec<(ObjectId, Weight)> = (0..w.corpus.num_objects() as ObjectId)
+                .filter(|&o| !is_deleted(o) && w.corpus.contains_any(o, &terms))
+                .filter_map(|o| space.distance(w.corpus.vertex_of(o)).map(|d| (o, d)))
+                .collect();
+            want.sort_unstable_by_key(|&(o, d)| (d, o));
+            want.truncate(5);
+            assert_same_distances(&got, &want, "after deletions");
+        }
+    }
+}
+
+#[test]
+fn rebuild_after_updates_preserves_results() {
+    let w = world(600, 59, 5);
+    let mut index = KspinIndex::build_filtered(
+        &w.graph,
+        &w.corpus,
+        |o| o % 2 == 0,
+        &KspinConfig { rho: 5, num_threads: 2 },
+    );
+    let mut dist = DijkstraDistance::new(&w.graph);
+    for o in 0..w.corpus.num_objects() as ObjectId {
+        if o % 2 == 1 {
+            index.insert_object(&w.graph, &w.corpus, o, &mut dist);
+        }
+    }
+    // Rebuild every keyword's index and re-check exactness.
+    for t in 0..w.corpus.num_terms() as TermId {
+        index.rebuild_term(&w.graph, &w.corpus, t);
+    }
+    let mut e = QueryEngine::new(
+        &w.graph,
+        &w.corpus,
+        &index,
+        &w.alt,
+        DijkstraDistance::new(&w.graph),
+    );
+    let terms = vectors(&w, 2).remove(0);
+    let got = e.bknn(99, 5, &terms, Op::Or);
+    let want = brute_bknn(&w.graph, &w.corpus, 99, 5, &terms, Op::Or);
+    assert_same_distances(&got, &want, "after rebuild");
+}

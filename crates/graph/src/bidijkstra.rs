@@ -1,0 +1,152 @@
+//! Bidirectional Dijkstra for point-to-point queries.
+//!
+//! Runs forward and backward searches alternately and stops when the sum
+//! of the two frontiers' minimum keys reaches the best meeting distance —
+//! on road networks this roughly halves the settled vertices vs. a
+//! unidirectional search, making it the cheapest index-free upgrade for
+//! the Network Distance Module.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::Graph;
+use crate::types::{VertexId, Weight, INFINITY};
+
+/// Reusable bidirectional search state (epoch-reset, no per-query
+/// allocation in the steady state).
+pub struct BiDijkstra {
+    dist: [Vec<Weight>; 2],
+    epoch: [Vec<u32>; 2],
+    cur: u32,
+    heaps: [BinaryHeap<(Reverse<Weight>, VertexId)>; 2],
+}
+
+impl BiDijkstra {
+    /// Creates state for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BiDijkstra {
+            dist: [vec![INFINITY; n], vec![INFINITY; n]],
+            epoch: [vec![0; n], vec![0; n]],
+            cur: 0,
+            heaps: [BinaryHeap::new(), BinaryHeap::new()],
+        }
+    }
+
+    /// Exact distance between `s` and `t` ([`INFINITY`] when disconnected).
+    pub fn distance(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        self.cur = self.cur.wrapping_add(1);
+        if self.cur == 0 {
+            for side in &mut self.epoch {
+                side.iter_mut().for_each(|e| *e = u32::MAX);
+            }
+            self.cur = 1;
+        }
+        for h in &mut self.heaps {
+            h.clear();
+        }
+        self.relax(0, s, 0);
+        self.relax(1, t, 0);
+        let mut best = INFINITY;
+        loop {
+            // Pick the side with the smaller frontier key; stop when the
+            // frontier sum can no longer improve the best meeting.
+            let top = |h: &BinaryHeap<(Reverse<Weight>, VertexId)>| {
+                h.peek().map(|&(Reverse(d), _)| d).unwrap_or(INFINITY)
+            };
+            let (f, b) = (top(&self.heaps[0]), top(&self.heaps[1]));
+            if f.saturating_add(b) >= best || (f == INFINITY && b == INFINITY) {
+                break;
+            }
+            let side = if f <= b { 0 } else { 1 };
+            let Some((Reverse(d), v)) = self.heaps[side].pop() else {
+                break;
+            };
+            if d > self.get(side, v) {
+                continue; // stale
+            }
+            let other = self.get(1 - side, v);
+            if other < INFINITY {
+                let total = d + other;
+                if total < best {
+                    best = total;
+                }
+            }
+            for (u, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if nd < self.get(side, u) {
+                    self.relax(side, u, nd);
+                }
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn get(&self, side: usize, v: VertexId) -> Weight {
+        if self.epoch[side][v as usize] == self.cur {
+            self.dist[side][v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, side: usize, v: VertexId, d: Weight) {
+        self.epoch[side][v as usize] = self.cur;
+        self.dist[side][v as usize] = d;
+        self.heaps[side].push((Reverse(d), v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::dijkstra::Dijkstra;
+    use crate::generate::{road_network, RoadNetworkConfig};
+
+    #[test]
+    fn agrees_with_unidirectional_everywhere() {
+        let g = road_network(&RoadNetworkConfig::new(700, 87));
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        let mut uni = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 45, 333] {
+            uni.sssp(&g, s);
+            for t in (0..g.num_vertices() as VertexId).step_by(31) {
+                let want = uni.space().distance(t).unwrap();
+                assert_eq!(bi.distance(&g, s, t), want, "({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_and_symmetry() {
+        let g = road_network(&RoadNetworkConfig::new(300, 88));
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        assert_eq!(bi.distance(&g, 17, 17), 0);
+        assert_eq!(bi.distance(&g, 0, 250), bi.distance(&g, 250, 0));
+    }
+
+    #[test]
+    fn disconnected_is_infinity() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        assert_eq!(bi.distance(&g, 0, 3), INFINITY);
+        assert_eq!(bi.distance(&g, 0, 1), 2);
+    }
+
+    #[test]
+    fn state_reuse_is_clean() {
+        let g = road_network(&RoadNetworkConfig::new(200, 89));
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        let d1 = bi.distance(&g, 0, 150);
+        let _ = bi.distance(&g, 10, 20);
+        assert_eq!(bi.distance(&g, 0, 150), d1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! The CSR layout keeps each vertex's adjacency contiguous, which is the
+//! single biggest lever for Dijkstra throughput on road networks (the
+//! traversal is memory-bound). Undirected edges are stored once per
+//! direction.
+
+use crate::types::{Edge, Point, VertexId, Weight};
+
+/// An immutable undirected road-network graph in CSR form.
+///
+/// Construct via [`GraphBuilder`], [`crate::dimacs`] or [`crate::generate`].
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets`/`weights` for vertex `v`.
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    weights: Vec<Weight>,
+    coords: Vec<Point>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of directed arcs (twice [`Self::num_edges`]).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Coordinate of `v`.
+    #[inline]
+    pub fn coord(&self, v: VertexId) -> Point {
+        self.coords[v as usize]
+    }
+
+    /// All coordinates, indexed by vertex id.
+    #[inline]
+    pub fn coords(&self) -> &[Point] {
+        &self.coords
+    }
+
+    /// Weight of edge `(u, v)` if present.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, w)| w)
+    }
+
+    /// Iterates every undirected edge once (`u < v`).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| Edge::new(u, v, w))
+        })
+    }
+
+    /// Approximate in-memory size in bytes (CSR arrays + coordinates).
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.targets.len() * 4 + self.weights.len() * 4 + self.coords.len() * 8
+    }
+
+    /// Axis-aligned bounding box over all vertex coordinates as
+    /// `(min, max)`. Returns a degenerate box for an empty graph.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(i32::MAX, i32::MAX);
+        let mut max = Point::new(i32::MIN, i32::MIN);
+        for p in &self.coords {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        if self.coords.is_empty() {
+            (Point::new(0, 0), Point::new(0, 0))
+        } else {
+            (min, max)
+        }
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Accepts edges in any order; duplicate `(u, v)` pairs keep the smallest
+/// weight, mirroring how the DIMACS loaders collapse parallel road segments.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    coords: Vec<Point>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices at the origin.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_vertices: n,
+            edges: Vec::new(),
+            coords: vec![Point::default(); n],
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Sets the coordinate of vertex `v`.
+    ///
+    /// # Panics
+    /// If `v` is out of range.
+    pub fn set_coord(&mut self, v: VertexId, p: Point) {
+        self.coords[v as usize] = p;
+    }
+
+    /// Adds an undirected edge. Self-loops are ignored (they can never lie
+    /// on a shortest path with positive weights).
+    ///
+    /// # Panics
+    /// If an endpoint is out of range or the weight is zero.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: Weight) {
+        assert!(
+            (u as usize) < self.num_vertices && (v as usize) < self.num_vertices,
+            "edge endpoint out of range: ({u}, {v}) with n = {}",
+            self.num_vertices
+        );
+        assert!(weight > 0, "edge weights must be strictly positive");
+        if u == v {
+            return;
+        }
+        self.edges.push(Edge::new(u, v, weight));
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating parallel edges by
+    /// minimum weight.
+    pub fn build(mut self) -> Graph {
+        // Canonicalize so duplicates collapse regardless of insertion order.
+        for e in &mut self.edges {
+            if e.u > e.v {
+                std::mem::swap(&mut e.u, &mut e.v);
+            }
+        }
+        self.edges
+            .sort_unstable_by_key(|e| (e.u, e.v, e.weight));
+        self.edges.dedup_by(|next, prev| {
+            // Retain the first (minimum-weight) copy of each pair.
+            next.u == prev.u && next.v == prev.v
+        });
+
+        let n = self.num_vertices;
+        let mut deg = vec![0u32; n + 1];
+        for e in &self.edges {
+            deg[e.u as usize + 1] += 1;
+            deg[e.v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let offsets = deg;
+        let arcs = self.edges.len() * 2;
+        let mut targets = vec![0 as VertexId; arcs];
+        let mut weights = vec![0 as Weight; arcs];
+        let mut cursor = offsets.clone();
+        for e in &self.edges {
+            let cu = &mut cursor[e.u as usize];
+            targets[*cu as usize] = e.v;
+            weights[*cu as usize] = e.weight;
+            *cu += 1;
+            let cv = &mut cursor[e.v as usize];
+            targets[*cv as usize] = e.u;
+            weights[*cv as usize] = e.weight;
+            *cv += 1;
+        }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            coords: self.coords,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 0, 10);
+        b.build()
+    }
+
+    #[test]
+    fn csr_counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(0, 1), Some(2));
+        assert_eq!(g.edge_weight(1, 0), Some(2));
+        assert_eq!(g.edge_weight(0, 2), Some(10));
+        assert_eq!(g.edge_weight(1, 2), Some(3));
+        assert_eq!(g.edge_weight(0, 0), None);
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 0, 3); // reversed duplicate, smaller
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 5);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_weight_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    fn edges_iterator_visits_each_edge_once() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().map(|e| (e.u, e.v, e.weight)).collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1, 2), (0, 2, 10), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn coords_roundtrip_and_bbox() {
+        let mut b = GraphBuilder::new(2);
+        b.set_coord(0, Point::new(-5, 2));
+        b.set_coord(1, Point::new(9, -1));
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.coord(0), Point::new(-5, 2));
+        let (min, max) = g.bounding_box();
+        assert_eq!(min, Point::new(-5, -1));
+        assert_eq!(max, Point::new(9, 2));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

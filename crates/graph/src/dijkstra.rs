@@ -1,0 +1,345 @@
+//! Dijkstra searches over [`Graph`].
+//!
+//! A single [`Dijkstra`] instance owns its working arrays and reuses them
+//! across searches via an epoch counter, so repeated queries (the dominant
+//! pattern in every index builder and in the network-expansion baseline)
+//! never pay an `O(|V|)` clear.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::Graph;
+use crate::types::{VertexId, Weight, INFINITY};
+
+/// What the settle callback tells the search loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Relax the settled vertex's edges and continue.
+    Continue,
+    /// Do not relax this vertex's edges, but keep searching.
+    Prune,
+    /// Terminate the search immediately.
+    Stop,
+}
+
+/// Reusable Dijkstra state for one graph size.
+///
+/// All query methods leave the search space readable through
+/// [`Dijkstra::space`] until the next query starts.
+pub struct Dijkstra {
+    dist: Vec<Weight>,
+    parent: Vec<VertexId>,
+    epoch: Vec<u32>,
+    settled: Vec<bool>,
+    cur_epoch: u32,
+    heap: BinaryHeap<(Reverse<Weight>, VertexId)>,
+    settled_order: Vec<VertexId>,
+}
+
+impl Dijkstra {
+    /// Creates search state for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Dijkstra {
+            dist: vec![INFINITY; n],
+            parent: vec![VertexId::MAX; n],
+            epoch: vec![0; n],
+            settled: vec![false; n],
+            cur_epoch: 0,
+            heap: BinaryHeap::new(),
+            settled_order: Vec::new(),
+        }
+    }
+
+    /// Runs a multi-source search, invoking `on_settle(v, d)` exactly once
+    /// per settled vertex in non-decreasing distance order.
+    pub fn run<F>(&mut self, graph: &Graph, sources: &[(VertexId, Weight)], mut on_settle: F)
+    where
+        F: FnMut(VertexId, Weight) -> Control,
+    {
+        self.begin();
+        for &(s, d0) in sources {
+            if self.tentative(s) > d0 {
+                self.relax(s, d0, VertexId::MAX);
+            }
+        }
+        while let Some((Reverse(d), v)) = self.heap.pop() {
+            if self.settled[v as usize] || d > self.dist[v as usize] {
+                continue; // stale heap entry
+            }
+            self.settled[v as usize] = true;
+            self.settled_order.push(v);
+            match on_settle(v, d) {
+                Control::Continue => {
+                    for (u, w) in graph.neighbors(v) {
+                        let nd = d + w;
+                        if nd < self.tentative(u) {
+                            self.relax(u, nd, v);
+                        }
+                    }
+                }
+                Control::Prune => {}
+                Control::Stop => break,
+            }
+        }
+    }
+
+    /// Point-to-point distance; [`INFINITY`] when disconnected.
+    pub fn one_to_one(&mut self, graph: &Graph, s: VertexId, t: VertexId) -> Weight {
+        let mut answer = INFINITY;
+        self.run(graph, &[(s, 0)], |v, d| {
+            if v == t {
+                answer = d;
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        answer
+    }
+
+    /// Full single-source shortest paths; read results via [`Dijkstra::space`].
+    pub fn sssp(&mut self, graph: &Graph, s: VertexId) {
+        self.run(graph, &[(s, 0)], |_, _| Control::Continue);
+    }
+
+    /// Distances from `s` to each of `targets`, stopping as soon as all are
+    /// settled. Unreachable targets get [`INFINITY`].
+    pub fn one_to_many(&mut self, graph: &Graph, s: VertexId, targets: &[VertexId]) -> Vec<Weight> {
+        let mut remaining = targets.len();
+        let mut want = std::collections::HashMap::with_capacity(targets.len());
+        for (i, &t) in targets.iter().enumerate() {
+            want.entry(t).or_insert_with(Vec::new).push(i);
+        }
+        let mut out = vec![INFINITY; targets.len()];
+        if targets.is_empty() {
+            return out;
+        }
+        self.run(graph, &[(s, 0)], |v, d| {
+            if let Some(slots) = want.get(&v) {
+                for &i in slots {
+                    out[i] = d;
+                    remaining -= 1;
+                }
+                if remaining == 0 {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        });
+        out
+    }
+
+    /// Expands outward from `s` collecting up to `k` vertices for which
+    /// `is_object` holds, in distance order — the classic network-expansion
+    /// kNN (INE) used as the sanity baseline in §7.1.
+    pub fn k_nearest<F>(
+        &mut self,
+        graph: &Graph,
+        s: VertexId,
+        k: usize,
+        mut is_object: F,
+    ) -> Vec<(VertexId, Weight)>
+    where
+        F: FnMut(VertexId) -> bool,
+    {
+        let mut found = Vec::with_capacity(k);
+        if k == 0 {
+            return found;
+        }
+        self.run(graph, &[(s, 0)], |v, d| {
+            if is_object(v) {
+                found.push((v, d));
+                if found.len() == k {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        });
+        found
+    }
+
+    /// Read-only view of the last search.
+    pub fn space(&self) -> SearchSpace<'_> {
+        SearchSpace { d: self }
+    }
+
+    fn begin(&mut self) {
+        self.cur_epoch = self.cur_epoch.wrapping_add(1);
+        if self.cur_epoch == 0 {
+            // Extremely rare wrap: force-refresh every slot.
+            self.epoch.iter_mut().for_each(|e| *e = u32::MAX);
+            self.cur_epoch = 1;
+        }
+        self.heap.clear();
+        self.settled_order.clear();
+    }
+
+    #[inline]
+    fn tentative(&self, v: VertexId) -> Weight {
+        if self.epoch[v as usize] == self.cur_epoch {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn relax(&mut self, v: VertexId, d: Weight, from: VertexId) {
+        let i = v as usize;
+        if self.epoch[i] != self.cur_epoch {
+            self.epoch[i] = self.cur_epoch;
+            self.settled[i] = false;
+        }
+        self.dist[i] = d;
+        self.parent[i] = from;
+        self.heap.push((Reverse(d), v));
+    }
+}
+
+/// Read-only view of a completed (or stopped) search.
+pub struct SearchSpace<'a> {
+    d: &'a Dijkstra,
+}
+
+impl SearchSpace<'_> {
+    /// Final distance of `v` if it was settled by the last search.
+    pub fn distance(&self, v: VertexId) -> Option<Weight> {
+        let i = v as usize;
+        if self.d.epoch[i] == self.d.cur_epoch && self.d.settled[i] {
+            Some(self.d.dist[i])
+        } else {
+            None
+        }
+    }
+
+    /// Vertices settled by the last search, in settle (distance) order.
+    pub fn settled(&self) -> &[VertexId] {
+        &self.d.settled_order
+    }
+
+    /// Shortest path from the source to `v` (inclusive), if `v` was settled.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        self.distance(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while self.d.parent[cur as usize] != VertexId::MAX {
+            cur = self.d.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2 -1- 3, plus shortcut 0 -5- 3 and isolated vertex 4.
+    fn line_graph() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(0, 3, 5);
+        b.build()
+    }
+
+    #[test]
+    fn one_to_one_prefers_multi_hop_shortcut() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        assert_eq!(d.one_to_one(&g, 0, 3), 3);
+        assert_eq!(d.one_to_one(&g, 0, 0), 0);
+    }
+
+    #[test]
+    fn unreachable_is_infinity() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        assert_eq!(d.one_to_one(&g, 0, 4), INFINITY);
+    }
+
+    #[test]
+    fn sssp_space_distances_and_paths() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.sssp(&g, 0);
+        let s = d.space();
+        assert_eq!(s.distance(0), Some(0));
+        assert_eq!(s.distance(2), Some(2));
+        assert_eq!(s.distance(3), Some(3));
+        assert_eq!(s.distance(4), None);
+        assert_eq!(s.path_to(3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(s.path_to(4), None);
+    }
+
+    #[test]
+    fn one_to_many_handles_duplicates_and_unreachable() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        let out = d.one_to_many(&g, 1, &[3, 3, 0, 4]);
+        assert_eq!(out, vec![2, 2, 1, INFINITY]);
+    }
+
+    #[test]
+    fn k_nearest_returns_in_distance_order() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        let objs = [false, true, false, true, true];
+        let found = d.k_nearest(&g, 0, 2, |v| objs[v as usize]);
+        assert_eq!(found, vec![(1, 1), (3, 3)]);
+        // Asking for more than exist returns only the reachable ones.
+        let found = d.k_nearest(&g, 0, 10, |v| objs[v as usize]);
+        assert_eq!(found, vec![(1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn state_reuse_across_queries_is_clean() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.sssp(&g, 0);
+        d.sssp(&g, 3);
+        let s = d.space();
+        assert_eq!(s.distance(0), Some(3));
+        assert_eq!(s.distance(3), Some(0));
+    }
+
+    #[test]
+    fn multi_source_takes_minimum_over_sources() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        let mut settled = Vec::new();
+        d.run(&g, &[(0, 0), (3, 0)], |v, dist| {
+            settled.push((v, dist));
+            Control::Continue
+        });
+        let s = d.space();
+        assert_eq!(s.distance(1), Some(1));
+        assert_eq!(s.distance(2), Some(1));
+        // Settle order is non-decreasing in distance.
+        for w in settled.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn prune_control_stops_relaxation_locally() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        // Prune at vertex 1: vertex 2 only reachable via 0-3-2 = 5+1.
+        let mut dist2 = None;
+        d.run(&g, &[(0, 0)], |v, dist| {
+            if v == 2 {
+                dist2 = Some(dist);
+            }
+            if v == 1 {
+                Control::Prune
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(dist2, Some(6));
+    }
+}

@@ -1,0 +1,33 @@
+//! Road-network graph substrate for the K-SPIN reproduction.
+//!
+//! This crate provides everything the upper layers need from a road network:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) representation of an
+//!   undirected, positively-weighted road network with per-vertex coordinates.
+//! * [`GraphBuilder`] — incremental construction with duplicate-edge handling.
+//! * [`dijkstra`] — single-source, point-to-point, one-to-many and k-nearest
+//!   searches used both directly (network-expansion baseline) and by every
+//!   index builder in the workspace.
+//! * [`connectivity`] — connected-component analysis and largest-component
+//!   extraction (road networks must be connected for Voronoi diagrams to
+//!   cover every vertex).
+//! * [`dimacs`] — reader/writer for the 9th-DIMACS-Challenge `.gr`/`.co`
+//!   text formats used by the paper's datasets.
+//! * [`generate`] — synthetic road-network generator standing in for the
+//!   DIMACS datasets (see DESIGN.md §3 for the substitution rationale).
+//!
+//! Distances are `u32` travel-time-like units; [`INFINITY`] marks
+//! unreachable. All vertex identifiers are dense `u32` indices.
+
+pub mod bidijkstra;
+pub mod connectivity;
+pub mod csr;
+pub mod dijkstra;
+pub mod dimacs;
+pub mod generate;
+pub mod types;
+
+pub use bidijkstra::BiDijkstra;
+pub use csr::{Graph, GraphBuilder};
+pub use dijkstra::{Dijkstra, SearchSpace};
+pub use types::{Edge, Point, VertexId, Weight, INFINITY};

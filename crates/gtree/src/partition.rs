@@ -1,0 +1,203 @@
+//! Geometric hierarchical partitioning.
+//!
+//! Recursive alternating-axis median bisection over vertex coordinates.
+//! For planar-like road networks this produces boundary (border) counts of
+//! the same order as METIS's edge-cut partitions — and border counts are
+//! what drive G-tree matrix sizes and query cost (DESIGN.md §3,
+//! substitution 3).
+
+use kspin_graph::{Graph, VertexId};
+
+/// Partitioning parameters.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Maximum vertices per leaf (τ). Paper-style G-trees use 64–256.
+    pub leaf_size: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { leaf_size: 128 }
+    }
+}
+
+/// The partition hierarchy: a binary tree over vertex sets.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Per node: parent id (`u32::MAX` for the root).
+    pub parent: Vec<u32>,
+    /// Per node: child ids (empty for leaves).
+    pub children: Vec<Vec<u32>>,
+    /// Per node: depth (root = 0).
+    pub depth: Vec<u32>,
+    /// Per leaf node: its vertices. Empty for internal nodes.
+    pub vertices: Vec<Vec<VertexId>>,
+    /// Per vertex: owning leaf node id.
+    pub leaf_of: Vec<u32>,
+}
+
+impl Hierarchy {
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether `n` is a leaf.
+    pub fn is_leaf(&self, n: u32) -> bool {
+        self.children[n as usize].is_empty()
+    }
+
+    /// Lowest common ancestor of two nodes.
+    pub fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        while self.depth[a as usize] > self.depth[b as usize] {
+            a = self.parent[a as usize];
+        }
+        while self.depth[b as usize] > self.depth[a as usize] {
+            b = self.parent[b as usize];
+        }
+        while a != b {
+            a = self.parent[a as usize];
+            b = self.parent[b as usize];
+        }
+        a
+    }
+
+    /// The child of ancestor `anc` on the path toward node `n` (which must
+    /// be a strict descendant of `anc`).
+    pub fn child_toward(&self, anc: u32, mut n: u32) -> u32 {
+        while self.parent[n as usize] != anc {
+            n = self.parent[n as usize];
+            debug_assert_ne!(n, u32::MAX, "n is not a descendant of anc");
+        }
+        n
+    }
+}
+
+/// Builds the hierarchy by recursive median bisection.
+pub fn partition(graph: &Graph, config: &PartitionConfig) -> Hierarchy {
+    assert!(config.leaf_size >= 2, "leaf_size must be at least 2");
+    let n = graph.num_vertices();
+    let mut h = Hierarchy {
+        parent: vec![u32::MAX],
+        children: vec![Vec::new()],
+        depth: vec![0],
+        vertices: vec![Vec::new()],
+        leaf_of: vec![u32::MAX; n],
+    };
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    split(graph, config, &mut h, 0, all, 0);
+    h
+}
+
+fn split(
+    graph: &Graph,
+    config: &PartitionConfig,
+    h: &mut Hierarchy,
+    node: u32,
+    mut vertices: Vec<VertexId>,
+    axis: u8,
+) {
+    if vertices.len() <= config.leaf_size {
+        for &v in &vertices {
+            h.leaf_of[v as usize] = node;
+        }
+        h.vertices[node as usize] = vertices;
+        return;
+    }
+    // Median split on the current axis (ties broken by the other axis and
+    // id so the split is always proper).
+    let mid = vertices.len() / 2;
+    vertices.select_nth_unstable_by_key(mid, |&v| {
+        let p = graph.coord(v);
+        if axis == 0 {
+            (p.x, p.y, v)
+        } else {
+            (p.y, p.x, v)
+        }
+    });
+    let right = vertices.split_off(mid);
+    let left = vertices;
+    for part in [left, right] {
+        let child = h.parent.len() as u32;
+        h.parent.push(node);
+        h.children.push(Vec::new());
+        h.depth.push(h.depth[node as usize] + 1);
+        h.vertices.push(Vec::new());
+        h.children[node as usize].push(child);
+        split(graph, config, h, child, part, 1 - axis);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+
+    fn build(n: usize, leaf: usize) -> (Graph, Hierarchy) {
+        let g = road_network(&RoadNetworkConfig::new(n, 71));
+        let h = partition(&g, &PartitionConfig { leaf_size: leaf });
+        (g, h)
+    }
+
+    #[test]
+    fn every_vertex_lands_in_exactly_one_leaf() {
+        let (g, h) = build(1000, 64);
+        let mut seen = vec![false; g.num_vertices()];
+        for n in 0..h.num_nodes() as u32 {
+            if h.is_leaf(n) {
+                for &v in &h.vertices[n as usize] {
+                    assert!(!seen[v as usize], "vertex {v} in two leaves");
+                    seen[v as usize] = true;
+                    assert_eq!(h.leaf_of[v as usize], n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn leaves_respect_size_bound() {
+        let (_, h) = build(1000, 64);
+        for n in 0..h.num_nodes() as u32 {
+            if h.is_leaf(n) {
+                let s = h.vertices[n as usize].len();
+                assert!(s <= 64 && s > 0, "leaf size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let (_, h) = build(500, 32);
+        for n in 1..h.num_nodes() as u32 {
+            let p = h.parent[n as usize];
+            assert!(h.children[p as usize].contains(&n));
+            assert_eq!(h.depth[n as usize], h.depth[p as usize] + 1);
+        }
+        assert_eq!(h.parent[0], u32::MAX);
+    }
+
+    #[test]
+    fn lca_and_child_toward() {
+        let (g, h) = build(800, 32);
+        let la = h.leaf_of[0];
+        let lb = h.leaf_of[g.num_vertices() - 1];
+        let l = h.lca(la, lb);
+        assert!(h.depth[l as usize] <= h.depth[la as usize]);
+        assert_eq!(h.lca(la, la), la);
+        if la != lb {
+            let c = h.child_toward(l, la);
+            assert_eq!(h.parent[c as usize], l);
+        }
+        // Root is an ancestor of everything.
+        assert_eq!(h.lca(la, 0), 0);
+    }
+
+    #[test]
+    fn single_leaf_when_graph_is_small() {
+        let (g, h) = build(50, 128);
+        assert_eq!(h.num_nodes(), 1);
+        assert!(h.is_leaf(0));
+        assert_eq!(h.vertices[0].len(), g.num_vertices());
+    }
+}

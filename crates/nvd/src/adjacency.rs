@@ -1,0 +1,118 @@
+//! The generator adjacency graph of an NVD.
+//!
+//! Nodes are Voronoi generators (objects); an edge connects two generators
+//! whose Voronoi node sets touch via a road-network edge. Observation 2a:
+//! this graph has `O(|inv(t)|)` size with small constant average degree, and
+//! it is *all* that LazyReheap (Algorithm 4) needs — the `O(|V|)` owner
+//! table can be discarded.
+
+/// Adjacency lists over generator indices `0..m`.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyGraph {
+    lists: Vec<Vec<u32>>,
+}
+
+impl AdjacencyGraph {
+    /// Creates an adjacency graph over `m` generators with no edges.
+    pub fn new(m: usize) -> Self {
+        AdjacencyGraph {
+            lists: vec![Vec::new(); m],
+        }
+    }
+
+    /// Number of generators.
+    pub fn num_nodes(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of undirected adjacency edges.
+    pub fn num_edges(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected adjacency unless already present.
+    pub fn add(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        if !self.lists[a as usize].contains(&b) {
+            self.lists[a as usize].push(b);
+            self.lists[b as usize].push(a);
+        }
+    }
+
+    /// Appends a fresh isolated node (used when lazily inserting objects)
+    /// and returns its index.
+    pub fn push_node(&mut self) -> u32 {
+        self.lists.push(Vec::new());
+        (self.lists.len() - 1) as u32
+    }
+
+    /// Generators adjacent to `a`.
+    #[inline]
+    pub fn adjacent(&self, a: u32) -> &[u32] {
+        &self.lists[a as usize]
+    }
+
+    /// Degree of `a`.
+    pub fn degree(&self, a: u32) -> usize {
+        self.lists[a as usize].len()
+    }
+
+    /// Average degree — the Δ constant of the §5.1 complexity analysis.
+    pub fn avg_degree(&self) -> f64 {
+        if self.lists.is_empty() {
+            0.0
+        } else {
+            self.lists.iter().map(Vec::len).sum::<usize>() as f64 / self.lists.len() as f64
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.lists.iter().map(|l| l.len() * 4 + 24).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_symmetric_and_idempotent() {
+        let mut a = AdjacencyGraph::new(3);
+        a.add(0, 1);
+        a.add(1, 0);
+        a.add(0, 1);
+        assert_eq!(a.num_edges(), 1);
+        assert_eq!(a.adjacent(0), &[1]);
+        assert_eq!(a.adjacent(1), &[0]);
+        assert_eq!(a.degree(2), 0);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut a = AdjacencyGraph::new(2);
+        a.add(1, 1);
+        assert_eq!(a.num_edges(), 0);
+    }
+
+    #[test]
+    fn push_node_grows_graph() {
+        let mut a = AdjacencyGraph::new(1);
+        let n = a.push_node();
+        assert_eq!(n, 1);
+        a.add(0, n);
+        assert_eq!(a.adjacent(n), &[0]);
+        assert_eq!(a.num_nodes(), 2);
+    }
+
+    #[test]
+    fn average_degree() {
+        let mut a = AdjacencyGraph::new(4);
+        a.add(0, 1);
+        a.add(1, 2);
+        a.add(2, 3);
+        assert!((a.avg_degree() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! The ρ-Approximate Network Voronoi Diagram (§6.1).
+//!
+//! Definition 1: a structure returning, for **every** vertex `v`, up to ρ
+//! candidate objects among which is the true 1NN of `v`. We build the exact
+//! NVD once, color vertices by owner, then build a quadtree that subdivides
+//! until every cell holds at most ρ distinct colors — stored as a *Morton
+//! list*: leaves sorted by Z-order start code, located by binary search.
+//! The exact NVD (and its `O(|V|)` owner table) is then discarded; only the
+//! leaves, the adjacency graph and `MaxRadius` (for updates) are kept.
+
+use kspin_graph::{Graph, Point, VertexId, Weight};
+
+use crate::adjacency::AdjacencyGraph;
+use crate::exact::ExactNvd;
+use crate::morton::{MortonSpace, BITS};
+
+/// A built ρ-approximate NVD for one generator (object) set, with the §6.2
+/// lazy-update overlay.
+///
+/// Object ids `0..num_original()` are the build-time generators; ids beyond
+/// that are lazily inserted objects (see [`crate::update`]).
+#[derive(Debug, Clone)]
+pub struct ApproxNvd {
+    rho: usize,
+    space: MortonSpace,
+    /// Leaf start codes, ascending. Leaf `i` covers `[starts[i], starts[i+1])`.
+    starts: Vec<u32>,
+    cand_offsets: Vec<u32>,
+    cands: Vec<u32>,
+    /// Build-time generator vertices.
+    objects: Vec<VertexId>,
+    max_radius: Vec<Weight>,
+    pub(crate) adjacency: AdjacencyGraph,
+    // ---- §6.2 lazy-update overlay ----
+    pub(crate) deleted: Vec<bool>,
+    /// Inserted objects attached to each *original* generator's node.
+    pub(crate) attached: Vec<Vec<u32>>,
+    pub(crate) inserted_vertices: Vec<VertexId>,
+    pub(crate) pending_updates: usize,
+}
+
+impl ApproxNvd {
+    /// Builds the index: exact NVD sweep, then quadtree compression.
+    pub fn build(graph: &Graph, generators: &[VertexId], rho: usize) -> Self {
+        let exact = ExactNvd::build(graph, generators);
+        Self::from_exact(graph, exact, rho)
+    }
+
+    /// Compresses an already-built exact NVD. The exact owner table is
+    /// consumed and dropped.
+    pub fn from_exact(graph: &Graph, exact: ExactNvd, rho: usize) -> Self {
+        assert!(rho >= 1, "rho must be at least 1");
+        let (objects, owner, max_radius, adjacency) = exact.into_parts();
+        let (min, max) = graph.bounding_box();
+        let space = MortonSpace::new(min, max);
+
+        // Color table: (morton code, owner) for every owned vertex.
+        let mut pairs: Vec<(u32, u32)> = (0..graph.num_vertices())
+            .filter(|&v| owner[v] != u32::MAX)
+            .map(|v| (space.code(graph.coord(v as VertexId)), owner[v]))
+            .collect();
+        pairs.sort_unstable();
+
+        let mut builder = LeafBuilder {
+            rho,
+            starts: Vec::new(),
+            cand_offsets: vec![0],
+            cands: Vec::new(),
+        };
+        builder.subdivide(&pairs, 0, 0);
+
+        let num_objects = objects.len();
+        ApproxNvd {
+            rho,
+            space,
+            starts: builder.starts,
+            cand_offsets: builder.cand_offsets,
+            cands: builder.cands,
+            objects,
+            max_radius,
+            adjacency,
+            deleted: vec![false; num_objects],
+            attached: vec![Vec::new(); num_objects],
+            inserted_vertices: Vec::new(),
+            pending_updates: 0,
+        }
+    }
+
+    /// The ρ the index was built with.
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+
+    /// Number of build-time generators.
+    pub fn num_original(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total objects including lazily inserted ones.
+    pub fn num_total(&self) -> usize {
+        self.objects.len() + self.inserted_vertices.len()
+    }
+
+    /// The road-network vertex of object `id` (original or inserted).
+    #[inline]
+    pub fn object_vertex(&self, id: u32) -> VertexId {
+        let i = id as usize;
+        if i < self.objects.len() {
+            self.objects[i]
+        } else {
+            self.inserted_vertices[i - self.objects.len()]
+        }
+    }
+
+    /// Whether object `id` is marked deleted.
+    #[inline]
+    pub fn is_deleted(&self, id: u32) -> bool {
+        self.deleted[id as usize]
+    }
+
+    /// Objects adjacent to `id` in the (update-extended) adjacency graph.
+    #[inline]
+    pub fn adjacent(&self, id: u32) -> &[u32] {
+        self.adjacency.adjacent(id)
+    }
+
+    /// `MaxRadius` of original generator `p`.
+    #[inline]
+    pub fn max_radius(&self, p: u32) -> Weight {
+        self.max_radius[p as usize]
+    }
+
+    /// The quadtree's point-location: candidate *original* generators for a
+    /// query at `p` (at most ρ, except where the tree bottomed out at max
+    /// depth). The true 1NN of any indexed vertex at `p` is among them.
+    pub fn leaf_candidates(&self, p: Point) -> &[u32] {
+        let code = self.space.code(p);
+        let leaf = self.starts.partition_point(|&s| s <= code).saturating_sub(1);
+        let lo = self.cand_offsets[leaf] as usize;
+        let hi = self.cand_offsets[leaf + 1] as usize;
+        &self.cands[lo..hi]
+    }
+
+    /// Heap-initialization candidates at `p`: the leaf's original
+    /// generators plus any objects lazily attached to them (§6.2 — the heap
+    /// is initialized "with the 1NN of q and all the objects stored in the
+    /// node"). Deleted objects are *included*: the Heap Generator must still
+    /// expand their adjacency, it just never reports them.
+    pub fn init_candidates(&self, p: Point) -> Vec<u32> {
+        let base = self.leaf_candidates(p);
+        let mut out: Vec<u32> = base.to_vec();
+        for &c in base {
+            out.extend_from_slice(&self.attached[c as usize]);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of quadtree leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Updates applied since the last (re)build.
+    pub fn pending_updates(&self) -> usize {
+        self.pending_updates
+    }
+
+    /// The vertices of all live (non-deleted) objects — the generator set a
+    /// rebuild would use.
+    pub fn live_vertices(&self) -> Vec<VertexId> {
+        (0..self.num_total() as u32)
+            .filter(|&id| !self.is_deleted(id))
+            .map(|id| self.object_vertex(id))
+            .collect()
+    }
+
+    /// Index size in bytes: Morton list + candidate lists + adjacency +
+    /// MaxRadius + object table. Compare with [`ExactNvd::size_bytes`].
+    pub fn size_bytes(&self) -> usize {
+        self.starts.len() * 4
+            + self.cand_offsets.len() * 4
+            + self.cands.len() * 4
+            + self.objects.len() * 8 // vertex + max_radius
+            + self.adjacency.size_bytes()
+            + self.inserted_vertices.len() * 4
+            + self.attached.iter().map(|a| a.len() * 4).sum::<usize>()
+    }
+}
+
+struct LeafBuilder {
+    rho: usize,
+    starts: Vec<u32>,
+    cand_offsets: Vec<u32>,
+    cands: Vec<u32>,
+}
+
+impl LeafBuilder {
+    /// Recursively subdivides `pairs` (sorted by code, all sharing the
+    /// `2·depth`-bit prefix of `prefix_start`).
+    fn subdivide(&mut self, pairs: &[(u32, u32)], depth: u32, prefix_start: u32) {
+        if pairs.is_empty() {
+            return;
+        }
+        let colors = distinct_colors(pairs, self.rho);
+        if colors.len() <= self.rho || depth >= BITS {
+            self.starts.push(prefix_start);
+            // At max depth the cell may exceed ρ colors (co-located
+            // vertices); store them all — Definition 1's "up to ρ" becomes
+            // "up to the co-location bound", still containing the 1NN.
+            let all = if colors.len() <= self.rho {
+                colors
+            } else {
+                distinct_colors(pairs, usize::MAX)
+            };
+            self.cands.extend(all);
+            self.cand_offsets.push(self.cands.len() as u32);
+            return;
+        }
+        let shift = 32 - 2 * (depth + 1);
+        let mut lo = 0usize;
+        for child in 0..4u32 {
+            let child_start = prefix_start | (child << shift);
+            let child_end_excl = child_start.wrapping_add(1 << shift);
+            let hi = if child == 3 {
+                pairs.len()
+            } else {
+                lo + pairs[lo..].partition_point(|&(c, _)| c < child_end_excl)
+            };
+            self.subdivide(&pairs[lo..hi], depth + 1, child_start);
+            lo = hi;
+        }
+    }
+}
+
+/// Collects distinct owners in `pairs`, early-exiting once more than
+/// `limit` are found (returns `limit + 1` entries in that case).
+fn distinct_colors(pairs: &[(u32, u32)], limit: usize) -> Vec<u32> {
+    let mut colors: Vec<u32> = Vec::with_capacity(limit.min(16).max(4));
+    for &(_, o) in pairs {
+        if !colors.contains(&o) {
+            colors.push(o);
+            if colors.len() > limit {
+                break;
+            }
+        }
+    }
+    colors.sort_unstable();
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::Dijkstra;
+
+    fn setup(n: usize, gens: usize, rho: usize, seed: u64) -> (Graph, Vec<VertexId>, ApproxNvd) {
+        let g = road_network(&RoadNetworkConfig::new(n, seed));
+        let step = (g.num_vertices() / gens).max(1);
+        let generators: Vec<VertexId> = (0..gens.min(g.num_vertices()))
+            .map(|i| (i * step) as VertexId)
+            .collect();
+        let apx = ApproxNvd::build(&g, &generators, rho);
+        (g, generators, apx)
+    }
+
+    #[test]
+    fn definition1_one_nn_is_among_candidates() {
+        let (g, gens, apx) = setup(800, 25, 4, 3);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for v in (0..g.num_vertices() as VertexId).step_by(7) {
+            let dists = dij.one_to_many(&g, v, &gens);
+            let best = *dists.iter().min().unwrap();
+            let cands = apx.leaf_candidates(g.coord(v));
+            let has_1nn = cands.iter().any(|&c| dists[c as usize] == best);
+            assert!(has_1nn, "vertex {v}: 1NN missing from candidates {cands:?}");
+        }
+    }
+
+    #[test]
+    fn candidate_lists_respect_rho() {
+        let (g, _, apx) = setup(800, 25, 4, 3);
+        for v in (0..g.num_vertices() as VertexId).step_by(13) {
+            let cands = apx.leaf_candidates(g.coord(v));
+            assert!(cands.len() <= 4, "leaf has {} candidates", cands.len());
+            assert!(!cands.is_empty());
+        }
+    }
+
+    #[test]
+    fn rho_one_equals_exact_owner() {
+        let (g, gens, apx) = setup(500, 12, 1, 5);
+        let exact = ExactNvd::build(&g, &gens);
+        for v in (0..g.num_vertices() as VertexId).step_by(11) {
+            let cands = apx.leaf_candidates(g.coord(v));
+            if cands.len() == 1 {
+                // Tie vertices may legitimately differ; owners must at least
+                // be equidistant.
+                let mut dij = Dijkstra::new(g.num_vertices());
+                let dv = dij.one_to_many(&g, v, &gens);
+                assert_eq!(dv[cands[0] as usize], dv[exact.owner(v).unwrap() as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_rho_means_smaller_index() {
+        let (_, gens, apx1) = setup(2000, 80, 1, 9);
+        let (g5, _, apx5) = setup(2000, 80, 5, 9);
+        assert_eq!(gens.len(), 80);
+        assert!(
+            apx5.size_bytes() < apx1.size_bytes(),
+            "rho=5 ({}) not smaller than rho=1 ({})",
+            apx5.size_bytes(),
+            apx1.size_bytes()
+        );
+        assert!(apx5.num_leaves() < apx1.num_leaves());
+        // Approximate index is far smaller than the exact NVD it came from.
+        let exact = ExactNvd::build(&g5, &(0..80).map(|i| (i * 25) as u32).collect::<Vec<_>>());
+        assert!(apx5.size_bytes() < exact.size_bytes());
+    }
+
+    #[test]
+    fn every_leaf_candidate_is_a_real_generator() {
+        let (g, gens, apx) = setup(600, 20, 3, 7);
+        for v in (0..g.num_vertices() as VertexId).step_by(5) {
+            for &c in apx.leaf_candidates(g.coord(v)) {
+                assert!((c as usize) < gens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn single_generator_single_leaf() {
+        let (g, _, apx) = setup(300, 1, 5, 2);
+        assert_eq!(apx.num_leaves(), 1);
+        assert_eq!(apx.leaf_candidates(g.coord(42)), &[0]);
+    }
+
+    #[test]
+    fn init_candidates_match_leaf_before_updates() {
+        let (g, _, apx) = setup(400, 10, 3, 4);
+        for v in (0..g.num_vertices() as VertexId).step_by(17) {
+            let a = apx.init_candidates(g.coord(v));
+            let mut b = apx.leaf_candidates(g.coord(v)).to_vec();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Exact NVD construction (Erwig–Hagen graph Voronoi [19]).
+//!
+//! One multi-source Dijkstra started simultaneously from all generators
+//! computes, in `O(|V| log |V|)`:
+//!
+//! * `owner[v]` — the nearest generator of every vertex (the Voronoi
+//!   partition),
+//! * the generator [`AdjacencyGraph`] (from road edges crossing cell
+//!   boundaries),
+//! * `MaxRadius` per generator — free during construction, needed by the
+//!   Theorem-2 update rule (§6.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kspin_graph::{Graph, VertexId, Weight, INFINITY};
+
+use crate::adjacency::AdjacencyGraph;
+
+/// An exact Network Voronoi Diagram over a set of generator vertices.
+#[derive(Debug, Clone)]
+pub struct ExactNvd {
+    generators: Vec<VertexId>,
+    owner: Vec<u32>,
+    dist_to_owner: Vec<Weight>,
+    max_radius: Vec<Weight>,
+    adjacency: AdjacencyGraph,
+}
+
+impl ExactNvd {
+    /// Builds the NVD for `generators` (distinct vertices, at least one).
+    ///
+    /// # Panics
+    /// If `generators` is empty or contains duplicates.
+    pub fn build(graph: &Graph, generators: &[VertexId]) -> Self {
+        assert!(!generators.is_empty(), "an NVD needs at least one generator");
+        let n = graph.num_vertices();
+        let m = generators.len();
+        let mut owner = vec![u32::MAX; n];
+        let mut dist = vec![INFINITY; n];
+        let mut settled = vec![false; n];
+        let mut heap: BinaryHeap<(Reverse<Weight>, VertexId)> = BinaryHeap::new();
+
+        for (i, &g) in generators.iter().enumerate() {
+            assert!(
+                owner[g as usize] == u32::MAX,
+                "duplicate generator vertex {g}"
+            );
+            owner[g as usize] = i as u32;
+            dist[g as usize] = 0;
+            heap.push((Reverse(0), g));
+        }
+
+        let mut max_radius = vec![0 as Weight; m];
+        while let Some((Reverse(d), v)) = heap.pop() {
+            if settled[v as usize] || d > dist[v as usize] {
+                continue;
+            }
+            settled[v as usize] = true;
+            let o = owner[v as usize];
+            if d > max_radius[o as usize] {
+                max_radius[o as usize] = d;
+            }
+            for (u, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    owner[u as usize] = o;
+                    heap.push((Reverse(nd), u));
+                }
+            }
+        }
+
+        // Cell adjacency: a road edge whose endpoints have different owners
+        // connects the two cells.
+        let mut adjacency = AdjacencyGraph::new(m);
+        for e in graph.edges() {
+            let (ou, ov) = (owner[e.u as usize], owner[e.v as usize]);
+            if ou != ov && ou != u32::MAX && ov != u32::MAX {
+                adjacency.add(ou, ov);
+            }
+        }
+
+        ExactNvd {
+            generators: generators.to_vec(),
+            owner,
+            dist_to_owner: dist,
+            max_radius,
+            adjacency,
+        }
+    }
+
+    /// Generator vertices, indexed by generator id.
+    pub fn generators(&self) -> &[VertexId] {
+        &self.generators
+    }
+
+    /// The nearest generator (by id) of vertex `v`; `None` if `v` is
+    /// disconnected from all generators.
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> Option<u32> {
+        let o = self.owner[v as usize];
+        (o != u32::MAX).then_some(o)
+    }
+
+    /// Distance from `v` to its owning generator.
+    #[inline]
+    pub fn dist_to_owner(&self, v: VertexId) -> Weight {
+        self.dist_to_owner[v as usize]
+    }
+
+    /// The full owner table (u32::MAX for unreachable vertices).
+    pub fn owner_table(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// `MaxRadius(p)` — the farthest distance from generator `p` to a vertex
+    /// in its cell (Theorem 2).
+    #[inline]
+    pub fn max_radius(&self, p: u32) -> Weight {
+        self.max_radius[p as usize]
+    }
+
+    /// All max radii.
+    pub fn max_radii(&self) -> &[Weight] {
+        &self.max_radius
+    }
+
+    /// The generator adjacency graph.
+    pub fn adjacency(&self) -> &AdjacencyGraph {
+        &self.adjacency
+    }
+
+    /// Consumes the NVD, yielding the parts the approximate index keeps.
+    pub fn into_parts(self) -> (Vec<VertexId>, Vec<u32>, Vec<Weight>, AdjacencyGraph) {
+        (self.generators, self.owner, self.max_radius, self.adjacency)
+    }
+
+    /// Size of the full exact NVD in bytes — `O(|V|)`, dominated by the
+    /// owner and distance tables. This is the §5 "Limitations" cost that
+    /// the ρ-approximate representation eliminates.
+    pub fn size_bytes(&self) -> usize {
+        self.owner.len() * 8 + self.max_radius.len() * 4 + self.adjacency.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::{Dijkstra, GraphBuilder};
+
+    fn network(n: usize, seed: u64) -> Graph {
+        road_network(&RoadNetworkConfig::new(n, seed))
+    }
+
+    fn spread_generators(g: &Graph, count: usize) -> Vec<VertexId> {
+        let step = (g.num_vertices() / count).max(1);
+        (0..count).map(|i| (i * step) as VertexId).collect()
+    }
+
+    #[test]
+    fn owner_is_true_nearest_generator() {
+        let g = network(400, 51);
+        let gens = spread_generators(&g, 8);
+        let nvd = ExactNvd::build(&g, &gens);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for v in (0..g.num_vertices() as VertexId).step_by(17) {
+            let dists = dij.one_to_many(&g, v, &gens);
+            let (best, &best_d) = dists
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, d)| *d)
+                .unwrap();
+            let got = nvd.owner(v).unwrap();
+            // Ties may resolve to another equally-near generator.
+            assert_eq!(dists[got as usize], best_d, "vertex {v}: owner {got} vs best {best}");
+            assert_eq!(nvd.dist_to_owner(v), best_d);
+        }
+    }
+
+    #[test]
+    fn generators_own_themselves() {
+        let g = network(200, 3);
+        let gens = spread_generators(&g, 5);
+        let nvd = ExactNvd::build(&g, &gens);
+        for (i, &gv) in gens.iter().enumerate() {
+            assert_eq!(nvd.owner(gv), Some(i as u32));
+            assert_eq!(nvd.dist_to_owner(gv), 0);
+        }
+    }
+
+    #[test]
+    fn max_radius_bounds_every_cell_member() {
+        let g = network(300, 8);
+        let gens = spread_generators(&g, 6);
+        let nvd = ExactNvd::build(&g, &gens);
+        let mut observed = vec![0 as Weight; gens.len()];
+        for v in 0..g.num_vertices() as VertexId {
+            let o = nvd.owner(v).unwrap();
+            assert!(nvd.dist_to_owner(v) <= nvd.max_radius(o));
+            observed[o as usize] = observed[o as usize].max(nvd.dist_to_owner(v));
+        }
+        // And it is tight: some vertex attains it.
+        for (p, &r) in observed.iter().enumerate() {
+            assert_eq!(r, nvd.max_radius(p as u32));
+        }
+    }
+
+    #[test]
+    fn adjacency_comes_from_boundary_edges() {
+        let g = network(300, 8);
+        let gens = spread_generators(&g, 6);
+        let nvd = ExactNvd::build(&g, &gens);
+        for e in g.edges() {
+            let (a, b) = (nvd.owner(e.u).unwrap(), nvd.owner(e.v).unwrap());
+            if a != b {
+                assert!(
+                    nvd.adjacency().adjacent(a).contains(&b),
+                    "cells {a} and {b} share edge but not adjacency"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_generator_owns_everything() {
+        let g = network(150, 2);
+        let nvd = ExactNvd::build(&g, &[7]);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(nvd.owner(v), Some(0));
+        }
+        assert_eq!(nvd.adjacency().num_edges(), 0);
+    }
+
+    #[test]
+    fn adjacency_degree_is_small_constant() {
+        // Observation 2a: average degree of NVD adjacency graphs is a small
+        // constant (~6 in [18]).
+        let g = network(3000, 14);
+        let gens = spread_generators(&g, 100);
+        let nvd = ExactNvd::build(&g, &gens);
+        let avg = nvd.adjacency().avg_degree();
+        assert!((2.0..10.0).contains(&avg), "avg adjacency degree {avg}");
+    }
+
+    #[test]
+    fn disconnected_vertices_have_no_owner() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        // vertex 2 isolated
+        let g = b.build();
+        let nvd = ExactNvd::build(&g, &[0]);
+        assert_eq!(nvd.owner(2), None);
+        assert_eq!(nvd.owner(1), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate generator")]
+    fn duplicate_generators_rejected() {
+        let g = network(50, 1);
+        ExactNvd::build(&g, &[3, 3]);
+    }
+
+    #[test]
+    fn voronoi_property_on_kolahdouzan_shahabi_example() {
+        // Property 2 sanity: the 2nd NN of any vertex is adjacent to its
+        // 1NN in the NVD (verified exhaustively on a small network).
+        let g = network(250, 33);
+        let gens = spread_generators(&g, 10);
+        let nvd = ExactNvd::build(&g, &gens);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for v in (0..g.num_vertices() as VertexId).step_by(11) {
+            let dists = dij.one_to_many(&g, v, &gens);
+            let mut order: Vec<usize> = (0..gens.len()).collect();
+            order.sort_by_key(|&i| dists[i]);
+            let first = order[0] as u32;
+            let second = order[1] as u32;
+            if dists[order[0]] == dists[order[1]] {
+                continue; // ties make "the" 2nd NN ambiguous
+            }
+            let adj = nvd.adjacency().adjacent(first);
+            assert!(
+                adj.contains(&second) || dists[order[1]] == dists[order[0]],
+                "vertex {v}: 2nd NN {second} not adjacent to 1NN {first}"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Network Voronoi Diagrams for the Keyword Separated Index (§5–§6).
+//!
+//! * [`exact`] — exact NVD construction by multi-source Dijkstra
+//!   (Erwig–Hagen [19]): per-vertex nearest generator, generator adjacency,
+//!   and `MaxRadius` per cell (needed by Theorem 2 updates) — all from one
+//!   `O(|V| log |V|)` sweep.
+//! * [`adjacency`] — the generator adjacency graph (Observation 2a: its
+//!   size is `O(|inv(t)|)`, independent of `|V|`).
+//! * [`approx`] — the ρ-Approximate NVD (§6.1): a Morton-list quadtree that
+//!   subdivides until each cell holds at most ρ distinct Voronoi colors.
+//! * [`rtree`] — the R-tree alternative of §6.1 ("Space Complexity Theory
+//!   vs. Practice"): MBRs per Voronoi cell, worst-case linear space but no
+//!   ρ guarantee on candidate counts.
+//! * [`update`] — §6.2 lazy updates: deletion marking, insertion with the
+//!   Theorem-2 affected set, and rebuild.
+//!
+//! The per-keyword index the K-SPIN core actually stores is
+//! [`ApproxNvd`]: quadtree leaves + adjacency graph + `MaxRadius` — the
+//! exact NVD's `O(|V|)` owner array is discarded after construction, which
+//! is where the order-of-magnitude space saving comes from.
+
+pub mod adjacency;
+pub mod approx;
+pub mod exact;
+pub mod knn;
+pub mod morton;
+pub mod rtree;
+pub mod update;
+
+pub use adjacency::AdjacencyGraph;
+pub use approx::ApproxNvd;
+pub use exact::ExactNvd;
+pub use rtree::RTreeNvd;

@@ -1,0 +1,246 @@
+//! R-tree storage of an approximate NVD (§6.1, "Space Complexity Theory vs.
+//! Practice").
+//!
+//! Leaf entries are the minimum bounding rectangles of each generator's
+//! Voronoi node set, bulk-loaded with the Sort-Tile-Recursive (STR)
+//! algorithm. Space is provably `O(|inv(t)|)` — one MBR per generator — but
+//! a point-location query may return more than ρ candidates (overlapping
+//! MBRs give no candidate-count guarantee), which is why the paper prefers
+//! quadtrees. This implementation exists to reproduce the Fig. 6(c)
+//! comparison and the trade-off discussion.
+
+use kspin_graph::{Graph, Point, VertexId};
+
+use crate::exact::ExactNvd;
+
+/// Axis-aligned rectangle (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mbr {
+    pub min_x: i32,
+    pub min_y: i32,
+    pub max_x: i32,
+    pub max_y: i32,
+}
+
+impl Mbr {
+    /// The empty rectangle (absorbing under union).
+    pub const EMPTY: Mbr = Mbr {
+        min_x: i32::MAX,
+        min_y: i32::MAX,
+        max_x: i32::MIN,
+        max_y: i32::MIN,
+    };
+
+    /// Grows to cover `p`.
+    pub fn extend(&mut self, p: Point) {
+        self.min_x = self.min_x.min(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_x = self.max_x.max(p.x);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Grows to cover `other`.
+    pub fn union(&mut self, other: &Mbr) {
+        self.min_x = self.min_x.min(other.min_x);
+        self.min_y = self.min_y.min(other.min_y);
+        self.max_x = self.max_x.max(other.max_x);
+        self.max_y = self.max_y.max(other.max_y);
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+}
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Mbr,
+    /// Child node indices for internal nodes; generator ids for leaves.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// An STR-bulk-loaded R-tree over Voronoi cell MBRs.
+#[derive(Debug, Clone)]
+pub struct RTreeNvd {
+    nodes: Vec<Node>,
+    root: u32,
+    cell_mbrs: Vec<Mbr>,
+}
+
+impl RTreeNvd {
+    /// Builds the R-tree from an exact NVD (one MBR per generator cell).
+    pub fn build(graph: &Graph, nvd: &ExactNvd) -> Self {
+        let m = nvd.generators().len();
+        let mut cell_mbrs = vec![Mbr::EMPTY; m];
+        for v in 0..graph.num_vertices() as VertexId {
+            if let Some(o) = nvd.owner(v) {
+                cell_mbrs[o as usize].extend(graph.coord(v));
+            }
+        }
+
+        // STR: sort by center x, tile into vertical slabs, sort each slab by
+        // center y, pack runs of NODE_CAPACITY.
+        let mut entries: Vec<u32> = (0..m as u32).collect();
+        let center =
+            |mbr: &Mbr| ((mbr.min_x as i64 + mbr.max_x as i64) / 2, (mbr.min_y as i64 + mbr.max_y as i64) / 2);
+        entries.sort_unstable_by_key(|&i| center(&cell_mbrs[i as usize]).0);
+        let slices = ((m as f64 / NODE_CAPACITY as f64).sqrt().ceil() as usize).max(1);
+        let slab = m.div_ceil(slices).max(1);
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut level: Vec<u32> = Vec::new();
+        for chunk in entries.chunks(slab) {
+            let mut by_y = chunk.to_vec();
+            by_y.sort_unstable_by_key(|&i| center(&cell_mbrs[i as usize]).1);
+            for pack in by_y.chunks(NODE_CAPACITY) {
+                let mut mbr = Mbr::EMPTY;
+                for &g in pack {
+                    mbr.union(&cell_mbrs[g as usize]);
+                }
+                nodes.push(Node {
+                    mbr,
+                    children: pack.to_vec(),
+                    is_leaf: true,
+                });
+                level.push(nodes.len() as u32 - 1);
+            }
+        }
+
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pack in level.chunks(NODE_CAPACITY) {
+                let mut mbr = Mbr::EMPTY;
+                for &c in pack {
+                    mbr.union(&nodes[c as usize].mbr);
+                }
+                nodes.push(Node {
+                    mbr,
+                    children: pack.to_vec(),
+                    is_leaf: false,
+                });
+                next.push(nodes.len() as u32 - 1);
+            }
+            level = next;
+        }
+        let root = level[0];
+        RTreeNvd {
+            nodes,
+            root,
+            cell_mbrs,
+        }
+    }
+
+    /// All generators whose cell MBR contains `p` — the 1NN of any vertex
+    /// at `p` is guaranteed among them (its cell contains the vertex, hence
+    /// its MBR contains the point), but the count is *not* bounded by ρ.
+    pub fn candidates(&self, p: Point) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if !node.mbr.contains(p) {
+                continue;
+            }
+            if node.is_leaf {
+                for &g in &node.children {
+                    if self.cell_mbrs[g as usize].contains(p) {
+                        out.push(g);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+
+    /// Index size in bytes (nodes + per-cell MBRs).
+    pub fn size_bytes(&self) -> usize {
+        self.cell_mbrs.len() * std::mem::size_of::<Mbr>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| std::mem::size_of::<Mbr>() + n.children.len() * 4 + 8)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::Dijkstra;
+
+    fn setup(n: usize, gens: usize, seed: u64) -> (Graph, Vec<VertexId>, RTreeNvd) {
+        let g = road_network(&RoadNetworkConfig::new(n, seed));
+        let step = (g.num_vertices() / gens).max(1);
+        let generators: Vec<VertexId> = (0..gens).map(|i| (i * step) as VertexId).collect();
+        let nvd = ExactNvd::build(&g, &generators);
+        let rt = RTreeNvd::build(&g, &nvd);
+        (g, generators, rt)
+    }
+
+    #[test]
+    fn one_nn_is_always_among_candidates() {
+        let (g, gens, rt) = setup(700, 20, 61);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for v in (0..g.num_vertices() as VertexId).step_by(9) {
+            let dists = dij.one_to_many(&g, v, &gens);
+            let best = *dists.iter().min().unwrap();
+            let cands = rt.candidates(g.coord(v));
+            assert!(
+                cands.iter().any(|&c| dists[c as usize] == best),
+                "vertex {v}: 1NN missing"
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_can_exceed_small_rho() {
+        // The R-tree trade-off: no ρ guarantee. With many generators, some
+        // point sees several overlapping MBRs.
+        let (g, _, rt) = setup(1500, 60, 62);
+        let max_c = (0..g.num_vertices() as VertexId)
+            .step_by(3)
+            .map(|v| rt.candidates(g.coord(v)).len())
+            .max()
+            .unwrap();
+        assert!(max_c >= 2, "MBRs never overlap — suspicious");
+    }
+
+    #[test]
+    fn mbr_contains_and_union() {
+        let mut m = Mbr::EMPTY;
+        m.extend(Point::new(0, 0));
+        m.extend(Point::new(10, 5));
+        assert!(m.contains(Point::new(5, 3)));
+        assert!(!m.contains(Point::new(11, 3)));
+        let mut m2 = Mbr::EMPTY;
+        m2.extend(Point::new(-5, -5));
+        m.union(&m2);
+        assert!(m.contains(Point::new(-5, -5)));
+    }
+
+    #[test]
+    fn single_generator_tree() {
+        let (g, _, rt) = setup(200, 1, 63);
+        for v in (0..g.num_vertices() as VertexId).step_by(19) {
+            assert_eq!(rt.candidates(g.coord(v)), vec![0]);
+        }
+    }
+
+    #[test]
+    fn size_scales_with_generators_not_vertices() {
+        let (_, _, rt_small) = setup(2000, 20, 64);
+        let (_, _, rt_big) = setup(2000, 200, 64);
+        // 10× the generators ≈ order-of-magnitude larger index, independent
+        // of |V|.
+        assert!(rt_big.size_bytes() > rt_small.size_bytes() * 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! §6.2 lazy updates on a [`ApproxNvd`].
+//!
+//! * **Deletion** — mark-only; the Heap Generator skips deleted objects but
+//!   still expands their adjacency.
+//! * **Insertion** — compute the *affected set* `A(o)` via a BFS over the
+//!   adjacency graph from the 1NN of the new object, pruned by Theorem 2
+//!   (`p ∉ A(o)` if `d(o,p) ≥ 2·MaxRadius(p)`), then attach the new object
+//!   to every affected node. The quadtree itself is untouched — that is the
+//!   "lazy" part; a rebuild folds everything back in.
+//!
+//! The paper notes that the earlier claim in [18] — that only the 1NN and
+//! its adjacent objects are affected — is *incorrect* (Fig. 7); the
+//! Theorem-2 BFS is the fix, and `affected_set` reproduces it.
+
+use kspin_graph::{Graph, Point, VertexId, Weight};
+
+use crate::approx::ApproxNvd;
+
+impl ApproxNvd {
+    /// Marks object `id` deleted (original or inserted).
+    ///
+    /// # Panics
+    /// If `id` is out of range or already deleted.
+    pub fn delete_object(&mut self, id: u32) {
+        assert!((id as usize) < self.num_total(), "object id out of range");
+        assert!(!self.deleted[id as usize], "object {id} already deleted");
+        self.deleted[id as usize] = true;
+        self.pending_updates += 1;
+    }
+
+    /// Un-deletes an object (supports "add keyword back" flows cheaply).
+    pub fn undelete_object(&mut self, id: u32) {
+        assert!((id as usize) < self.num_total(), "object id out of range");
+        self.deleted[id as usize] = false;
+        self.pending_updates += 1;
+    }
+
+    /// Computes the Theorem-2 affected set of a new object at `vertex`.
+    ///
+    /// `dist` must return the exact network distance between two vertices
+    /// (the framework wires in its Network Distance Module here). `coord`
+    /// is the new object's coordinate, used for quadtree point location.
+    pub fn affected_set<F>(&self, vertex: VertexId, coord: Point, dist: &mut F) -> Vec<u32>
+    where
+        F: FnMut(VertexId, VertexId) -> Weight,
+    {
+        // 1NN among the original generators: guaranteed to be among the leaf
+        // candidates by Definition 1 (deleted originals keep their stale
+        // cells until rebuild, so they stay eligible here).
+        let cands = self.leaf_candidates(coord);
+        let p = cands
+            .iter()
+            .copied()
+            .min_by_key(|&c| dist(vertex, self.object_vertex(c)))
+            .expect("leaf candidates are never empty");
+
+        let originals = self.num_original() as u32;
+        let mut affected = vec![p];
+        let mut visited = vec![false; originals as usize];
+        visited[p as usize] = true;
+        let mut frontier = vec![p];
+        while let Some(e) = frontier.pop() {
+            for &a in self.adjacent(e) {
+                if a >= originals || visited[a as usize] {
+                    continue; // inserted objects have no cells to affect
+                }
+                visited[a as usize] = true;
+                let d = dist(vertex, self.object_vertex(a));
+                // Theorem 2: beyond twice the cell radius the cell cannot
+                // gain the new object as 1NN; prune the BFS there.
+                if d >= 2 * self.max_radius(a).max(1) {
+                    continue;
+                }
+                affected.push(a);
+                frontier.push(a);
+            }
+        }
+        affected
+    }
+
+    /// Lazily inserts a new object at `vertex`, returning its object id.
+    ///
+    /// The object is attached to every node of its affected set (so heap
+    /// initialization finds it) and linked into the adjacency graph (so
+    /// LazyReheap finds it).
+    pub fn insert_object<F>(&mut self, vertex: VertexId, coord: Point, dist: &mut F) -> u32
+    where
+        F: FnMut(VertexId, VertexId) -> Weight,
+    {
+        let affected = self.affected_set(vertex, coord, dist);
+        let new_id = self.num_total() as u32;
+        self.inserted_vertices.push(vertex);
+        self.deleted.push(false);
+        let node = self.adjacency.push_node();
+        debug_assert_eq!(node, new_id);
+        for &a in &affected {
+            self.attached[a as usize].push(new_id);
+            self.adjacency.add(new_id, a);
+        }
+        self.pending_updates += 1;
+        new_id
+    }
+
+    /// Rebuilds from the live object set, folding lazy updates into a fresh
+    /// quadtree/adjacency/MaxRadius — the amortized operation of Fig. 8(b).
+    ///
+    /// Returns the rebuilt index and the mapping `new_id → old_id`.
+    pub fn rebuild(&self, graph: &Graph) -> (ApproxNvd, Vec<u32>) {
+        let mut mapping = Vec::new();
+        let mut vertices = Vec::new();
+        for id in 0..self.num_total() as u32 {
+            if !self.is_deleted(id) {
+                mapping.push(id);
+                vertices.push(self.object_vertex(id));
+            }
+        }
+        (ApproxNvd::build(graph, &vertices, self.rho()), mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::{Dijkstra, Graph};
+
+    fn setup(n: usize, gens: usize, seed: u64) -> (Graph, Vec<VertexId>, ApproxNvd) {
+        let g = road_network(&RoadNetworkConfig::new(n, seed));
+        let step = (g.num_vertices() / gens).max(1);
+        let generators: Vec<VertexId> = (0..gens).map(|i| (i * step) as VertexId).collect();
+        let apx = ApproxNvd::build(&g, &generators, 4);
+        (g, generators, apx)
+    }
+
+    /// True affected set by brute force: owners whose cell contains a
+    /// vertex for which the new object becomes strictly nearer.
+    fn brute_affected(
+        g: &Graph,
+        gens: &[VertexId],
+        new_vertex: VertexId,
+    ) -> std::collections::HashSet<u32> {
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let exact = crate::exact::ExactNvd::build(g, gens);
+        dij.sssp(g, new_vertex);
+        let space = dij.space();
+        let mut affected = std::collections::HashSet::new();
+        for v in 0..g.num_vertices() as VertexId {
+            let dn = space.distance(v).unwrap();
+            if dn < exact.dist_to_owner(v) {
+                affected.insert(exact.owner(v).unwrap());
+            }
+        }
+        affected
+    }
+
+    #[test]
+    fn affected_set_is_a_superset_of_the_truth() {
+        let (g, gens, apx) = setup(600, 15, 41);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for &new_vertex in &[3u32, 77, 301, 555] {
+            let new_vertex = new_vertex.min(g.num_vertices() as u32 - 1);
+            if gens.contains(&new_vertex) {
+                continue;
+            }
+            let mut dist = |a: VertexId, b: VertexId| dij.one_to_one(&g, a, b);
+            let ours: std::collections::HashSet<u32> = apx
+                .affected_set(new_vertex, g.coord(new_vertex), &mut dist)
+                .into_iter()
+                .collect();
+            let truth = brute_affected(&g, &gens, new_vertex);
+            for t in &truth {
+                assert!(
+                    ours.contains(t),
+                    "vertex {new_vertex}: missing affected generator {t} (ours: {ours:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_object_appears_in_init_candidates_where_it_wins() {
+        let (g, gens, mut apx) = setup(600, 15, 42);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let new_vertex = 123u32.min(g.num_vertices() as u32 - 1);
+        assert!(!gens.contains(&new_vertex));
+        let mut dist = |a: VertexId, b: VertexId| dij.one_to_one(&g, a, b);
+        let new_id = apx.insert_object(new_vertex, g.coord(new_vertex), &mut dist);
+
+        // Every vertex whose new 1NN is the inserted object must see it in
+        // its heap-initialization candidates.
+        let truth = brute_affected(&g, &gens, new_vertex);
+        assert!(!truth.is_empty(), "test vertex affects nothing; pick another");
+        let mut dij2 = Dijkstra::new(g.num_vertices());
+        dij2.sssp(&g, new_vertex);
+        let space = dij2.space();
+        let exact = crate::exact::ExactNvd::build(&g, &gens);
+        for v in 0..g.num_vertices() as VertexId {
+            if space.distance(v).unwrap() < exact.dist_to_owner(v) {
+                let init = apx.init_candidates(g.coord(v));
+                assert!(
+                    init.contains(&new_id),
+                    "vertex {v}: new 1NN {new_id} missing from init candidates {init:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_object_is_linked_into_adjacency() {
+        let (g, _, mut apx) = setup(400, 10, 43);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let mut dist = |a: VertexId, b: VertexId| dij.one_to_one(&g, a, b);
+        let v = 200u32.min(g.num_vertices() as u32 - 1);
+        let id = apx.insert_object(v, g.coord(v), &mut dist);
+        assert!(!apx.adjacent(id).is_empty());
+        for &a in apx.adjacent(id) {
+            assert!(apx.adjacent(a).contains(&id));
+        }
+        assert_eq!(apx.object_vertex(id), v);
+        assert_eq!(apx.pending_updates(), 1);
+    }
+
+    #[test]
+    fn delete_marks_without_removing() {
+        let (_, _, mut apx) = setup(300, 8, 44);
+        apx.delete_object(3);
+        assert!(apx.is_deleted(3));
+        assert_eq!(apx.num_total(), 8);
+        assert_eq!(apx.live_vertices().len(), 7);
+        apx.undelete_object(3);
+        assert!(!apx.is_deleted(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already deleted")]
+    fn double_delete_panics() {
+        let (_, _, mut apx) = setup(300, 8, 44);
+        apx.delete_object(3);
+        apx.delete_object(3);
+    }
+
+    #[test]
+    fn rebuild_folds_updates_in() {
+        let (g, _, mut apx) = setup(500, 12, 45);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let mut dist = |a: VertexId, b: VertexId| dij.one_to_one(&g, a, b);
+        let v = 251u32.min(g.num_vertices() as u32 - 1);
+        apx.insert_object(v, g.coord(v), &mut dist);
+        apx.delete_object(0);
+        let (fresh, mapping) = apx.rebuild(&g);
+        assert_eq!(fresh.num_total(), 12); // 12 - 1 deleted + 1 inserted
+        assert_eq!(fresh.pending_updates(), 0);
+        assert_eq!(mapping.len(), 12);
+        assert!(!mapping.contains(&0));
+        // The inserted object is now a first-class generator.
+        assert!(fresh.live_vertices().contains(&v));
+    }
+}

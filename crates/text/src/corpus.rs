@@ -1,0 +1,354 @@
+//! Objects, documents and inverted lists with pre-computed impacts.
+
+use std::collections::HashMap;
+
+use kspin_graph::VertexId;
+
+/// Dense object (POI) identifier within a [`Corpus`].
+pub type ObjectId = u32;
+
+/// Dense keyword identifier (see [`crate::Vocabulary`]).
+pub type TermId = u32;
+
+/// One `(term, frequency)` entry of an object's document, with its
+/// pre-computed impact `λ_{t,o}` (Eq. 3 — impacts are query-independent, so
+/// the paper computes them offline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocPosting {
+    pub term: TermId,
+    pub freq: u32,
+    pub impact: f64,
+}
+
+/// One `(object, frequency)` entry of a keyword's inverted list `inv(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvPosting {
+    pub object: ObjectId,
+    pub freq: u32,
+    pub impact: f64,
+}
+
+/// A spatial keyword dataset: objects on vertices, documents, inverted
+/// lists, and offline-computed impact statistics.
+///
+/// Immutable after construction — dynamic updates (§6.2) are handled at the
+/// index layer, which keeps its own overlay of inserted/deleted objects.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vertex_of: Vec<VertexId>,
+    object_at: HashMap<VertexId, ObjectId>,
+    docs: Vec<Vec<DocPosting>>,
+    inverted: Vec<Vec<InvPosting>>,
+    max_impact: Vec<f64>,
+    doc_len: Vec<u32>,
+    total_occurrences: u64,
+}
+
+impl Corpus {
+    /// Number of objects `|O|`.
+    pub fn num_objects(&self) -> usize {
+        self.vertex_of.len()
+    }
+
+    /// Number of distinct keywords `|W|` (including any ids with empty
+    /// inverted lists).
+    pub fn num_terms(&self) -> usize {
+        self.inverted.len()
+    }
+
+    /// Total keyword occurrences `|doc(V)|` (sum of document lengths).
+    pub fn total_occurrences(&self) -> u64 {
+        self.total_occurrences
+    }
+
+    /// The road-network vertex hosting object `o`.
+    #[inline]
+    pub fn vertex_of(&self, o: ObjectId) -> VertexId {
+        self.vertex_of[o as usize]
+    }
+
+    /// The object on vertex `v`, if any.
+    #[inline]
+    pub fn object_at(&self, v: VertexId) -> Option<ObjectId> {
+        self.object_at.get(&v).copied()
+    }
+
+    /// Document of `o`, sorted by term id.
+    #[inline]
+    pub fn doc(&self, o: ObjectId) -> &[DocPosting] {
+        &self.docs[o as usize]
+    }
+
+    /// Inverted list `inv(t)`, sorted by object id. Empty for term ids the
+    /// corpus has never seen (queries may mention words no object carries).
+    #[inline]
+    pub fn inverted(&self, t: TermId) -> &[InvPosting] {
+        self.inverted.get(t as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// `|inv(t)|` — the keyword's frequency in Observation 1's sense.
+    #[inline]
+    pub fn inv_len(&self, t: TermId) -> usize {
+        self.inverted(t).len()
+    }
+
+    /// Maximum impact `λ_{t,max}` over all objects containing `t`
+    /// (Algorithm 2 uses this in the pseudo lower-bound). Zero for unused
+    /// terms.
+    #[inline]
+    pub fn max_impact(&self, t: TermId) -> f64 {
+        self.max_impact.get(t as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Document length of `o` (total keyword occurrences, `Σ_t f_{t,o}`) —
+    /// the `dl` of BM25-style length normalization.
+    #[inline]
+    pub fn doc_len(&self, o: ObjectId) -> u32 {
+        self.doc_len[o as usize]
+    }
+
+    /// Mean document length over all objects (BM25's `avgdl`).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_occurrences as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    /// Whether object `o`'s document contains `t`.
+    pub fn contains(&self, o: ObjectId, t: TermId) -> bool {
+        self.docs[o as usize]
+            .binary_search_by_key(&t, |p| p.term)
+            .is_ok()
+    }
+
+    /// Whether `o` contains *all* of `terms` (conjunctive criterion).
+    pub fn contains_all(&self, o: ObjectId, terms: &[TermId]) -> bool {
+        terms.iter().all(|&t| self.contains(o, t))
+    }
+
+    /// Whether `o` contains *any* of `terms` (disjunctive criterion).
+    pub fn contains_any(&self, o: ObjectId, terms: &[TermId]) -> bool {
+        terms.iter().any(|&t| self.contains(o, t))
+    }
+
+    /// The term id of the least frequent (smallest `|inv(t)|`) of `terms` —
+    /// the heap the conjunctive BkNN processor drives from (§4.1.2).
+    pub fn least_frequent(&self, terms: &[TermId]) -> Option<TermId> {
+        terms.iter().copied().min_by_key(|&t| self.inv_len(t))
+    }
+
+    /// Approximate memory footprint in bytes (documents + inverted lists).
+    pub fn size_bytes(&self) -> usize {
+        let posting = std::mem::size_of::<DocPosting>();
+        let doc_bytes: usize = self.docs.iter().map(|d| d.len() * posting).sum();
+        let inv_bytes: usize = self.inverted.iter().map(|l| l.len() * posting).sum();
+        doc_bytes + inv_bytes + self.vertex_of.len() * 4 + self.max_impact.len() * 8
+    }
+}
+
+/// Builder for [`Corpus`]. Objects are added one at a time; impacts are
+/// computed when [`CorpusBuilder::build`] runs.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    vertex_of: Vec<VertexId>,
+    raw_docs: Vec<Vec<(TermId, u32)>>,
+    num_terms: usize,
+}
+
+impl CorpusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an object at `vertex` whose document is `terms` (term, freq)
+    /// pairs. Duplicate terms accumulate their frequencies. Returns the new
+    /// object's id.
+    ///
+    /// # Panics
+    /// If another object already occupies `vertex` (the paper places at most
+    /// one object per vertex, `O ⊆ V`), or the document is empty.
+    pub fn add_object(&mut self, vertex: VertexId, terms: &[(TermId, u32)]) -> ObjectId {
+        assert!(!terms.is_empty(), "object documents must be non-empty");
+        assert!(
+            !self.vertex_of.contains(&vertex),
+            "vertex {vertex} already hosts an object"
+        );
+        let mut doc: Vec<(TermId, u32)> = Vec::with_capacity(terms.len());
+        let mut sorted = terms.to_vec();
+        sorted.sort_unstable_by_key(|&(t, _)| t);
+        for (t, f) in sorted {
+            assert!(f > 0, "term frequencies must be positive");
+            match doc.last_mut() {
+                Some((lt, lf)) if *lt == t => *lf += f,
+                _ => doc.push((t, f)),
+            }
+            self.num_terms = self.num_terms.max(t as usize + 1);
+        }
+        let id = self.vertex_of.len() as ObjectId;
+        self.vertex_of.push(vertex);
+        self.raw_docs.push(doc);
+        id
+    }
+
+    /// Finalizes the corpus, computing impacts `λ_{t,o} = w_{t,o} / ‖w_o‖`
+    /// with `w_{t,o} = 1 + ln f_{t,o}` per Eq. (2)/(3).
+    pub fn build(self) -> Corpus {
+        let num_objects = self.vertex_of.len();
+        let mut docs = Vec::with_capacity(num_objects);
+        let mut inverted: Vec<Vec<InvPosting>> = vec![Vec::new(); self.num_terms];
+        let mut max_impact = vec![0.0f64; self.num_terms];
+        let mut doc_len = Vec::with_capacity(num_objects);
+        let mut total_occurrences = 0u64;
+
+        for (o, raw) in self.raw_docs.into_iter().enumerate() {
+            let norm: f64 = raw
+                .iter()
+                .map(|&(_, f)| {
+                    let w = 1.0 + (f as f64).ln();
+                    w * w
+                })
+                .sum::<f64>()
+                .sqrt();
+            let doc: Vec<DocPosting> = raw
+                .into_iter()
+                .map(|(term, freq)| {
+                    total_occurrences += freq as u64;
+                    let impact = (1.0 + (freq as f64).ln()) / norm;
+                    DocPosting { term, freq, impact }
+                })
+                .collect();
+            for p in &doc {
+                inverted[p.term as usize].push(InvPosting {
+                    object: o as ObjectId,
+                    freq: p.freq,
+                    impact: p.impact,
+                });
+                if p.impact > max_impact[p.term as usize] {
+                    max_impact[p.term as usize] = p.impact;
+                }
+            }
+            doc_len.push(doc.iter().map(|p| p.freq).sum());
+            docs.push(doc);
+        }
+
+        let object_at = self
+            .vertex_of
+            .iter()
+            .enumerate()
+            .map(|(o, &v)| (v, o as ObjectId))
+            .collect();
+
+        Corpus {
+            vertex_of: self.vertex_of,
+            object_at,
+            docs,
+            inverted,
+            max_impact,
+            doc_len,
+            total_occurrences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the running-example-style corpus: three objects with
+    /// overlapping keyword sets.
+    fn sample() -> Corpus {
+        let mut b = CorpusBuilder::new();
+        // terms: 0 = thai, 1 = restaurant, 2 = takeaway
+        b.add_object(10, &[(0, 1), (1, 1)]);
+        b.add_object(20, &[(1, 2)]);
+        b.add_object(30, &[(0, 1), (2, 3)]);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let c = sample();
+        assert_eq!(c.num_objects(), 3);
+        assert_eq!(c.num_terms(), 3);
+        assert_eq!(c.total_occurrences(), 1 + 1 + 2 + 1 + 3);
+        assert_eq!(c.vertex_of(1), 20);
+        assert_eq!(c.object_at(30), Some(2));
+        assert_eq!(c.object_at(99), None);
+    }
+
+    #[test]
+    fn inverted_lists_match_documents() {
+        let c = sample();
+        let objs: Vec<_> = c.inverted(0).iter().map(|p| p.object).collect();
+        assert_eq!(objs, vec![0, 2]);
+        assert_eq!(c.inv_len(1), 2);
+        assert_eq!(c.inv_len(2), 1);
+        assert_eq!(c.least_frequent(&[0, 1, 2]), Some(2));
+    }
+
+    #[test]
+    fn containment_predicates() {
+        let c = sample();
+        assert!(c.contains(0, 0));
+        assert!(!c.contains(1, 0));
+        assert!(c.contains_all(0, &[0, 1]));
+        assert!(!c.contains_all(0, &[0, 2]));
+        assert!(c.contains_any(1, &[0, 1]));
+        assert!(!c.contains_any(1, &[0, 2]));
+    }
+
+    #[test]
+    fn impacts_are_normalized_per_document() {
+        let c = sample();
+        for o in 0..c.num_objects() as ObjectId {
+            let norm: f64 = c.doc(o).iter().map(|p| p.impact * p.impact).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "object {o} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn single_term_document_has_unit_impact() {
+        let c = sample();
+        // Object 1 has only term 1 (freq 2): impact must be exactly 1.
+        assert!((c.doc(1)[0].impact - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_impact_is_max_over_inverted_list() {
+        let c = sample();
+        for t in 0..c.num_terms() as TermId {
+            let expect = c
+                .inverted(t)
+                .iter()
+                .map(|p| p.impact)
+                .fold(0.0f64, f64::max);
+            assert_eq!(c.max_impact(t), expect);
+        }
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let mut b = CorpusBuilder::new();
+        b.add_object(1, &[(5, 1), (5, 2)]);
+        let c = b.build();
+        assert_eq!(c.doc(0), &[DocPosting { term: 5, freq: 3, impact: 1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already hosts")]
+    fn duplicate_vertex_rejected() {
+        let mut b = CorpusBuilder::new();
+        b.add_object(1, &[(0, 1)]);
+        b.add_object(1, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_document_rejected() {
+        let mut b = CorpusBuilder::new();
+        b.add_object(1, &[]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Keyword string interning.
+
+use std::collections::HashMap;
+
+use crate::corpus::TermId;
+
+/// Bidirectional map between keyword strings and dense [`TermId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_owned());
+        self.index.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// If `id` was never interned.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("thai");
+        let b = v.intern("restaurant");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("thai"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("takeaway");
+        assert_eq!(v.get("takeaway"), Some(id));
+        assert_eq!(v.get("grocer"), None);
+        assert_eq!(v.term(id), "takeaway");
+    }
+
+    #[test]
+    fn empty_vocab() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a K-SPIN system over a synthetic city and answer the
+//! three query types from the paper's introduction.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kspin::prelude::*;
+use kspin_graph::generate::{road_network, RoadNetworkConfig};
+use kspin_text::generate::{corpus, CorpusConfig};
+
+fn main() {
+    // A ~20k-vertex road network with Zipf-distributed POI keywords.
+    println!("building road network and POI corpus…");
+    let graph = road_network(&RoadNetworkConfig::new(20_000, 7));
+    let (corp, vocab) = corpus(&CorpusConfig::new(graph.num_vertices(), 7));
+    println!(
+        "  {} vertices, {} edges, {} POIs, {} keywords",
+        graph.num_vertices(),
+        graph.num_edges(),
+        corp.num_objects(),
+        corp.num_terms()
+    );
+
+    println!("building K-SPIN (ALT landmarks + keyword separated index)…");
+    let system = KspinSystem::build(graph, corp, vocab, &KspinConfig::default());
+    let stats = system.index.stats();
+    println!(
+        "  {} NVD-indexed keywords, {} list-only keywords (Observation 1), {:.2}s",
+        stats.nvd_terms, stats.small_terms, stats.build_seconds
+    );
+
+    let mut engine = system.engine_dijkstra();
+    let q: VertexId = 1234;
+
+    // Boolean kNN, disjunctive: nearest POIs with "restaurant" OR "hotel".
+    let terms = system.terms(&["restaurant", "hotel"]);
+    println!("\nB5NN (restaurant ∨ hotel) from vertex {q}:");
+    for (o, d) in engine.bknn(q, 5, &terms, Op::Or) {
+        println!("  object {o:>6} at network distance {d}");
+    }
+
+    // Boolean kNN, conjunctive: must contain both.
+    println!("\nB5NN (restaurant ∧ hotel) from vertex {q}:");
+    for (o, d) in engine.bknn(q, 5, &terms, Op::And) {
+        println!("  object {o:>6} at network distance {d}");
+    }
+
+    // Top-k: weighted-distance score (Eq. 1).
+    println!("\ntop-5 by spatio-textual score (restaurant, hotel):");
+    for (o, st) in engine.top_k(q, 5, &terms) {
+        println!("  object {o:>6} score {st:.1}");
+    }
+
+    // Mixed boolean criteria (§2 remark): school AND (bank OR supermarket).
+    let school = system.terms(&["school"])[0];
+    let or_part = system.terms(&["bank", "supermarket"]);
+    let expr = BoolExpr::And(vec![BoolExpr::Term(school), BoolExpr::any(&or_part)]);
+    println!("\nB3NN (school ∧ (bank ∨ supermarket)):");
+    for (o, d) in engine.bknn_expr(q, 3, &expr) {
+        println!("  object {o:>6} at network distance {d}");
+    }
+
+    let s = engine.stats();
+    println!(
+        "\nengine stats: {} network distances, {} heap extractions, {} lower bounds, {} pruned",
+        s.dist_computations, s.heap_extractions, s.lb_computations, s.pruned_candidates
+    );
+}

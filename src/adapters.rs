@@ -1,0 +1,166 @@
+//! [`NetworkDistance`] adapters for the pluggable distance techniques.
+//!
+//! The paper's Network Distance Module (§3 module 2) accepts *any* exact
+//! point-to-point technique; these adapters wire the workspace's three
+//! index-based oracles into the trait, producing the paper's variants:
+//!
+//! * [`ChDistance`] → **KS-CH** (small index, moderate queries),
+//! * [`HlDistance`] → **KS-HL** (the KS-PHL stand-in: big index, fastest
+//!   queries),
+//! * [`GtreeNetworkDistance`] → **KS-GT** (the §7.4 apples-to-apples
+//!   comparison: K-SPIN consuming G-tree's own index, with
+//!   materialization and matrix-operation counting intact).
+
+use kspin_ch::{ChQuery, ContractionHierarchy};
+use kspin_core::NetworkDistance;
+use kspin_graph::{Graph, VertexId, Weight};
+use kspin_gtree::{GTree, GtreeDistance};
+use kspin_hl::HubLabels;
+
+/// Contraction Hierarchies as a Network Distance Module.
+pub struct ChDistance<'a> {
+    query: ChQuery<'a>,
+}
+
+impl<'a> ChDistance<'a> {
+    /// Wraps a built hierarchy.
+    pub fn new(ch: &'a ContractionHierarchy) -> Self {
+        ChDistance {
+            query: ChQuery::new(ch),
+        }
+    }
+}
+
+impl NetworkDistance for ChDistance<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Weight {
+        self.query.distance(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "CH"
+    }
+}
+
+/// Hub labels as a Network Distance Module.
+pub struct HlDistance<'a> {
+    labels: &'a HubLabels,
+}
+
+impl<'a> HlDistance<'a> {
+    /// Wraps built labels.
+    pub fn new(labels: &'a HubLabels) -> Self {
+        HlDistance { labels }
+    }
+}
+
+impl NetworkDistance for HlDistance<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Weight {
+        self.labels.distance(s, t)
+    }
+
+    fn name(&self) -> &'static str {
+        "HL"
+    }
+}
+
+/// G-tree assembly as a Network Distance Module (KS-GT).
+///
+/// Keeps the assembly pinned to the last source, so consecutive
+/// distance computations from one query vertex reuse materialized border
+/// arrays — "already computed partial network distances are re-used…
+/// described as materialization by Zhong et al." (§7.4).
+pub struct GtreeNetworkDistance<'a> {
+    gt: &'a GTree,
+    graph: &'a Graph,
+    inner: Option<GtreeDistance<'a>>,
+    ops: u64,
+}
+
+impl<'a> GtreeNetworkDistance<'a> {
+    /// Wraps a built G-tree.
+    pub fn new(gt: &'a GTree, graph: &'a Graph) -> Self {
+        GtreeNetworkDistance {
+            gt,
+            graph,
+            inner: None,
+            ops: 0,
+        }
+    }
+
+    /// Matrix operations across all sources so far (Fig. 16's metric).
+    pub fn total_ops(&self) -> u64 {
+        self.ops + self.inner.as_ref().map_or(0, GtreeDistance::ops)
+    }
+
+    /// Zeroes the matrix-operation counter.
+    pub fn reset_ops(&mut self) {
+        self.ops = 0;
+        if let Some(inner) = &mut self.inner {
+            inner.reset_ops();
+        }
+    }
+}
+
+impl NetworkDistance for GtreeNetworkDistance<'_> {
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Weight {
+        match &mut self.inner {
+            Some(inner) if inner.source() == s => inner.distance(t),
+            _ => {
+                if let Some(prev) = self.inner.take() {
+                    self.ops += prev.ops();
+                }
+                let mut fresh = GtreeDistance::new(self.gt, self.graph, s);
+                let d = fresh.distance(t);
+                self.inner = Some(fresh);
+                d
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "G-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspin_ch::ChConfig;
+    use kspin_graph::generate::{road_network, RoadNetworkConfig};
+    use kspin_graph::Dijkstra;
+    use kspin_gtree::tree::GtreeConfig;
+
+    #[test]
+    fn all_adapters_agree_with_dijkstra() {
+        let g = road_network(&RoadNetworkConfig::new(600, 55));
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let gt = GTree::build(&g, &GtreeConfig::default());
+
+        let mut oracles: Vec<Box<dyn NetworkDistance + '_>> = vec![
+            Box::new(ChDistance::new(&ch)),
+            Box::new(HlDistance::new(&hl)),
+            Box::new(GtreeNetworkDistance::new(&gt, &g)),
+        ];
+        let mut dij = Dijkstra::new(g.num_vertices());
+        for (s, t) in [(0u32, 599u32), (17, 403), (5, 5), (100, 101)] {
+            let t = t.min(g.num_vertices() as u32 - 1);
+            let want = dij.one_to_one(&g, s, t);
+            for o in &mut oracles {
+                assert_eq!(o.distance(s, t), want, "{} ({s},{t})", o.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gtree_adapter_counts_ops_across_sources() {
+        let g = road_network(&RoadNetworkConfig::new(400, 57));
+        let gt = GTree::build(&g, &GtreeConfig::default());
+        let mut d = GtreeNetworkDistance::new(&gt, &g);
+        let _ = d.distance(0, 399.min(g.num_vertices() as u32 - 1));
+        let _ = d.distance(1, 200);
+        assert!(d.total_ops() > 0);
+        d.reset_ops();
+        assert_eq!(d.total_ops(), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! `kspin-cli` — generate datasets, build indexes, and answer spatial
+//! keyword queries interactively.
+//!
+//! ```text
+//! kspin-cli generate --vertices 50000 --seed 7 --out data/city
+//!     writes data/city.gr, data/city.co, data/city.kw
+//!
+//! kspin-cli query --data data/city [--dist dijkstra|bidijkstra|astar|ch|hl] [--rho 5]
+//!     loads the dataset, builds K-SPIN, then reads commands from stdin:
+//!       bknn <vertex> <k> and|or <keyword> [keyword ...]
+//!       topk <vertex> <k> <keyword> [keyword ...]
+//!       expr <vertex> <k> <kw> and ( <kw> or <kw> )   (single-level mix)
+//!       stats | help | quit
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use kspin::prelude::*;
+use kspin_ch::{ChConfig, ContractionHierarchy};
+use kspin_hl::HubLabels;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => {
+            eprintln!("usage: kspin-cli <generate|query> [options]   (see --help in source)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny flag parser: `--key value` pairs.
+fn flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {k:?}"))?;
+        let v = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), v.clone());
+    }
+    Ok(out)
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let vertices: usize = f
+        .get("vertices")
+        .map(|s| s.parse().map_err(|_| "bad --vertices"))
+        .transpose()?
+        .unwrap_or(20_000);
+    let seed: u64 = f
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let out = f.get("out").ok_or("--out <prefix> is required")?;
+
+    eprintln!("generating {vertices}-vertex road network (seed {seed})…");
+    let graph = kspin::graph::generate::road_network(
+        &kspin::graph::generate::RoadNetworkConfig::new(vertices, seed),
+    );
+    let (corpus, vocab) = kspin::text::generate::corpus(
+        &kspin::text::generate::CorpusConfig::new(graph.num_vertices(), seed),
+    );
+    let write = |path: String, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
+        let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        f(&mut w).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("  wrote {path}");
+        Ok::<(), String>(())
+    };
+    write(format!("{out}.gr"), &|w| kspin::graph::dimacs::write_gr(&graph, w))?;
+    write(format!("{out}.co"), &|w| kspin::graph::dimacs::write_co(&graph, w))?;
+    write(format!("{out}.kw"), &|w| kspin::text::io::write_kw(&corpus, &vocab, w))?;
+    eprintln!(
+        "done: |V|={} |E|={} |O|={} |W|={}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        corpus.num_objects(),
+        corpus.num_terms()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let f = flags(args)?;
+    let prefix = f.get("data").ok_or("--data <prefix> is required")?;
+    let rho: usize = f
+        .get("rho")
+        .map(|s| s.parse().map_err(|_| "bad --rho"))
+        .transpose()?
+        .unwrap_or(5);
+    let dist_kind = f.get("dist").map(String::as_str).unwrap_or("bidijkstra");
+
+    eprintln!("loading {prefix}.gr / .co / .kw…");
+    let open = |ext: &str| -> Result<BufReader<File>, String> {
+        File::open(format!("{prefix}.{ext}"))
+            .map(BufReader::new)
+            .map_err(|e| format!("{prefix}.{ext}: {e}"))
+    };
+    let mut builder = kspin::graph::dimacs::read_gr(open("gr")?).map_err(|e| e.to_string())?;
+    kspin::graph::dimacs::read_co(open("co")?, &mut builder).map_err(|e| e.to_string())?;
+    let graph = builder.build();
+    let (corpus, vocab) = kspin::text::io::read_kw(open("kw")?).map_err(|e| e.to_string())?;
+    eprintln!(
+        "  |V|={} |E|={} |O|={} |W|={}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        corpus.num_objects(),
+        corpus.num_terms()
+    );
+
+    eprintln!("building K-SPIN (rho = {rho})…");
+    let config = KspinConfig {
+        rho,
+        ..KspinConfig::default()
+    };
+    let system = KspinSystem::build(graph, corpus, vocab, &config);
+    eprintln!(
+        "  {} NVD keywords, {} list keywords, {:.2}s",
+        system.index.stats().nvd_terms,
+        system.index.stats().small_terms,
+        system.index.stats().build_seconds
+    );
+
+    // Optional heavier distance modules are built on demand.
+    let ch;
+    let hl;
+    enum Dist<'a> {
+        Dij(kspin_core::DijkstraDistance<'a>),
+        Bi(kspin_core::BiDijkstraDistance<'a>),
+        Astar(kspin_core::AltAstarDistance<'a>),
+        Ch(kspin::adapters::ChDistance<'a>),
+        Hl(kspin::adapters::HlDistance<'a>),
+    }
+    let mut dist = match dist_kind {
+        "dijkstra" => Dist::Dij(kspin_core::DijkstraDistance::new(&system.graph)),
+        "bidijkstra" => Dist::Bi(kspin_core::BiDijkstraDistance::new(&system.graph)),
+        "astar" => Dist::Astar(kspin_core::AltAstarDistance::new(&system.graph, &system.alt)),
+        "ch" => {
+            eprintln!("building CH…");
+            ch = ContractionHierarchy::build(&system.graph, &ChConfig::default());
+            Dist::Ch(kspin::adapters::ChDistance::new(&ch))
+        }
+        "hl" => {
+            eprintln!("building CH + hub labels…");
+            ch = ContractionHierarchy::build(&system.graph, &ChConfig::default());
+            hl = HubLabels::build(&ch);
+            Dist::Hl(kspin::adapters::HlDistance::new(&hl))
+        }
+        other => return Err(format!("unknown --dist {other:?}")),
+    };
+
+    // One engine per command keeps borrows simple; index reuse dominates.
+    macro_rules! with_engine {
+        (|$e:ident| $body:expr) => {
+            match &mut dist {
+                Dist::Dij(d) => {
+                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    $body
+                }
+                Dist::Bi(d) => {
+                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    $body
+                }
+                Dist::Astar(d) => {
+                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    $body
+                }
+                Dist::Ch(d) => {
+                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    $body
+                }
+                Dist::Hl(d) => {
+                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    $body
+                }
+            }
+        };
+    }
+
+    eprintln!("ready — type `help` for commands");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+        match tokens.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!("  bknn <vertex> <k> and|or <kw> [kw…]");
+                println!("  topk <vertex> <k> <kw> [kw…]");
+                println!("  stats | quit");
+            }
+            ["stats"] => {
+                println!(
+                    "  index {} KiB, ALT {} KiB",
+                    system.index.size_bytes() / 1024,
+                    system.alt.size_bytes() / 1024
+                );
+            }
+            ["bknn", vertex, k, op, kws @ ..] if !kws.is_empty() => {
+                let (Ok(v), Ok(k)) = (vertex.parse::<u32>(), k.parse::<usize>()) else {
+                    println!("  bad vertex/k");
+                    continue;
+                };
+                if v as usize >= system.graph.num_vertices() {
+                    println!("  vertex out of range");
+                    continue;
+                }
+                let op = match *op {
+                    "and" => Op::And,
+                    "or" => Op::Or,
+                    _ => {
+                        println!("  operator must be and|or");
+                        continue;
+                    }
+                };
+                let terms = system.terms(kws);
+                if terms.len() < kws.len() {
+                    println!("  note: {} unknown keyword(s) ignored", kws.len() - terms.len());
+                }
+                let t0 = std::time::Instant::now();
+                let results: Vec<(ObjectId, Weight)> =
+                    with_engine!(|e| e.bknn(v, k, &terms, op));
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                for (o, d) in &results {
+                    let words: Vec<&str> = system
+                        .corpus
+                        .doc(*o)
+                        .iter()
+                        .map(|p| system.vocab.term(p.term))
+                        .collect();
+                    println!("  object {o} @ vertex {} dist {d}  [{}]", system.corpus.vertex_of(*o), words.join(" "));
+                }
+                println!("  ({} results in {us:.0} µs)", results.len());
+            }
+            ["topk", vertex, k, kws @ ..] if !kws.is_empty() => {
+                let (Ok(v), Ok(k)) = (vertex.parse::<u32>(), k.parse::<usize>()) else {
+                    println!("  bad vertex/k");
+                    continue;
+                };
+                if v as usize >= system.graph.num_vertices() {
+                    println!("  vertex out of range");
+                    continue;
+                }
+                let terms = system.terms(kws);
+                let t0 = std::time::Instant::now();
+                let results: Vec<(ObjectId, f64)> =
+                    with_engine!(|e| e.top_k(v, k, &terms));
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                for (o, s) in &results {
+                    println!("  object {o} @ vertex {} score {s:.1}", system.corpus.vertex_of(*o));
+                }
+                println!("  ({} results in {us:.0} µs)", results.len());
+            }
+            _ => println!("  unrecognized command (try `help`)"),
+        }
+        out.flush().ok();
+    }
+    Ok(())
+}

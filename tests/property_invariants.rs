@@ -1,0 +1,160 @@
+//! Property-based invariants over randomly generated graphs and corpora.
+//!
+//! These go beyond the seeded fixtures: proptest drives graph topology,
+//! weights, object placement and query parameters, shrinking any failure
+//! to a minimal counterexample.
+
+use proptest::prelude::*;
+
+use kspin::prelude::*;
+use kspin_alt::{AltIndex, LandmarkStrategy};
+use kspin_ch::{ChConfig, ContractionHierarchy};
+use kspin_core::query::baseline::brute_bknn;
+use kspin_core::LowerBound;
+use kspin_graph::{Dijkstra, GraphBuilder};
+use kspin_hl::HubLabels;
+use kspin_nvd::ApproxNvd;
+use kspin_text::CorpusBuilder;
+
+/// A connected random graph: a spanning path plus random extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..100), 0..60))
+        .prop_map(|(n, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for v in 0..n as u32 {
+                b.set_coord(v, kspin_graph::Point::new((v as i32 * 37) % 100, (v as i32 * 61) % 100));
+            }
+            // Spanning path guarantees connectivity.
+            for v in 0..n as u32 - 1 {
+                b.add_edge(v, v + 1, 1 + (v % 7));
+            }
+            for (u, v, w) in extras {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ch_and_hl_agree_with_dijkstra(g in arb_graph(), s in 0u32..40, t in 0u32..40) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (s % n, t % n);
+        let ch = ContractionHierarchy::build(&g, &ChConfig::default());
+        let hl = HubLabels::build(&ch);
+        let mut chq = kspin_ch::ChQuery::new(&ch);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let want = dij.one_to_one(&g, s, t);
+        prop_assert_eq!(chq.distance(s, t), want);
+        prop_assert_eq!(hl.distance(s, t), want);
+    }
+
+    #[test]
+    fn alt_bounds_are_admissible(g in arb_graph(), s in 0u32..40, t in 0u32..40) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (s % n, t % n);
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 1);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let want = dij.one_to_one(&g, s, t);
+        prop_assert!(alt.lower_bound(s, t) <= want);
+    }
+
+    #[test]
+    fn approx_nvd_keeps_the_one_nn(
+        g in arb_graph(),
+        gens_raw in proptest::collection::btree_set(0u32..40, 1..8),
+        rho in 1usize..5,
+        q in 0u32..40,
+    ) {
+        let n = g.num_vertices() as u32;
+        let q = q % n;
+        let gens: Vec<VertexId> = gens_raw.into_iter().map(|v| v % n)
+            .collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let apx = ApproxNvd::build(&g, &gens, rho);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let dists = dij.one_to_many(&g, q, &gens);
+        let best = *dists.iter().min().unwrap();
+        let cands = apx.leaf_candidates(g.coord(q));
+        prop_assert!(
+            cands.iter().any(|&c| dists[c as usize] == best),
+            "1NN missing: dists {:?}, candidates {:?}", dists, cands
+        );
+    }
+
+    #[test]
+    fn kspin_bknn_is_exact_on_random_corpora(
+        g in arb_graph(),
+        placements in proptest::collection::btree_map(0u32..40, proptest::collection::vec(0u32..6, 1..4), 1..12),
+        q in 0u32..40,
+        k in 1usize..6,
+        conjunctive in any::<bool>(),
+    ) {
+        let n = g.num_vertices() as u32;
+        let q = q % n;
+        let mut cb = CorpusBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for (v, terms) in placements {
+            let v = v % n;
+            if !used.insert(v) {
+                continue;
+            }
+            let doc: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            cb.add_object(v, &doc);
+        }
+        let corpus = cb.build();
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 2);
+        let index = KspinIndex::build(&g, &corpus, &KspinConfig { rho: 2, num_threads: 1 });
+        let mut engine = QueryEngine::new(&g, &corpus, &index, &alt, DijkstraDistance::new(&g));
+        let op = if conjunctive { Op::And } else { Op::Or };
+        let got = engine.bknn(q, k, &[0, 1], op);
+        let want = brute_bknn(&g, &corpus, q, k, &[0, 1], op);
+        let gd: Vec<Weight> = got.iter().map(|&(_, d)| d).collect();
+        let wd: Vec<Weight> = want.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(gd, wd);
+    }
+
+    #[test]
+    fn kspin_topk_is_exact_on_random_corpora(
+        g in arb_graph(),
+        placements in proptest::collection::btree_map(0u32..40, proptest::collection::vec(0u32..6, 1..4), 1..12),
+        q in 0u32..40,
+        k in 1usize..6,
+    ) {
+        let n = g.num_vertices() as u32;
+        let q = q % n;
+        let mut cb = CorpusBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for (v, terms) in placements {
+            let v = v % n;
+            if !used.insert(v) {
+                continue;
+            }
+            let doc: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            cb.add_object(v, &doc);
+        }
+        let corpus = cb.build();
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 3);
+        let index = KspinIndex::build(&g, &corpus, &KspinConfig { rho: 2, num_threads: 1 });
+        let mut engine = QueryEngine::new(&g, &corpus, &index, &alt, DijkstraDistance::new(&g));
+        let got = engine.top_k(q, k, &[0, 1]);
+        let want = kspin_core::query::baseline::brute_topk(&g, &corpus, q, k, &[0, 1]);
+        prop_assert_eq!(got.len(), want.len());
+        for ((_, gs), (_, ws)) in got.iter().zip(&want) {
+            prop_assert!((gs - ws).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lower_bound_trait_object_is_consistent(g in arb_graph()) {
+        let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 4);
+        let dynamic: &dyn LowerBound = &alt;
+        for s in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(dynamic.lower_bound(s, s), 0);
+        }
+    }
+}
