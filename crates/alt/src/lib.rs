@@ -42,7 +42,12 @@ impl AltIndex {
     ///
     /// # Panics
     /// If the graph is empty or `num_landmarks` is zero.
-    pub fn build(graph: &Graph, num_landmarks: usize, strategy: LandmarkStrategy, seed: u64) -> Self {
+    pub fn build(
+        graph: &Graph,
+        num_landmarks: usize,
+        strategy: LandmarkStrategy,
+        seed: u64,
+    ) -> Self {
         let n = graph.num_vertices();
         assert!(n > 0, "cannot build ALT over an empty graph");
         assert!(num_landmarks > 0, "need at least one landmark");
@@ -83,7 +88,8 @@ impl AltIndex {
                     state ^= state >> 12;
                     state ^= state << 25;
                     state ^= state >> 27;
-                    let v = ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) % n as u64) as VertexId;
+                    let v =
+                        ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) % n as u64) as VertexId;
                     if chosen.insert(v) {
                         landmarks.push(v);
                         dist.push(Self::distances_from(graph, &mut dijkstra, v));

@@ -34,7 +34,13 @@ fn main() {
     // ---- 1. lower-bound oracle -----------------------------------------
     header(
         "Ablation 1: lower-bound oracle (k=10, 2 terms)",
-        &["oracle", "top-k (us)", "BkNN (us)", "dists/query", "LBs/query"],
+        &[
+            "oracle",
+            "top-k (us)",
+            "BkNN (us)",
+            "dists/query",
+            "LBs/query",
+        ],
     );
     let alt16 = AltIndex::build(&ds.graph, 16, LandmarkStrategy::Farthest, 0);
     let alt4 = AltIndex::build(&ds.graph, 4, LandmarkStrategy::Farthest, 0);
@@ -93,7 +99,11 @@ fn main() {
         let s = e.stats();
         row(
             label,
-            &[t_topk, t_bknn, s.lb_computations as f64 / (2 * qs.len()) as f64],
+            &[
+                t_topk,
+                t_bknn,
+                s.lb_computations as f64 / (2 * qs.len()) as f64,
+            ],
         );
     }
 }

@@ -9,7 +9,9 @@
 //! candidate stream.
 
 use kspin::adapters::{ChDistance, HlDistance};
-use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_bench::{
+    build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query,
+};
 use kspin_core::{Op, QueryEngine};
 use kspin_fsfbs::{FsFbs, FsFbsConfig};
 use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
@@ -24,11 +26,23 @@ fn main() {
 
     let run = |k: usize, num_terms: usize| -> Vec<f64> {
         let qs = std_queries(&ds, num_terms);
-        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let mut e_hl = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            HlDistance::new(&o.hl),
+        );
         let t_hl = time_per_query(&qs, |q| {
             e_hl.bknn(q.vertex, k, &q.terms, Op::And);
         });
-        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let mut e_ch = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            ChDistance::new(&o.ch),
+        );
         let t_ch = time_per_query(&qs, |q| {
             e_ch.bknn(q.vertex, k, &q.terms, Op::And);
         });

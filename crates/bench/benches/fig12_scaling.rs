@@ -6,13 +6,19 @@
 //! pruning power), so K-SPIN's relative advantage *grows* with scale.
 
 use kspin::adapters::{ChDistance, HlDistance};
-use kspin_bench::{build_dataset, build_oracles, full_scale, header, row, std_queries, time_per_query, SCALES};
+use kspin_bench::{
+    build_dataset, build_oracles, full_scale, header, row, std_queries, time_per_query, SCALES,
+};
 use kspin_core::{Op, QueryEngine};
 use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
 use kspin_road::RoadIndex;
 
 fn main() {
-    let max_vertices = if full_scale() { usize::MAX } else { SCALES[2].1 };
+    let max_vertices = if full_scale() {
+        usize::MAX
+    } else {
+        SCALES[2].1
+    };
     let mut topk_rows = Vec::new();
     let mut bknn_rows = Vec::new();
 
@@ -27,8 +33,20 @@ fn main() {
         let road = RoadIndex::build(&o.gt, &ds.graph, &ds.corpus);
         let qs = std_queries(&ds, 2);
 
-        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
-        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let mut e_hl = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            HlDistance::new(&o.hl),
+        );
+        let mut e_ch = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            ChDistance::new(&o.ch),
+        );
         let topk = vec![
             time_per_query(&qs, |q| {
                 e_hl.top_k(q.vertex, 10, &q.terms);

@@ -47,8 +47,20 @@ fn main() {
             row(format!("{lo:.0e}"), &[0.0, -1.0, -1.0, -1.0]);
             continue;
         }
-        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
-        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let mut e_hl = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            HlDistance::new(&o.hl),
+        );
+        let mut e_ch = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            ChDistance::new(&o.ch),
+        );
         let time = |f: &mut dyn FnMut(TermId, u32)| -> f64 {
             let t0 = std::time::Instant::now();
             for &t in &terms {
@@ -67,6 +79,9 @@ fn main() {
         let t_gtree = time(&mut |t, q| {
             sk.bknn(q, 10, &[t], false, OccurrenceMode::Aggregated);
         });
-        row(format!("{lo:.0e}"), &[terms.len() as f64, t_hl, t_ch, t_gtree]);
+        row(
+            format!("{lo:.0e}"),
+            &[terms.len() as f64, t_hl, t_ch, t_gtree],
+        );
     }
 }

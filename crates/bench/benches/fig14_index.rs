@@ -13,7 +13,11 @@ use kspin_gtree::GtreeSpatialKeyword;
 use kspin_road::RoadIndex;
 
 fn main() {
-    let max_vertices = if full_scale() { usize::MAX } else { SCALES[2].1 };
+    let max_vertices = if full_scale() {
+        usize::MAX
+    } else {
+        SCALES[2].1
+    };
     let mut size_rows = Vec::new();
     let mut time_rows = Vec::new();
 
@@ -25,9 +29,14 @@ fn main() {
         let ds = build_dataset(name, vertices);
 
         let t0 = Instant::now();
-        let alt = kspin_alt::AltIndex::build(&ds.graph, 16, kspin_alt::LandmarkStrategy::Farthest, 0);
+        let alt =
+            kspin_alt::AltIndex::build(&ds.graph, 16, kspin_alt::LandmarkStrategy::Farthest, 0);
         let t_alt = t0.elapsed().as_secs_f64();
-        let index = kspin_core::KspinIndex::build(&ds.graph, &ds.corpus, &kspin_core::KspinConfig::default());
+        let index = kspin_core::KspinIndex::build(
+            &ds.graph,
+            &ds.corpus,
+            &kspin_core::KspinConfig::default(),
+        );
         let t_kspin = index.stats().build_seconds + t_alt;
 
         let t0 = Instant::now();
@@ -64,15 +73,21 @@ fn main() {
                 mib(hl.size_bytes() + fsfbs.size_bytes()),
             ],
         ));
-        time_rows.push((
-            name,
-            vec![t_kspin, t_ch, t_ch + t_hl, t_gt, t_road, t_fs],
-        ));
+        time_rows.push((name, vec![t_kspin, t_ch, t_ch + t_hl, t_gt, t_road, t_fs]));
     }
 
     header(
         "Fig 14(a): index sizes (MiB)",
-        &["dataset", "Input", "K-SPIN+ALT", "CH", "HL", "G-tree", "ROAD", "FS-FBS"],
+        &[
+            "dataset",
+            "Input",
+            "K-SPIN+ALT",
+            "CH",
+            "HL",
+            "G-tree",
+            "ROAD",
+            "FS-FBS",
+        ],
     );
     for (name, values) in size_rows {
         row(name, &values);
@@ -80,7 +95,15 @@ fn main() {
 
     header(
         "Fig 14(b): construction time (s)",
-        &["dataset", "K-SPIN+ALT", "CH", "HL", "G-tree", "ROAD", "FS-FBS"],
+        &[
+            "dataset",
+            "K-SPIN+ALT",
+            "CH",
+            "HL",
+            "G-tree",
+            "ROAD",
+            "FS-FBS",
+        ],
     );
     for (name, values) in time_rows {
         row(name, &values);

@@ -8,7 +8,9 @@
 //! lower bounds and heap maintenance on top.
 
 use kspin::adapters::GtreeNetworkDistance;
-use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_bench::{
+    build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query,
+};
 use kspin_core::QueryEngine;
 use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
 

@@ -22,7 +22,14 @@ fn main() {
 
     header(
         "Fig 16: matrix operations per top-k query on the shared G-tree index",
-        &["k", "KS-GT", "Gtree-Opt", "G-tree", "pseudo-doc lookups: Opt", "G-tree"],
+        &[
+            "k",
+            "KS-GT",
+            "Gtree-Opt",
+            "G-tree",
+            "pseudo-doc lookups: Opt",
+            "G-tree",
+        ],
     );
     for k in [1usize, 5, 10, 25, 50] {
         let qs = std_queries(&ds, 2);
@@ -37,13 +44,17 @@ fn main() {
         let mut ops_opt = 0u64;
         let mut lookups_opt = 0u64;
         for q in &qs {
-            ops_opt += sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::PerKeyword).1;
+            ops_opt += sk
+                .top_k(q.vertex, k, &q.terms, OccurrenceMode::PerKeyword)
+                .1;
             lookups_opt += sk.last_pseudo_lookups();
         }
         let mut ops_agg = 0u64;
         let mut lookups_agg = 0u64;
         for q in &qs {
-            ops_agg += sk.top_k(q.vertex, k, &q.terms, OccurrenceMode::Aggregated).1;
+            ops_agg += sk
+                .top_k(q.vertex, k, &q.terms, OccurrenceMode::Aggregated)
+                .1;
             lookups_agg += sk.last_pseudo_lookups();
         }
         let n = qs.len() as f64;

@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use kspin::adapters::ChDistance;
 use kspin_alt::{AltIndex, LandmarkStrategy};
-use kspin_bench::{build_dataset, default_scale, header, mib, row, std_queries, time_per_query, SCALES};
+use kspin_bench::{
+    build_dataset, default_scale, header, mib, row, std_queries, time_per_query, SCALES,
+};
 use kspin_ch::{ChConfig, ContractionHierarchy};
 use kspin_core::{KspinConfig, KspinIndex, Op, QueryEngine};
 use kspin_nvd::{ApproxNvd, ExactNvd, RTreeNvd};
@@ -94,18 +96,17 @@ fn main() {
                 rtree += postings.len() * 9;
                 continue;
             }
-            let gens: Vec<u32> = postings.iter().map(|p| sds.corpus.vertex_of(p.object)).collect();
+            let gens: Vec<u32> = postings
+                .iter()
+                .map(|p| sds.corpus.vertex_of(p.object))
+                .collect();
             let exact = ExactNvd::build(&sds.graph, &gens);
             rtree += RTreeNvd::build(&sds.graph, &exact).size_bytes();
             quad += ApproxNvd::from_exact(&sds.graph, exact, rho).size_bytes();
         }
         row(
             sname,
-            &[
-                sds.corpus.total_occurrences() as f64,
-                mib(quad),
-                mib(rtree),
-            ],
+            &[sds.corpus.total_occurrences() as f64, mib(quad), mib(rtree)],
         );
     }
 

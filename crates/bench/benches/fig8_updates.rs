@@ -61,7 +61,8 @@ fn main() {
         "Fig 8(a): single-keyword BkNN query time after x% lazy insertions (us)",
         &["x%", "small", "medium", "large"],
     );
-    let mut rows: Vec<(usize, Vec<f64>)> = [0usize, 1, 2, 5].iter().map(|&x| (x, Vec::new())).collect();
+    let mut rows: Vec<(usize, Vec<f64>)> =
+        [0usize, 1, 2, 5].iter().map(|&x| (x, Vec::new())).collect();
     let mut insert_times: Vec<(String, f64, f64)> = Vec::new();
 
     for (label, t) in picks {
@@ -82,7 +83,12 @@ fn main() {
             let mut dist = HlDistance::new(&hl);
             let t0 = Instant::now();
             for &o in &late {
-                index.insert_object(&ds.graph, &ds.corpus, o, &mut dist as &mut dyn NetworkDistance);
+                index.insert_object(
+                    &ds.graph,
+                    &ds.corpus,
+                    o,
+                    &mut dist as &mut dyn NetworkDistance,
+                );
             }
             let insert_total = t0.elapsed().as_secs_f64();
             if *x == 5 {
@@ -109,7 +115,12 @@ fn main() {
                 );
                 let mut dist = HlDistance::new(&hl);
                 for &o in &late {
-                    index.insert_object(&ds.graph, &ds.corpus, o, &mut dist as &mut dyn NetworkDistance);
+                    index.insert_object(
+                        &ds.graph,
+                        &ds.corpus,
+                        o,
+                        &mut dist as &mut dyn NetworkDistance,
+                    );
                 }
             }
             let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &index, &alt, HlDistance::new(&hl));

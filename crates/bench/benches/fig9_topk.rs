@@ -6,7 +6,9 @@
 //! the aggregated methods growing as k shrinks relevance of far groups.
 
 use kspin::adapters::{ChDistance, GtreeNetworkDistance, HlDistance};
-use kspin_bench::{build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query};
+use kspin_bench::{
+    build_dataset, build_oracles, default_scale, header, row, std_queries, time_per_query,
+};
 use kspin_core::QueryEngine;
 use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
 use kspin_road::RoadIndex;
@@ -21,11 +23,23 @@ fn main() {
 
     let run = |k: usize, num_terms: usize| -> Vec<f64> {
         let qs = std_queries(&ds, num_terms);
-        let mut e_ch = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let mut e_ch = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            ChDistance::new(&o.ch),
+        );
         let t_ch = time_per_query(&qs, |q| {
             e_ch.top_k(q.vertex, k, &q.terms);
         });
-        let mut e_hl = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let mut e_hl = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            HlDistance::new(&o.hl),
+        );
         let t_hl = time_per_query(&qs, |q| {
             e_hl.top_k(q.vertex, k, &q.terms);
         });

@@ -8,7 +8,9 @@
 //! the largest — the paper could not build it at the US scale at all.
 
 use kspin::adapters::{ChDistance, HlDistance};
-use kspin_bench::{build_dataset, build_oracles, default_scale, mib, qps, std_queries, time_per_query};
+use kspin_bench::{
+    build_dataset, build_oracles, default_scale, mib, qps, std_queries, time_per_query,
+};
 use kspin_core::{Op, QueryEngine};
 use kspin_fsfbs::{FsFbs, FsFbsConfig};
 use kspin_gtree::{GtreeSpatialKeyword, OccurrenceMode};
@@ -38,11 +40,21 @@ fn main() {
                 format!("{v:.0}")
             }
         };
-        println!("{name:<24} {size:>16.1} {:>12} {:>12}", fmt(topk), fmt(bknn));
+        println!(
+            "{name:<24} {size:>16.1} {:>12} {:>12}",
+            fmt(topk),
+            fmt(bknn)
+        );
     };
 
     {
-        let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, ChDistance::new(&o.ch));
+        let mut e = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            ChDistance::new(&o.ch),
+        );
         let topk = qps(time_per_query(&qs, |q| {
             e.top_k(q.vertex, 10, &q.terms);
         }));
@@ -57,7 +69,13 @@ fn main() {
         );
     }
     {
-        let mut e = QueryEngine::new(&ds.graph, &ds.corpus, &o.index, &o.alt, HlDistance::new(&o.hl));
+        let mut e = QueryEngine::new(
+            &ds.graph,
+            &ds.corpus,
+            &o.index,
+            &o.alt,
+            HlDistance::new(&o.hl),
+        );
         let topk = qps(time_per_query(&qs, |q| {
             e.top_k(q.vertex, 10, &q.terms);
         }));

@@ -54,7 +54,10 @@ pub fn default_scale() -> (&'static str, usize) {
 /// Builds a dataset at `vertices` scale with Table 2-like keyword ratios.
 pub fn build_dataset(name: &'static str, vertices: usize) -> Dataset {
     let graph = road_network(&RoadNetworkConfig::new(vertices, 0x5eed ^ vertices as u64));
-    let (corpus, vocab) = corpus(&CorpusConfig::new(graph.num_vertices(), 0xc0de ^ vertices as u64));
+    let (corpus, vocab) = corpus(&CorpusConfig::new(
+        graph.num_vertices(),
+        0xc0de ^ vertices as u64,
+    ));
     Dataset {
         name,
         graph,
@@ -137,8 +140,12 @@ pub fn build_oracles(ds: &Dataset) -> Oracles {
     let t0 = Instant::now();
     let alt = kspin_alt::AltIndex::build(&ds.graph, 16, kspin_alt::LandmarkStrategy::Farthest, 0);
     eprintln!("  ALT built in {:.1}s", t0.elapsed().as_secs_f64());
-    let index = kspin_core::KspinIndex::build(&ds.graph, &ds.corpus, &kspin_core::KspinConfig::default());
-    eprintln!("  K-SPIN index built in {:.1}s", index.stats().build_seconds);
+    let index =
+        kspin_core::KspinIndex::build(&ds.graph, &ds.corpus, &kspin_core::KspinConfig::default());
+    eprintln!(
+        "  K-SPIN index built in {:.1}s",
+        index.stats().build_seconds
+    );
     let t0 = Instant::now();
     let ch = kspin_ch::ContractionHierarchy::build(&ds.graph, &kspin_ch::ChConfig::default());
     eprintln!("  CH built in {:.1}s", t0.elapsed().as_secs_f64());

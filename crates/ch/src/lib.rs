@@ -68,7 +68,7 @@ mod tests {
     fn path_graph_distances() {
         let mut b = GraphBuilder::new(6);
         for v in 0..5 {
-            b.add_edge(v, v + 1, (v + 1) as u32);
+            b.add_edge(v, v + 1, v + 1);
         }
         let g = b.build();
         let ch = ContractionHierarchy::build(&g, &ChConfig::default());

@@ -26,8 +26,11 @@ use crate::modules::LowerBound;
 
 /// Everything a heap needs to compute lower bounds for one query.
 pub struct HeapContext<'a> {
+    /// The road network.
     pub graph: &'a Graph,
+    /// The object corpus.
     pub corpus: &'a Corpus,
+    /// The pluggable lower-bounding oracle (§3's first module).
     pub lower_bound: &'a dyn LowerBound,
     /// The query vertex.
     pub q: VertexId,
@@ -53,7 +56,9 @@ impl<'a> HeapContext<'a> {
 /// An extracted candidate: corpus object plus the lower bound it carried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Candidate {
+    /// The extracted object.
     pub object: ObjectId,
+    /// The MINKEY it was extracted under (Property 1's bound).
     pub lower_bound: Weight,
 }
 
@@ -69,6 +74,10 @@ pub struct InvertedHeap<'a> {
     inserted: Vec<bool>,
     /// Lower-bound computations performed (for the §5.1 cost accounting).
     lb_computed: usize,
+    /// Key of the last extraction, for the Property-1 audit (debug builds
+    /// and the `audit` feature only).
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    last_extracted_lb: Option<Weight>,
 }
 
 impl<'a> InvertedHeap<'a> {
@@ -109,6 +118,8 @@ impl<'a> InvertedHeap<'a> {
             heap,
             inserted,
             lb_computed,
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            last_extracted_lb: None,
         };
         h.skip_deleted(ctx);
         if h.heap.is_empty() {
@@ -127,12 +138,37 @@ impl<'a> InvertedHeap<'a> {
     /// holding for the remainder.
     pub fn extract(&mut self, ctx: &HeapContext<'_>) -> Option<Candidate> {
         let (Reverse(lb), local) = self.heap.pop()?;
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        self.audit_extraction_order(lb, ctx);
         self.reheap(local, ctx);
         self.skip_deleted(ctx);
         Some(Candidate {
             object: self.corpus_id(local),
             lower_bound: lb,
         })
+    }
+
+    /// The Property-1 audit: with an **exact** lower bound, every key the
+    /// heap hands out must be ≥ the previous one. Property 1 promises that
+    /// all not-yet-extracted objects (inserted or not) lie at true distance
+    /// ≥ MINKEY; an exact bound makes each later key equal that true
+    /// distance, so a decrease can only mean lazy seeding or `LazyReheap`
+    /// skipped a reachable object (e.g. a missing adjacency edge). Merely
+    /// admissible bounds may legally produce decreasing keys, so the audit
+    /// disarms for them ([`LowerBound::is_exact`]).
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn audit_extraction_order(&mut self, lb: Weight, ctx: &HeapContext<'_>) {
+        if !ctx.lower_bound.is_exact() {
+            return;
+        }
+        if let Some(prev) = self.last_extracted_lb {
+            assert!(
+                lb >= prev,
+                "Property 1 violated: extracted key {lb} after {prev} — \
+                 an unseen object was closer than a previous MINKEY"
+            );
+        }
+        self.last_extracted_lb = Some(lb);
     }
 
     /// Algorithm 4: push never-inserted neighbors of `local` in the NVD
@@ -251,7 +287,10 @@ mod tests {
                 rare = Some(t);
             }
         }
-        (frequent.expect("no frequent term"), rare.expect("no rare term"))
+        (
+            frequent.expect("no frequent term"),
+            rare.expect("no rare term"),
+        )
     }
 
     #[test]
@@ -268,7 +307,11 @@ mod tests {
         while let Some(c) = heap.extract(&ctx) {
             extracted.push(c);
         }
-        assert_eq!(extracted.len(), f.corpus.inv_len(t), "heap must drain the whole inverted list");
+        assert_eq!(
+            extracted.len(),
+            f.corpus.inv_len(t),
+            "heap must drain the whole inverted list"
+        );
         let dists: Vec<Weight> = extracted
             .iter()
             .map(|c| dij.one_to_one(&f.graph, 17, f.corpus.vertex_of(c.object)))
@@ -308,7 +351,9 @@ mod tests {
         // Drain until we see an object at distance `best`; Property 1 says
         // no extraction before it may have LB above `best`.
         loop {
-            let c = heap.extract(&ctx).expect("1NN must be extracted eventually");
+            let c = heap
+                .extract(&ctx)
+                .expect("1NN must be extracted eventually");
             assert!(c.lower_bound <= best);
             if dij.one_to_one(&f.graph, q, f.corpus.vertex_of(c.object)) == best {
                 break;
@@ -395,8 +440,13 @@ mod tests {
         );
         f.index = index;
         let mut dist = DijkstraDistance::new(&f.graph);
-        f.index
-            .insert_into_term(&f.graph, &f.corpus, victim, t, &mut dist as &mut dyn NetworkDistance);
+        f.index.insert_into_term(
+            &f.graph,
+            &f.corpus,
+            victim,
+            t,
+            &mut dist as &mut dyn NetworkDistance,
+        );
 
         let ctx = HeapContext::new(&f.graph, &f.corpus, &f.alt, 29);
         let mut heap = InvertedHeap::create(&f.index, t, &ctx).unwrap();

@@ -98,8 +98,9 @@ impl NvdIndex {
 pub enum KeywordIndex {
     /// `|inv(t)| ≤ ρ`: the object list is the whole index.
     Small(SmallIndex),
-    /// Frequent keyword: ρ-approximate NVD.
-    Nvd(NvdIndex),
+    /// Frequent keyword: ρ-approximate NVD. Boxed so the Zipf-tail `Small`
+    /// majority keeps the per-term array entry small.
+    Nvd(Box<NvdIndex>),
 }
 
 /// Construction statistics reported by the index benches (Figs. 6, 14).
@@ -130,7 +131,12 @@ impl KspinIndex {
     /// Builds over the subset of objects for which `include` holds — the
     /// §6.2 update experiment builds over (100−x)% and lazily inserts the
     /// rest.
-    pub fn build_filtered<F>(graph: &Graph, corpus: &Corpus, include: F, config: &KspinConfig) -> Self
+    pub fn build_filtered<F>(
+        graph: &Graph,
+        corpus: &Corpus,
+        include: F,
+        config: &KspinConfig,
+    ) -> Self
     where
         F: Fn(ObjectId) -> bool + Sync,
     {
@@ -141,7 +147,7 @@ impl KspinIndex {
         let threads = config.num_threads.max(1);
 
         let mut shards: Vec<Vec<(TermId, KeywordIndex)>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::new();
             for _ in 0..threads {
                 let next = &next;
@@ -162,9 +168,23 @@ impl KspinIndex {
                     out
                 }));
             }
-            shards = handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
-        })
-        .expect("index build thread pool failed");
+            shards = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(shard) => shard,
+                    // Re-raise the worker's own panic payload so the
+                    // original failure reaches the caller, not a generic
+                    // join message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect();
+        });
+        if let Err(payload) = scope_result {
+            // Unreachable: every handle is joined above, so crossbeam's
+            // unjoined-child-panicked arm can never trigger; re-raise to
+            // preserve the payload if it somehow does.
+            std::panic::resume_unwind(payload);
+        }
 
         let mut entries: Vec<Option<KeywordIndex>> = (0..num_terms).map(|_| None).collect();
         let mut stats = BuildStats::default();
@@ -216,7 +236,7 @@ impl KspinIndex {
             }));
         }
         let apx = ApproxNvd::build(graph, &vertices, rho);
-        Some(KeywordIndex::Nvd(NvdIndex::new(apx, objects)))
+        Some(KeywordIndex::Nvd(Box::new(NvdIndex::new(apx, objects))))
     }
 
     /// The ρ the index was built with.
@@ -248,6 +268,114 @@ impl KspinIndex {
             .sum()
     }
 
+    /// The debug-mode invariant auditor: cross-checks every per-keyword
+    /// index against `corpus` and ρ, returning all violations found.
+    ///
+    /// Per keyword `t`, the audit asserts:
+    ///
+    /// * **ρ-split (Observation 1)** — a [`SmallIndex`] holds at most ρ
+    ///   objects and an [`NvdIndex`] was built over more than ρ generators.
+    ///   Lazy §6.2 updates may legitimately drift a term past the
+    ///   threshold, so fold pending updates with
+    ///   [`KspinIndex::rebuild_term`] before validating an updated index.
+    /// * Table consistency — `SmallIndex` parallel arrays agree in length
+    ///   and hold no duplicate object; `NvdIndex`'s local↔corpus id
+    ///   mapping is a bijection sized to the NVD's object set.
+    /// * Vertex agreement — each indexed object sits on its corpus vertex.
+    /// * The per-NVD structural audit [`ApproxNvd::validate`] (adjacency
+    ///   symmetry — Observation 2a — plus quadtree candidate invariants),
+    ///   with violations prefixed by the owning keyword.
+    pub fn validate(&self, corpus: &Corpus) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        for (ti, entry) in self.entries.iter().enumerate() {
+            let t = ti as TermId;
+            match entry {
+                None => {}
+                Some(KeywordIndex::Small(s)) => {
+                    if s.objects.len() != s.vertices.len() || s.objects.len() != s.alive.len() {
+                        errs.push(format!(
+                            "term {t}: Small parallel arrays disagree \
+                             ({} objects, {} vertices, {} alive flags)",
+                            s.objects.len(),
+                            s.vertices.len(),
+                            s.alive.len()
+                        ));
+                        continue;
+                    }
+                    if s.objects.len() > self.rho {
+                        errs.push(format!(
+                            "term {t}: ρ-split violated — Small index holds {} > ρ = {} objects",
+                            s.objects.len(),
+                            self.rho
+                        ));
+                    }
+                    for (i, &o) in s.objects.iter().enumerate() {
+                        if s.objects[..i].contains(&o) {
+                            errs.push(format!("term {t}: object {o} appears twice in Small index"));
+                        }
+                        if s.vertices[i] != corpus.vertex_of(o) {
+                            errs.push(format!(
+                                "term {t}: object {o} indexed at vertex {} but corpus places it at {}",
+                                s.vertices[i],
+                                corpus.vertex_of(o)
+                            ));
+                        }
+                    }
+                }
+                Some(KeywordIndex::Nvd(n)) => {
+                    if n.apx.num_original() <= self.rho {
+                        errs.push(format!(
+                            "term {t}: ρ-split violated — NVD built over {} ≤ ρ = {} generators",
+                            n.apx.num_original(),
+                            self.rho
+                        ));
+                    }
+                    if n.corpus_ids.len() != n.apx.num_total() {
+                        errs.push(format!(
+                            "term {t}: {} corpus ids for {} NVD objects",
+                            n.corpus_ids.len(),
+                            n.apx.num_total()
+                        ));
+                    }
+                    if n.local_of.len() != n.corpus_ids.len() {
+                        errs.push(format!(
+                            "term {t}: local_of has {} entries for {} corpus ids \
+                             (duplicate or missing object?)",
+                            n.local_of.len(),
+                            n.corpus_ids.len()
+                        ));
+                    }
+                    for (l, &o) in n.corpus_ids.iter().enumerate() {
+                        let l = l as u32;
+                        if n.local_of.get(&o) != Some(&l) {
+                            errs.push(format!(
+                                "term {t}: corpus_ids[{l}] = {o} but local_of[{o}] = {:?}",
+                                n.local_of.get(&o)
+                            ));
+                        }
+                        if (l as usize) < n.apx.num_total()
+                            && n.apx.object_vertex(l) != corpus.vertex_of(o)
+                        {
+                            errs.push(format!(
+                                "term {t}: object {o} indexed at vertex {} but corpus places it at {}",
+                                n.apx.object_vertex(l),
+                                corpus.vertex_of(o)
+                            ));
+                        }
+                    }
+                    if let Err(sub) = n.apx.validate() {
+                        errs.extend(sub.into_iter().map(|e| format!("term {t}: {e}")));
+                    }
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
     // ---- §6.2 updates -------------------------------------------------
 
     /// Lazily inserts corpus object `o` into the index of every keyword in
@@ -267,6 +395,10 @@ impl KspinIndex {
 
     /// Marks corpus object `o` deleted in every keyword index of its
     /// document.
+    ///
+    /// # Panics
+    /// If `o` is not currently live in one of its keywords' indexes (see
+    /// [`KspinIndex::delete_from_term`]).
     pub fn delete_object(&mut self, corpus: &Corpus, o: ObjectId) {
         let terms: Vec<TermId> = corpus.doc(o).iter().map(|p| p.term).collect();
         for t in terms {
@@ -276,6 +408,10 @@ impl KspinIndex {
 
     /// Adds object `o` to keyword `t`'s index ("adding a keyword to an
     /// existing object" in §6.2).
+    ///
+    /// # Panics
+    /// If `o` is already live in keyword `t`'s index — inserting a present
+    /// object would double-count it in every query touching `t`.
     pub fn insert_into_term(
         &mut self,
         graph: &Graph,
@@ -322,6 +458,13 @@ impl KspinIndex {
     }
 
     /// Removes object `o` from keyword `t`'s index (mark-only).
+    ///
+    /// # Panics
+    /// If `o` is not currently live in keyword `t`'s index. Deletion of an
+    /// absent object is a caller contract violation, not a recoverable
+    /// state: silently ignoring it would let the index drift from the
+    /// corpus and return stale objects from queries (§6.2 requires
+    /// delete-then-rebuild bookkeeping to stay exact).
     pub fn delete_from_term(&mut self, o: ObjectId, t: TermId) {
         match self.entries.get_mut(t as usize).and_then(Option::as_mut) {
             None => panic!("keyword {t} has no index"),
@@ -376,7 +519,10 @@ impl KspinIndex {
                 vertices,
             })
         } else {
-            KeywordIndex::Nvd(NvdIndex::new(ApproxNvd::build(graph, &vertices, self.rho), live))
+            KeywordIndex::Nvd(Box::new(NvdIndex::new(
+                ApproxNvd::build(graph, &vertices, self.rho),
+                live,
+            )))
         };
         self.entries[t as usize] = Some(fresh);
     }

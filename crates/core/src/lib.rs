@@ -18,6 +18,8 @@
 //! Zipf-tail keywords with `|inv(t)| ≤ ρ` (Observation 1), built in
 //! parallel over keywords (Observation 3), updatable in place (§6.2).
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod heap;
 pub mod index;
@@ -26,7 +28,10 @@ pub mod query;
 
 pub use engine::{QueryEngine, QueryStats};
 pub use index::{KspinConfig, KspinIndex};
-pub use modules::{AltAstarDistance, BiDijkstraDistance, DijkstraDistance, LowerBound, NetworkDistance};
+pub use modules::{
+    AltAstarDistance, BiDijkstraDistance, DijkstraDistance, ExactLowerBound, LowerBound,
+    NetworkDistance,
+};
 pub use query::boolean::BoolExpr;
 pub use query::topk::ScoreModel;
 pub use query::Op;

@@ -39,6 +39,16 @@ impl<T: NetworkDistance + ?Sized> NetworkDistance for &mut T {
 pub trait LowerBound {
     /// A lower bound on `d(s, t)`.
     fn lower_bound(&self, s: VertexId, t: VertexId) -> Weight;
+
+    /// Whether this bound is *exact*: `lower_bound(s, t) == d(s, t)` for
+    /// every pair. Exactness unlocks the strict Property-1 extraction-order
+    /// audit in the Heap Generator (keys must come out nondecreasing —
+    /// see [`crate::heap::InvertedHeap`]); merely admissible bounds like
+    /// ALT may legally insert a smaller key after a larger one was
+    /// extracted, so the audit stays off for them.
+    fn is_exact(&self) -> bool {
+        false
+    }
 }
 
 impl LowerBound for AltIndex {
@@ -55,6 +65,74 @@ pub struct ZeroLowerBound;
 impl LowerBound for ZeroLowerBound {
     fn lower_bound(&self, _: VertexId, _: VertexId) -> Weight {
         0
+    }
+}
+
+/// Module 1 taken to its limit: the exact network distance used as its own
+/// lower bound. The tightest admissible bound possible — and, because it is
+/// exact, the one that arms the strict Property-1 extraction-order audit
+/// ([`LowerBound::is_exact`] returns `true`).
+///
+/// Heap generation always bounds from the one query vertex, so a single
+/// cached SSSP per source answers every probe; the cache refreshes whenever
+/// the source changes. Intended for the invariant-audit tests and small
+/// ablation runs, not production queries — each fresh source costs a full
+/// Dijkstra.
+pub struct ExactLowerBound<'a> {
+    graph: &'a Graph,
+    cache: std::cell::RefCell<ExactCache>,
+}
+
+struct ExactCache {
+    source: Option<VertexId>,
+    dist: Vec<Weight>,
+    search: Dijkstra,
+}
+
+impl<'a> ExactLowerBound<'a> {
+    /// Creates the oracle over `graph` with an empty SSSP cache.
+    pub fn new(graph: &'a Graph) -> Self {
+        ExactLowerBound {
+            graph,
+            cache: std::cell::RefCell::new(ExactCache {
+                source: None,
+                dist: Vec::new(),
+                search: Dijkstra::new(graph.num_vertices()),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExactLowerBound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactLowerBound").finish_non_exhaustive()
+    }
+}
+
+impl LowerBound for ExactLowerBound<'_> {
+    fn lower_bound(&self, s: VertexId, t: VertexId) -> Weight {
+        let mut cache = self.cache.borrow_mut();
+        if cache.source != Some(s) {
+            let ExactCache {
+                dist,
+                search,
+                source,
+            } = &mut *cache;
+            search.sssp(self.graph, s);
+            let space = search.space();
+            dist.clear();
+            dist.extend((0..self.graph.num_vertices()).map(|v| {
+                space
+                    .distance(v as VertexId)
+                    .unwrap_or(kspin_graph::INFINITY)
+            }));
+            *source = Some(s);
+        }
+        cache.dist[t as usize]
+    }
+
+    fn is_exact(&self) -> bool {
+        true
     }
 }
 

@@ -6,12 +6,14 @@
 //! inspects every settled vertex. Every integration test in this workspace
 //! checks K-SPIN's exact results against these functions.
 
-use kspin_graph::{Dijkstra, Graph, VertexId, Weight};
+use kspin_graph::{Dijkstra, Graph, OrderedWeight, VertexId, Weight};
 use kspin_text::{score, Corpus, ObjectId, QueryTerms, TermId};
 
-use crate::query::{Op, OrdScore};
+use crate::query::Op;
 
-/// Exact BkNN by incremental network expansion.
+/// Exact BkNN by incremental network expansion — the INE family the paper
+/// excludes from its main comparison as uncompetitive (§7.1), kept here as
+/// the correctness oracle for Algorithm 1.
 pub fn ine_bknn(
     graph: &Graph,
     corpus: &Corpus,
@@ -47,8 +49,9 @@ pub fn ine_bknn(
     found
 }
 
-/// Exact top-k by network expansion with the standard early-termination
-/// bound: once `d_settled / TR_max ≥ D_k`, no farther object can win.
+/// Exact top-k (scores per Eq. 1) by network expansion with the standard
+/// early-termination bound: once `d_settled / TR_max ≥ D_k`, no farther
+/// object can win. Oracle for Algorithms 2–3 (§4.2).
 pub fn ine_topk(
     graph: &Graph,
     corpus: &Corpus,
@@ -65,36 +68,37 @@ pub fn ine_topk(
         return Vec::new();
     }
     let mut dij = Dijkstra::new(graph.num_vertices());
-    let mut best: std::collections::BinaryHeap<(OrdScore, ObjectId)> =
+    let mut best: std::collections::BinaryHeap<(OrderedWeight, ObjectId)> =
         std::collections::BinaryHeap::new();
     dij.run(graph, &[(q, 0)], |v, d| {
-        if best.len() == k {
-            let d_k = best.peek().expect("non-empty").0 .0;
-            if d as f64 / tr_max >= d_k {
-                return kspin_graph::dijkstra::Control::Stop;
-            }
+        let d_k = match best.peek() {
+            Some(&(s, _)) if best.len() == k => s.get(),
+            _ => f64::INFINITY,
+        };
+        if d as f64 / tr_max >= d_k {
+            return kspin_graph::dijkstra::Control::Stop;
         }
         if let Some(o) = corpus.object_at(v) {
             let tr = query.relevance(corpus, o);
             if tr > 0.0 {
                 let st = score(d, tr);
                 if best.len() < k {
-                    best.push((OrdScore(st), o));
-                } else if st < best.peek().expect("non-empty").0 .0 {
+                    best.push((OrderedWeight::new(st), o));
+                } else if st < d_k {
                     best.pop();
-                    best.push((OrdScore(st), o));
+                    best.push((OrderedWeight::new(st), o));
                 }
             }
         }
         kspin_graph::dijkstra::Control::Continue
     });
-    let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.0)).collect();
+    let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.get())).collect();
     out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     out
 }
 
-/// Brute-force top-k: score every object. The slowest possible oracle, used
-/// to validate `ine_topk` itself in tests.
+/// Brute-force top-k: score every object by Eq. 1 against a full SSSP. The
+/// slowest possible oracle, used to validate `ine_topk` itself in tests.
 pub fn brute_topk(
     graph: &Graph,
     corpus: &Corpus,
@@ -121,7 +125,8 @@ pub fn brute_topk(
     scored
 }
 
-/// Brute-force BkNN over the full object set (oracle for `ine_bknn`).
+/// Brute-force BkNN (§2's Boolean kNN semantics) over the full object set
+/// (oracle for `ine_bknn`).
 pub fn brute_bknn(
     graph: &Graph,
     corpus: &Corpus,

@@ -25,7 +25,13 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
     /// Boolean kNN (§2): the `k` nearest objects to `q` containing all
     /// (`Op::And`) or any (`Op::Or`) of `terms`. Results are sorted by
     /// ascending network distance (ties by object id) and are exact.
-    pub fn bknn(&mut self, q: VertexId, k: usize, terms: &[TermId], op: Op) -> Vec<(ObjectId, Weight)> {
+    pub fn bknn(
+        &mut self,
+        q: VertexId,
+        k: usize,
+        terms: &[TermId],
+        op: Op,
+    ) -> Vec<(ObjectId, Weight)> {
         let mut uniq = terms.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
@@ -60,10 +66,9 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
-            let d_k = if best.len() == k {
-                best.peek().expect("non-empty").0
-            } else {
-                Weight::MAX
+            let d_k = match best.peek() {
+                Some(&(d, _)) if best.len() == k => d,
+                _ => Weight::MAX,
             };
             // Heap with the globally smallest lower bound (line 6).
             let Some((i, min_lb)) = heaps
@@ -77,7 +82,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if min_lb >= d_k {
                 break; // line 5: no unseen object can beat the k-th best
             }
-            let c = heaps[i].extract(ctx).expect("non-empty heap");
+            let Some(c) = heaps[i].extract(ctx) else {
+                // Unreachable: heap `i` just reported a finite MINKEY.
+                debug_assert!(false, "heap {i} reported MINKEY but was empty");
+                break;
+            };
             self.stats.heap_extractions += 1;
             // Any object in this heap contains its keyword, so only
             // duplicates across heaps are filtered (line 10).
@@ -123,16 +132,19 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         };
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
         loop {
-            let d_k = if best.len() == k {
-                best.peek().expect("non-empty").0
-            } else {
-                Weight::MAX
+            let d_k = match best.peek() {
+                Some(&(d, _)) if best.len() == k => d,
+                _ => Weight::MAX,
             };
             let Some(min_lb) = heap.min_key() else { break };
             if min_lb >= d_k {
                 break;
             }
-            let c = heap.extract(ctx).expect("non-empty");
+            let Some(c) = heap.extract(ctx) else {
+                // Unreachable: the heap just reported a finite MINKEY.
+                debug_assert!(false, "driver heap reported MINKEY but was empty");
+                break;
+            };
             self.stats.heap_extractions += 1;
             // Filter before distance: the whole point of keyword
             // separation — false keyword matches never cost a graph
@@ -172,10 +184,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 .iter()
                 .position(|&x| x == o)
                 .is_some_and(|i| s.alive[i]),
-            Some(KeywordIndex::Nvd(n)) => n
-                .local_of
-                .get(&o)
-                .is_some_and(|&l| !n.apx.is_deleted(l)),
+            Some(KeywordIndex::Nvd(n)) => n.local_of.get(&o).is_some_and(|&l| !n.apx.is_deleted(l)),
         }
     }
 

@@ -33,17 +33,20 @@ pub enum BoolExpr {
 }
 
 impl BoolExpr {
-    /// Convenience: conjunction of plain keywords.
+    /// Convenience: conjunction of plain keywords (§2's conjunctive BkNN
+    /// criterion as an expression tree).
     pub fn all(terms: &[TermId]) -> Self {
         BoolExpr::And(terms.iter().map(|&t| BoolExpr::Term(t)).collect())
     }
 
-    /// Convenience: disjunction of plain keywords.
+    /// Convenience: disjunction of plain keywords (§2's disjunctive BkNN
+    /// criterion as an expression tree).
     pub fn any(terms: &[TermId]) -> Self {
         BoolExpr::Or(terms.iter().map(|&t| BoolExpr::Term(t)).collect())
     }
 
-    /// Whether object `o` satisfies the criterion.
+    /// Whether object `o` satisfies the criterion (the §2 Boolean filter
+    /// applied to `o`'s document).
     ///
     /// Empty `And` is vacuously true; empty `Or` is unsatisfiable.
     pub fn matches(&self, corpus: &Corpus, o: ObjectId) -> bool {
@@ -54,7 +57,8 @@ impl BoolExpr {
         }
     }
 
-    /// All keywords mentioned anywhere in the expression.
+    /// All keywords mentioned anywhere in the expression — the query's
+    /// keyword set ψ in §2's notation.
     pub fn terms(&self) -> Vec<TermId> {
         let mut out = Vec::new();
         self.collect_terms(&mut out);
@@ -77,7 +81,7 @@ impl BoolExpr {
     /// A driving set: keywords such that every object satisfying `self`
     /// contains at least one of them. `None` when the expression is
     /// unsatisfiable (empty `Or`). Chooses greedily by total inverted-list
-    /// length.
+    /// length, generalizing §4.1.2's least-frequent-keyword choice.
     pub fn driving_set(&self, corpus: &Corpus) -> Option<Vec<TermId>> {
         match self {
             BoolExpr::Term(t) => Some(vec![*t]),
@@ -101,17 +105,16 @@ impl BoolExpr {
                 children
                     .iter()
                     .filter_map(|c| c.driving_set(corpus))
-                    .min_by_key(|set| {
-                        set.iter().map(|&t| corpus.inv_len(t)).sum::<usize>()
-                    })
+                    .min_by_key(|set| set.iter().map(|&t| corpus.inv_len(t)).sum::<usize>())
             }
         }
     }
 }
 
 impl<D: NetworkDistance> QueryEngine<'_, D> {
-    /// Boolean kNN with an arbitrary ∧/∨ criterion. Exact; sorted by
-    /// ascending distance.
+    /// Boolean kNN with an arbitrary ∧/∨ criterion (the mixed-operator
+    /// queries of §2's remark), built on Algorithm 1's candidate generation.
+    /// Exact; sorted by ascending distance.
     ///
     /// # Panics
     /// If the expression has no driving set (an empty `And`).
@@ -135,10 +138,9 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
-            let d_k = if best.len() == k {
-                best.peek().expect("non-empty").0
-            } else {
-                Weight::MAX
+            let d_k = match best.peek() {
+                Some(&(d, _)) if best.len() == k => d,
+                _ => Weight::MAX,
             };
             let Some((i, min_lb)) = heaps
                 .iter()
@@ -151,7 +153,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if min_lb >= d_k {
                 break;
             }
-            let c = heaps[i].extract(&ctx).expect("non-empty");
+            let Some(c) = heaps[i].extract(&ctx) else {
+                // Unreachable: heap `i` just reported a finite MINKEY.
+                debug_assert!(false, "heap {i} reported MINKEY but was empty");
+                break;
+            };
             self.stats.heap_extractions += 1;
             if !evaluated.insert(c.object) || !expr.matches(self.corpus, c.object) {
                 self.stats.pruned_candidates += 1;

@@ -14,34 +14,6 @@ pub enum Op {
     Or,
 }
 
-/// Total order over `f64` scores for result heaps (scores are never NaN:
-/// relevance is positive for every candidate that reaches scoring).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdScore(pub f64);
-
-impl Eq for OrdScore {}
-
-impl PartialOrd for OrdScore {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdScore {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ord_score_orders_totally() {
-        let mut v = vec![OrdScore(3.5), OrdScore(0.1), OrdScore(f64::INFINITY), OrdScore(2.0)];
-        v.sort();
-        assert_eq!(v[0], OrdScore(0.1));
-        assert_eq!(v[3], OrdScore(f64::INFINITY));
-    }
-}
+// Result heaps order `f64` scores through `kspin_graph::OrderedWeight`,
+// the workspace's single sanctioned float-ordering site (lint
+// L2/total-order-weights).

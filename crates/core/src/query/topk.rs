@@ -11,13 +11,12 @@
 
 use std::collections::{BinaryHeap, HashSet};
 
-use kspin_graph::{VertexId, Weight};
+use kspin_graph::{OrderedWeight, VertexId, Weight};
 use kspin_text::{ObjectId, QueryTerms, TermId, TextModel};
 
 use crate::engine::QueryEngine;
 use crate::heap::{HeapContext, InvertedHeap};
 use crate::modules::NetworkDistance;
-use crate::query::OrdScore;
 
 /// How network distance and textual relevance combine into the
 /// spatio-textual score (§2: the framework is "orthogonal to the scoring
@@ -33,11 +32,17 @@ pub enum ScoreModel {
     /// `ST = α·d/max_dist + (1−α)·(1−min(TR,1))` — the weighted-sum
     /// alternative of [8]. `max_dist` normalizes distances into `[0, 1]`
     /// (distances above it clamp).
-    WeightedSum { alpha: f64, max_dist: Weight },
+    WeightedSum {
+        /// Spatial/textual balance in `[0, 1]`; higher favors proximity.
+        alpha: f64,
+        /// Distance normalizer; distances above it clamp to 1.
+        max_dist: Weight,
+    },
 }
 
 impl ScoreModel {
-    /// Combines a distance and a relevance into a score (lower = better).
+    /// Combines a distance and a relevance into a score, lower = better
+    /// (Eq. 1, or the weighted sum of [8]).
     #[inline]
     pub fn combine(&self, d: Weight, tr: f64) -> f64 {
         match *self {
@@ -64,10 +69,10 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         self.top_k_with(q, k, terms, TextModel::Cosine, ScoreModel::WeightedDistance)
     }
 
-    /// Top-k under any per-keyword-decomposable text model and any
-    /// monotone score model. As in the paper, candidates must share at
-    /// least one keyword with the query (under weighted sum, keyword-free
-    /// objects would otherwise all qualify with `TR = 0`).
+    /// Top-k (Algorithms 2–3, §4.2) under any per-keyword-decomposable
+    /// text model and any monotone score model. As in the paper, candidates
+    /// must share at least one keyword with the query (under weighted sum,
+    /// keyword-free objects would otherwise all qualify with `TR = 0`).
     pub fn top_k_with(
         &mut self,
         q: VertexId,
@@ -95,13 +100,12 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .collect();
 
         let mut processed: HashSet<ObjectId> = HashSet::new();
-        let mut best: BinaryHeap<(OrdScore, ObjectId)> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrderedWeight, ObjectId)> = BinaryHeap::new();
 
         loop {
-            let d_k = if best.len() == k {
-                best.peek().expect("non-empty").0 .0
-            } else {
-                f64::INFINITY
+            let d_k = match best.peek() {
+                Some(&(s, _)) if best.len() == k => s.get(),
+                _ => f64::INFINITY,
             };
             // Algorithm 3 line 5/6 with Algorithm 2 inlined: select the heap
             // with the smallest pseudo lower-bound score. The paper caches
@@ -110,7 +114,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // heaps' MINKEYs move, and performs the identical selection.
             let min_keys: Vec<Weight> = heaps
                 .iter()
-                .map(|h| h.as_ref().and_then(InvertedHeap::min_key).unwrap_or(Weight::MAX))
+                .map(|h| {
+                    h.as_ref()
+                        .and_then(InvertedHeap::min_key)
+                        .unwrap_or(Weight::MAX)
+                })
                 .collect();
             let mut chosen: Option<(usize, f64)> = None;
             for (i, &mk) in min_keys.iter().enumerate() {
@@ -127,16 +135,16 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 break; // Lemma 2: nothing unseen can beat the k-th score.
             }
 
-            let c = heaps[i]
-                .as_mut()
-                .expect("chosen heap exists")
-                .extract(&ctx)
-                .expect("chosen heap non-empty");
+            let Some(c) = heaps[i].as_mut().and_then(|h| h.extract(&ctx)) else {
+                // Unreachable: heap `i` was chosen because MINKEY(H_i) < ∞,
+                // which only live, non-empty heaps report.
+                debug_assert!(false, "chosen heap {i} must exist and be non-empty");
+                break;
+            };
             self.stats.heap_extractions += 1;
-            if heaps[i].as_ref().is_some_and(InvertedHeap::is_empty) {
-                // Keep counters before dropping the exhausted heap.
-                self.stats.lb_computations += heaps[i].as_ref().unwrap().lb_computed();
-                heaps[i] = None;
+            // Keep counters before dropping an exhausted heap.
+            if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
+                self.stats.lb_computations += h.lb_computed();
             }
             if !processed.insert(c.object) {
                 self.stats.pruned_candidates += 1;
@@ -155,16 +163,16 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             self.stats.dist_computations += 1;
             let st = score_model.combine(d, tr);
             if best.len() < k {
-                best.push((OrdScore(st), c.object));
+                best.push((OrderedWeight::new(st), c.object));
             } else if st < d_k {
                 best.pop();
-                best.push((OrdScore(st), c.object));
+                best.push((OrderedWeight::new(st), c.object));
             }
         }
         for h in heaps.into_iter().flatten() {
             self.stats.lb_computations += h.lb_computed();
         }
-        let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.0)).collect();
+        let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.get())).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }

@@ -4,12 +4,14 @@
 
 use kspin_alt::{AltIndex, LandmarkStrategy};
 use kspin_core::query::baseline::{brute_bknn, brute_topk};
-use kspin_core::{BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, Op, QueryEngine, ScoreModel};
-use kspin_text::TextModel;
+use kspin_core::{
+    BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, Op, QueryEngine, ScoreModel,
+};
 use kspin_graph::generate::{road_network, RoadNetworkConfig};
 use kspin_graph::{Graph, Weight};
 use kspin_text::generate::{corpus as gen_corpus, CorpusConfig};
 use kspin_text::workload::{query_vectors, WorkloadConfig};
+use kspin_text::TextModel;
 use kspin_text::{Corpus, ObjectId, TermId};
 
 struct World {
@@ -25,7 +27,14 @@ fn world(n: usize, seed: u64, rho: usize) -> World {
     cc.object_fraction = 0.08;
     let (corpus, _) = gen_corpus(&cc);
     let alt = AltIndex::build(&graph, 8, LandmarkStrategy::Farthest, seed);
-    let index = KspinIndex::build(&graph, &corpus, &KspinConfig { rho, num_threads: 2 });
+    let index = KspinIndex::build(
+        &graph,
+        &corpus,
+        &KspinConfig {
+            rho,
+            num_threads: 2,
+        },
+    );
     World {
         graph,
         corpus,
@@ -58,7 +67,10 @@ fn vectors(w: &World, len: usize) -> Vec<Vec<TermId>> {
 fn assert_same_distances(got: &[(ObjectId, Weight)], want: &[(ObjectId, Weight)], label: &str) {
     let gd: Vec<Weight> = got.iter().map(|&(_, d)| d).collect();
     let wd: Vec<Weight> = want.iter().map(|&(_, d)| d).collect();
-    assert_eq!(gd, wd, "{label}: distances differ\ngot  {got:?}\nwant {want:?}");
+    assert_eq!(
+        gd, wd,
+        "{label}: distances differ\ngot  {got:?}\nwant {want:?}"
+    );
 }
 
 fn assert_same_scores(got: &[(ObjectId, f64)], want: &[(ObjectId, f64)], label: &str) {
@@ -81,7 +93,11 @@ fn bknn_matches_oracle_across_k_and_ops() {
                 for op in [Op::And, Op::Or] {
                     let got = e.bknn(q, k, &terms, op);
                     let want = brute_bknn(&w.graph, &w.corpus, q, k, &terms, op);
-                    assert_same_distances(&got, &want, &format!("q={q} k={k} op={op:?} terms={terms:?}"));
+                    assert_same_distances(
+                        &got,
+                        &want,
+                        &format!("q={q} k={k} op={op:?} terms={terms:?}"),
+                    );
                 }
             }
         }
@@ -208,11 +224,17 @@ fn kappa_stays_a_small_multiple_of_k() {
     e.reset_stats();
     let _ = e.bknn(123, k, &terms, Op::Or);
     let kappa = e.stats().heap_extractions;
-    assert!(kappa <= 8 * k + 20, "BkNN κ = {kappa} too large for k = {k}");
+    assert!(
+        kappa <= 8 * k + 20,
+        "BkNN κ = {kappa} too large for k = {k}"
+    );
     e.reset_stats();
     let _ = e.top_k(123, k, &terms);
     let kappa = e.stats().heap_extractions;
-    assert!(kappa <= 12 * k + 20, "top-k κ = {kappa} too large for k = {k}");
+    assert!(
+        kappa <= 12 * k + 20,
+        "top-k κ = {kappa} too large for k = {k}"
+    );
 }
 
 #[test]
@@ -261,8 +283,21 @@ fn topk_is_exact_under_bm25() {
     let mut e = engine(&w);
     for terms in vectors(&w, 2).into_iter().take(3) {
         for q in [5u32, 432] {
-            let got = e.top_k_with(q, 5, &terms, TextModel::BM25_DEFAULT, ScoreModel::WeightedDistance);
-            let want = brute_topk_with(&w, q, 5, &terms, TextModel::BM25_DEFAULT, ScoreModel::WeightedDistance);
+            let got = e.top_k_with(
+                q,
+                5,
+                &terms,
+                TextModel::BM25_DEFAULT,
+                ScoreModel::WeightedDistance,
+            );
+            let want = brute_topk_with(
+                &w,
+                q,
+                5,
+                &terms,
+                TextModel::BM25_DEFAULT,
+                ScoreModel::WeightedDistance,
+            );
             assert_eq!(got.len(), want.len());
             for ((_, gs), ws) in got.iter().zip(&want) {
                 assert!((gs - ws).abs() < 1e-9, "bm25 q={q} terms={terms:?}");
@@ -311,7 +346,10 @@ fn score_models_rank_differently_but_both_exactly() {
                     5,
                     &terms,
                     TextModel::Cosine,
-                    ScoreModel::WeightedSum { alpha: 0.3, max_dist: 500_000 },
+                    ScoreModel::WeightedSum {
+                        alpha: 0.3,
+                        max_dist: 500_000,
+                    },
                 )
                 .iter()
                 .map(|&(o, _)| o)
@@ -321,7 +359,10 @@ fn score_models_rank_differently_but_both_exactly() {
             }
         }
     }
-    assert!(differ, "weighted-sum never changed any ranking — suspicious");
+    assert!(
+        differ,
+        "weighted-sum never changed any ranking — suspicious"
+    );
 }
 
 // ---- updates ----------------------------------------------------------
@@ -335,8 +376,11 @@ fn results_stay_exact_after_lazy_insertions() {
     let mut index = KspinIndex::build_filtered(
         &w0.graph,
         &w0.corpus,
-        |o| cut(o),
-        &KspinConfig { rho: 5, num_threads: 2 },
+        cut,
+        &KspinConfig {
+            rho: 5,
+            num_threads: 2,
+        },
     );
     let mut dist = DijkstraDistance::new(&w0.graph);
     for o in 0..w0.corpus.num_objects() as ObjectId {
@@ -366,7 +410,14 @@ fn results_stay_exact_after_lazy_insertions() {
 #[test]
 fn results_stay_exact_after_deletions() {
     let w = world(700, 53, 5);
-    let mut index = KspinIndex::build(&w.graph, &w.corpus, &KspinConfig { rho: 5, num_threads: 2 });
+    let mut index = KspinIndex::build(
+        &w.graph,
+        &w.corpus,
+        &KspinConfig {
+            rho: 5,
+            num_threads: 2,
+        },
+    );
     // Delete every 5th object.
     let deleted: Vec<ObjectId> = (0..w.corpus.num_objects() as ObjectId)
         .filter(|o| o % 5 == 0)
@@ -381,7 +432,7 @@ fn results_stay_exact_after_deletions() {
         &w.alt,
         DijkstraDistance::new(&w.graph),
     );
-    let is_deleted = |o: ObjectId| o % 5 == 0;
+    let is_deleted = |o: ObjectId| o.is_multiple_of(5);
     for terms in vectors(&w, 2).into_iter().take(3) {
         for q in [8u32, 600] {
             let got = e.bknn(q, 5, &terms, Op::Or);
@@ -410,7 +461,10 @@ fn rebuild_after_updates_preserves_results() {
         &w.graph,
         &w.corpus,
         |o| o % 2 == 0,
-        &KspinConfig { rho: 5, num_threads: 2 },
+        &KspinConfig {
+            rho: 5,
+            num_threads: 2,
+        },
     );
     let mut dist = DijkstraDistance::new(&w.graph);
     for o in 0..w.corpus.num_objects() as ObjectId {

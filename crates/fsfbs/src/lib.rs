@@ -63,7 +63,12 @@ pub struct FsFbs<'a> {
 
 impl<'a> FsFbs<'a> {
     /// Builds the backward labels and per-entry signatures.
-    pub fn build(graph: &Graph, corpus: &'a Corpus, labels: &'a HubLabels, config: FsFbsConfig) -> Self {
+    pub fn build(
+        graph: &Graph,
+        corpus: &'a Corpus,
+        labels: &'a HubLabels,
+        config: FsFbsConfig,
+    ) -> Self {
         let backward = labels.invert();
         let mut signatures = vec![0u64; backward.num_entries()];
         for h in 0..graph.num_vertices() as VertexId {

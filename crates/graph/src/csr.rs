@@ -83,7 +83,10 @@ impl Graph {
 
     /// Approximate in-memory size in bytes (CSR arrays + coordinates).
     pub fn size_bytes(&self) -> usize {
-        self.offsets.len() * 4 + self.targets.len() * 4 + self.weights.len() * 4 + self.coords.len() * 8
+        self.offsets.len() * 4
+            + self.targets.len() * 4
+            + self.weights.len() * 4
+            + self.coords.len() * 8
     }
 
     /// Axis-aligned bounding box over all vertex coordinates as
@@ -166,8 +169,7 @@ impl GraphBuilder {
                 std::mem::swap(&mut e.u, &mut e.v);
             }
         }
-        self.edges
-            .sort_unstable_by_key(|e| (e.u, e.v, e.weight));
+        self.edges.sort_unstable_by_key(|e| (e.u, e.v, e.weight));
         self.edges.dedup_by(|next, prev| {
             // Retain the first (minimum-weight) copy of each pair.
             next.u == prev.u && next.v == prev.v

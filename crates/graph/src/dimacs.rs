@@ -18,7 +18,12 @@ pub enum DimacsError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// Structural problem with the file contents.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for DimacsError {
@@ -58,9 +63,14 @@ pub fn read_gr<R: BufRead>(reader: R) -> Result<GraphBuilder, DimacsError> {
         match it.next() {
             None | Some("c") => continue,
             Some("p") => {
-                let kind = it.next().ok_or_else(|| parse_err(lineno, "missing problem kind"))?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing problem kind"))?;
                 if kind != "sp" {
-                    return Err(parse_err(lineno, format!("unsupported problem kind {kind:?}")));
+                    return Err(parse_err(
+                        lineno,
+                        format!("unsupported problem kind {kind:?}"),
+                    ));
                 }
                 let n: usize = it
                     .next()
@@ -84,7 +94,11 @@ pub fn read_gr<R: BufRead>(reader: R) -> Result<GraphBuilder, DimacsError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse_err(lineno, "bad arc weight"))?;
-                if u == 0 || v == 0 || u as usize > b.num_vertices() || v as usize > b.num_vertices() {
+                if u == 0
+                    || v == 0
+                    || u as usize > b.num_vertices()
+                    || v as usize > b.num_vertices()
+                {
                     return Err(parse_err(lineno, "arc endpoint out of range"));
                 }
                 if u != v {

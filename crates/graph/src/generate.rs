@@ -72,7 +72,10 @@ pub fn road_network(config: &RoadNetworkConfig) -> Graph {
         (0.0..1.0).contains(&config.deletion_rate),
         "deletion_rate must be in [0, 1)"
     );
-    assert!(config.max_congestion >= 1.0, "congestion factor below 1 would undercut Euclidean length");
+    assert!(
+        config.max_congestion >= 1.0,
+        "congestion factor below 1 would undercut Euclidean length"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let w = (config.vertices as f64).sqrt().ceil() as usize;
@@ -101,7 +104,8 @@ pub fn road_network(config: &RoadNetworkConfig) -> Graph {
         }
     }
 
-    let on_highway_line = |i: usize| config.highway_period > 0 && i % config.highway_period == 0;
+    let on_highway_line =
+        |i: usize| config.highway_period > 0 && i.is_multiple_of(config.highway_period);
     let add = |b: &mut GraphBuilder, rng: &mut StdRng, u: usize, v: usize, highway: bool| {
         let len = pts[u].dist(&pts[v]);
         let factor = rng.gen_range(1.0..=config.max_congestion);
@@ -109,7 +113,11 @@ pub fn road_network(config: &RoadNetworkConfig) -> Graph {
         if highway {
             weight /= config.highway_speedup.max(1.0);
         }
-        b.add_edge(u as VertexId, v as VertexId, weight.round().max(1.0) as Weight);
+        b.add_edge(
+            u as VertexId,
+            v as VertexId,
+            weight.round().max(1.0) as Weight,
+        );
     };
 
     for gy in 0..h {

@@ -19,6 +19,8 @@
 //! Distances are `u32` travel-time-like units; [`INFINITY`] marks
 //! unreachable. All vertex identifiers are dense `u32` indices.
 
+#![deny(missing_docs)]
+
 pub mod bidijkstra;
 pub mod connectivity;
 pub mod csr;
@@ -26,8 +28,10 @@ pub mod dijkstra;
 pub mod dimacs;
 pub mod generate;
 pub mod types;
+pub mod weight;
 
 pub use bidijkstra::BiDijkstra;
 pub use csr::{Graph, GraphBuilder};
 pub use dijkstra::{Dijkstra, SearchSpace};
 pub use types::{Edge, Point, VertexId, Weight, INFINITY};
+pub use weight::OrderedWeight;

@@ -24,7 +24,9 @@ pub const INFINITY: Weight = u32::MAX / 2;
 /// quadtrees, R-trees and geometric partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Point {
+    /// Horizontal coordinate (longitude in micro-degrees, or grid x).
     pub x: i32,
+    /// Vertical coordinate (latitude in micro-degrees, or grid y).
     pub y: i32,
 }
 
@@ -51,8 +53,11 @@ impl Point {
 /// An undirected edge as fed to [`crate::GraphBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
+    /// One endpoint.
     pub u: VertexId,
+    /// The other endpoint.
     pub v: VertexId,
+    /// Positive travel cost.
     pub weight: Weight,
 }
 

@@ -97,7 +97,11 @@ impl<'a> GtreeDistance<'a> {
         if self.gt.in_subtree(n, self.source_leaf) {
             return 0;
         }
-        self.border_array(n).iter().copied().min().unwrap_or(INFINITY)
+        self.border_array(n)
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(INFINITY)
     }
 
     /// `dist(source, borders(n))`, materializing ancestors as needed.
@@ -298,7 +302,11 @@ mod tests {
         dij.sssp(&g, s);
         let space = dij.space();
         for &t in &vs {
-            assert_eq!(gd.distance(t), space.distance(t).unwrap(), "same-leaf ({s},{t})");
+            assert_eq!(
+                gd.distance(t),
+                space.distance(t).unwrap(),
+                "same-leaf ({s},{t})"
+            );
         }
     }
 

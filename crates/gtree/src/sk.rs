@@ -296,7 +296,7 @@ impl<'a> GtreeSpatialKeyword<'a> {
         let tocc: usize = self
             .term_occurrence
             .iter()
-            .map(|m| m.iter().map(|(_, v)| 16 + v.len()).sum::<usize>() + 32)
+            .map(|m| m.values().map(|v| 16 + v.len()).sum::<usize>() + 32)
             .sum();
         let lo: usize = self.leaf_objects.iter().map(|l| l.len() * 4).sum();
         pd + occ + tocc + lo

@@ -59,7 +59,13 @@ impl GTree {
         let mut leaf_range = vec![(0u32, 0u32); num_nodes];
         let mut leaf_order = vec![0u32; num_nodes];
         let mut counter = 0u32;
-        dfs_intervals(&hierarchy, 0, &mut counter, &mut leaf_range, &mut leaf_order);
+        dfs_intervals(
+            &hierarchy,
+            0,
+            &mut counter,
+            &mut leaf_range,
+            &mut leaf_order,
+        );
 
         let in_subtree = |n: u32, leaf: u32| -> bool {
             let (lo, hi) = leaf_range[n as usize];
@@ -91,9 +97,9 @@ impl GTree {
             let mut bs = Vec::new();
             for &c in &hierarchy.children[n as usize] {
                 for &b in &borders[c as usize] {
-                    let outside = graph.neighbors(b).any(|(u, _)| {
-                        !in_subtree(n, hierarchy.leaf_of[u as usize])
-                    });
+                    let outside = graph
+                        .neighbors(b)
+                        .any(|(u, _)| !in_subtree(n, hierarchy.leaf_of[u as usize]));
                     if outside {
                         bs.push(b);
                     }
@@ -168,8 +174,12 @@ impl GTree {
             }
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Vec<Weight>>> =
-            jobs.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        // lint:allow(sanctioned-concurrency) — per-job result slots for the
+        // one-off matrix build; each slot is locked exactly once by the one
+        // worker that claims the job, so there is no contention and no
+        // cross-job ordering to get wrong. The query path stays lock-free.
+        type RowSlot = std::sync::Mutex<Vec<Weight>>;
+        let slots: Vec<RowSlot> = jobs.iter().map(|_| RowSlot::new(Vec::new())).collect();
         crossbeam_scope(threads, || {
             let mut dij = Dijkstra::new(graph.num_vertices());
             loop {
@@ -179,7 +189,10 @@ impl GTree {
                 }
                 let (n, r) = jobs[j];
                 let (source, targets): (VertexId, &[VertexId]) = if hierarchy.is_leaf(n) {
-                    (borders[n as usize][r as usize], &hierarchy.vertices[n as usize])
+                    (
+                        borders[n as usize][r as usize],
+                        &hierarchy.vertices[n as usize],
+                    )
                 } else {
                     (cb[n as usize][r as usize], &cb[n as usize])
                 };
@@ -224,7 +237,10 @@ impl GTree {
             self.matrix[ni][i * cols + col]
         } else {
             let dim = self.cb[ni].len();
-            let (pi, pj) = (self.border_pos[ni][i] as usize, self.border_pos[ni][j] as usize);
+            let (pi, pj) = (
+                self.border_pos[ni][i] as usize,
+                self.border_pos[ni][j] as usize,
+            );
             self.matrix[ni][pi * dim + pj]
         }
     }
@@ -240,12 +256,7 @@ impl GTree {
         let mats: usize = self.matrix.iter().map(|m| m.len() * 4).sum();
         let frames: usize = self.cb.iter().map(|f| f.len() * 4).sum();
         let bs: usize = self.borders.iter().map(|b| b.len() * 8).sum();
-        let leaves: usize = self
-            .hierarchy
-            .vertices
-            .iter()
-            .map(|v| v.len() * 12)
-            .sum();
+        let leaves: usize = self.hierarchy.vertices.iter().map(|v| v.len() * 12).sum();
         mats + frames + bs + leaves
     }
 
@@ -311,9 +322,9 @@ mod tests {
         let (g, gt) = build(600, 32);
         for n in 0..gt.hierarchy.num_nodes() as u32 {
             for &b in gt.borders(n) {
-                let has_outside = g.neighbors(b).any(|(u, _)| {
-                    !gt.in_subtree(n, gt.hierarchy.leaf_of[u as usize])
-                });
+                let has_outside = g
+                    .neighbors(b)
+                    .any(|(u, _)| !gt.in_subtree(n, gt.hierarchy.leaf_of[u as usize]));
                 assert!(has_outside, "border {b} of node {n} has no outside edge");
             }
         }

@@ -82,7 +82,11 @@ impl HubLabels {
             }
             offsets.push(hubs.len() as u32);
         }
-        HubLabels { offsets, hubs, dists }
+        HubLabels {
+            offsets,
+            hubs,
+            dists,
+        }
     }
 
     fn merge_min_excluding(
@@ -198,7 +202,11 @@ impl HubLabels {
             vertices[lo..hi].copy_from_slice(&vs);
             dists[lo..hi].copy_from_slice(&ds);
         }
-        BackwardLabels { offsets, vertices, dists }
+        BackwardLabels {
+            offsets,
+            vertices,
+            dists,
+        }
     }
 }
 
@@ -326,10 +334,7 @@ mod tests {
             let (hs, ds) = hl.label(v);
             for (&h, &d) in hs.iter().zip(ds) {
                 let (vs, bds) = bw.of(h);
-                let found = vs
-                    .iter()
-                    .zip(bds)
-                    .any(|(&bv, &bd)| bv == v && bd == d);
+                let found = vs.iter().zip(bds).any(|(&bv, &bd)| bv == v && bd == d);
                 assert!(found, "missing inverse entry ({v}, {h}, {d})");
             }
         }

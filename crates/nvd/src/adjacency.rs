@@ -72,6 +72,38 @@ impl AdjacencyGraph {
     pub fn size_bytes(&self) -> usize {
         self.lists.iter().map(|l| l.len() * 4 + 24).sum()
     }
+
+    /// Invariant audit: every list entry is in range, no self-loops, no
+    /// duplicates, and every edge has its reverse (the graph is undirected
+    /// by construction — Observation 2a relies on it). Returns each
+    /// violation as a human-readable string.
+    pub fn validate_symmetric(&self) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        let n = self.lists.len();
+        for (a, list) in self.lists.iter().enumerate() {
+            let a = a as u32;
+            for (i, &b) in list.iter().enumerate() {
+                if b as usize >= n {
+                    errs.push(format!("adjacency {a}→{b}: node {b} out of range (n={n})"));
+                    continue;
+                }
+                if b == a {
+                    errs.push(format!("adjacency self-loop at node {a}"));
+                }
+                if list[..i].contains(&b) {
+                    errs.push(format!("duplicate adjacency {a}→{b}"));
+                }
+                if !self.lists[b as usize].contains(&a) {
+                    errs.push(format!("asymmetric adjacency: {a}→{b} has no reverse edge"));
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -135,7 +135,10 @@ impl ApproxNvd {
     /// depth). The true 1NN of any indexed vertex at `p` is among them.
     pub fn leaf_candidates(&self, p: Point) -> &[u32] {
         let code = self.space.code(p);
-        let leaf = self.starts.partition_point(|&s| s <= code).saturating_sub(1);
+        let leaf = self
+            .starts
+            .partition_point(|&s| s <= code)
+            .saturating_sub(1);
         let lo = self.cand_offsets[leaf] as usize;
         let hi = self.cand_offsets[leaf + 1] as usize;
         &self.cands[lo..hi]
@@ -174,6 +177,93 @@ impl ApproxNvd {
             .filter(|&id| !self.is_deleted(id))
             .map(|id| self.object_vertex(id))
             .collect()
+    }
+
+    /// Invariant audit over the whole structure (the NVD half of the
+    /// debug-mode invariant auditor; `KspinIndex::validate` calls this per
+    /// NVD-indexed keyword). Checks:
+    ///
+    /// * overlay tables (`deleted`, `attached`, adjacency) sized to the
+    ///   object set;
+    /// * adjacency symmetry, range, and simplicity (Observation 2a — the
+    ///   generator graph is undirected, so LazyReheap reaches every
+    ///   neighbor from either side);
+    /// * every quadtree leaf holds at least one *original* generator
+    ///   candidate, sorted and duplicate-free (Definition 1: point location
+    ///   must always produce a non-empty candidate set containing the 1NN);
+    /// * attached (lazily inserted) ids are inserted-range ids hanging off
+    ///   original generators only.
+    ///
+    /// Returns every violation found, as human-readable strings.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut errs = Vec::new();
+        let originals = self.num_original();
+        let total = self.num_total();
+        if self.adjacency.num_nodes() != total {
+            errs.push(format!(
+                "adjacency covers {} nodes, object set has {total}",
+                self.adjacency.num_nodes()
+            ));
+        }
+        if self.deleted.len() != total {
+            errs.push(format!(
+                "deleted table has {} slots, expected {total}",
+                self.deleted.len()
+            ));
+        }
+        if self.attached.len() != originals {
+            errs.push(format!(
+                "attached table has {} slots, expected {originals} originals",
+                self.attached.len()
+            ));
+        }
+        if let Err(adj_errs) = self.adjacency.validate_symmetric() {
+            errs.extend(adj_errs);
+        }
+        if self.cand_offsets.len() != self.starts.len() + 1 {
+            errs.push(format!(
+                "{} leaf starts but {} candidate offsets",
+                self.starts.len(),
+                self.cand_offsets.len()
+            ));
+        } else {
+            for leaf in 0..self.starts.len() {
+                if leaf > 0 && self.starts[leaf] <= self.starts[leaf - 1] {
+                    errs.push(format!("leaf starts not strictly ascending at leaf {leaf}"));
+                }
+                let lo = self.cand_offsets[leaf] as usize;
+                let hi = self.cand_offsets[leaf + 1] as usize;
+                if lo >= hi {
+                    errs.push(format!("leaf {leaf} has no candidates"));
+                    continue;
+                }
+                let cands = &self.cands[lo..hi];
+                if !cands.windows(2).all(|w| w[0] < w[1]) {
+                    errs.push(format!(
+                        "leaf {leaf} candidates not sorted/unique: {cands:?}"
+                    ));
+                }
+                if let Some(&bad) = cands.iter().find(|&&c| c as usize >= originals) {
+                    errs.push(format!(
+                        "leaf {leaf} candidate {bad} is not an original generator (originals={originals})"
+                    ));
+                }
+            }
+        }
+        for (p, ids) in self.attached.iter().enumerate() {
+            for &id in ids {
+                if (id as usize) < originals || id as usize >= total {
+                    errs.push(format!(
+                        "attached id {id} at generator {p} outside inserted range {originals}..{total}"
+                    ));
+                }
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
     }
 
     /// Index size in bytes: Morton list + candidate lists + adjacency +
@@ -237,7 +327,7 @@ impl LeafBuilder {
 /// Collects distinct owners in `pairs`, early-exiting once more than
 /// `limit` are found (returns `limit + 1` entries in that case).
 fn distinct_colors(pairs: &[(u32, u32)], limit: usize) -> Vec<u32> {
-    let mut colors: Vec<u32> = Vec::with_capacity(limit.min(16).max(4));
+    let mut colors: Vec<u32> = Vec::with_capacity(limit.clamp(4, 16));
     for &(_, o) in pairs {
         if !colors.contains(&o) {
             colors.push(o);

@@ -33,7 +33,10 @@ impl ExactNvd {
     /// # Panics
     /// If `generators` is empty or contains duplicates.
     pub fn build(graph: &Graph, generators: &[VertexId]) -> Self {
-        assert!(!generators.is_empty(), "an NVD needs at least one generator");
+        assert!(
+            !generators.is_empty(),
+            "an NVD needs at least one generator"
+        );
         let n = graph.num_vertices();
         let m = generators.len();
         let mut owner = vec![u32::MAX; n];
@@ -167,14 +170,13 @@ mod tests {
         let mut dij = Dijkstra::new(g.num_vertices());
         for v in (0..g.num_vertices() as VertexId).step_by(17) {
             let dists = dij.one_to_many(&g, v, &gens);
-            let (best, &best_d) = dists
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, d)| *d)
-                .unwrap();
+            let (best, &best_d) = dists.iter().enumerate().min_by_key(|&(_, d)| *d).unwrap();
             let got = nvd.owner(v).unwrap();
             // Ties may resolve to another equally-near generator.
-            assert_eq!(dists[got as usize], best_d, "vertex {v}: owner {got} vs best {best}");
+            assert_eq!(
+                dists[got as usize], best_d,
+                "vertex {v}: owner {got} vs best {best}"
+            );
             assert_eq!(nvd.dist_to_owner(v), best_d);
         }
     }

@@ -116,7 +116,9 @@ mod tests {
         // Querying from the inserted object's own vertex must return it at
         // distance 0.
         let mut dd2 = Dijkstra::new(g.num_vertices());
-        let got = apx.knn(g.coord(new_vertex), 1, |v| dd2.one_to_one(&g, new_vertex, v));
+        let got = apx.knn(g.coord(new_vertex), 1, |v| {
+            dd2.one_to_one(&g, new_vertex, v)
+        });
         assert_eq!(got[0], (id, 0));
     }
 
@@ -134,6 +136,8 @@ mod tests {
     fn zero_k_is_empty() {
         let (g, _, apx) = setup(200, 4, 409);
         let mut dd = Dijkstra::new(g.num_vertices());
-        assert!(apx.knn(g.coord(0), 0, |v| dd.one_to_one(&g, 0, v)).is_empty());
+        assert!(apx
+            .knn(g.coord(0), 0, |v| dd.one_to_one(&g, 0, v))
+            .is_empty());
     }
 }

@@ -86,8 +86,12 @@ impl RTreeNvd {
         // STR: sort by center x, tile into vertical slabs, sort each slab by
         // center y, pack runs of NODE_CAPACITY.
         let mut entries: Vec<u32> = (0..m as u32).collect();
-        let center =
-            |mbr: &Mbr| ((mbr.min_x as i64 + mbr.max_x as i64) / 2, (mbr.min_y as i64 + mbr.max_y as i64) / 2);
+        let center = |mbr: &Mbr| {
+            (
+                (mbr.min_x as i64 + mbr.max_x as i64) / 2,
+                (mbr.min_y as i64 + mbr.max_y as i64) / 2,
+            )
+        };
         entries.sort_unstable_by_key(|&i| center(&cell_mbrs[i as usize]).0);
         let slices = ((m as f64 / NODE_CAPACITY as f64).sqrt().ceil() as usize).max(1);
         let slab = m.div_ceil(slices).max(1);

@@ -16,7 +16,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use kspin_graph::{Graph, VertexId, Weight, INFINITY};
+use kspin_graph::{Graph, OrderedWeight, VertexId, Weight, INFINITY};
 use kspin_gtree::GTree;
 use kspin_text::{score, Corpus, ObjectId, QueryTerms, TermId};
 
@@ -145,7 +145,10 @@ impl<'a> RoadIndex<'a> {
                 }
                 // …and still take original edges that leave the Rnet.
                 for (u, w) in self.graph.neighbors(v) {
-                    if self.gt.in_subtree(net, self.gt.hierarchy.leaf_of[u as usize]) {
+                    if self
+                        .gt
+                        .in_subtree(net, self.gt.hierarchy.leaf_of[u as usize])
+                    {
                         continue;
                     }
                     let nd = d + w;
@@ -179,24 +182,28 @@ impl<'a> RoadIndex<'a> {
         if tr_max <= 0.0 {
             return Vec::new();
         }
-        let mut best: BinaryHeap<(OrdF, ObjectId)> = BinaryHeap::new();
+        let mut best: BinaryHeap<(OrderedWeight, ObjectId)> = BinaryHeap::new();
         self.expand(q, query.terms(), |o, d| {
-            if best.len() == k && d as f64 / tr_max >= best.peek().expect("non-empty").0 .0 {
+            let d_k = match best.peek() {
+                Some(&(s, _)) if best.len() == k => s.get(),
+                _ => f64::INFINITY,
+            };
+            if d as f64 / tr_max >= d_k {
                 return false; // no farther object can improve the top-k
             }
             let tr = query.relevance(self.corpus, o);
             if tr > 0.0 {
                 let st = score(d, tr);
                 if best.len() < k {
-                    best.push((OrdF(st), o));
-                } else if st < best.peek().expect("non-empty").0 .0 {
+                    best.push((OrderedWeight::new(st), o));
+                } else if st < d_k {
                     best.pop();
-                    best.push((OrdF(st), o));
+                    best.push((OrderedWeight::new(st), o));
                 }
             }
             true
         });
-        let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.0)).collect();
+        let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.get())).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -245,20 +252,6 @@ impl<'a> RoadIndex<'a> {
 pub struct ExpansionStats {
     pub settled: usize,
     pub shortcut_relaxations: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdF(f64);
-impl Eq for OrdF {}
-impl PartialOrd for OrdF {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for OrdF {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
 }
 
 #[cfg(test)]

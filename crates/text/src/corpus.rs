@@ -334,7 +334,14 @@ mod tests {
         let mut b = CorpusBuilder::new();
         b.add_object(1, &[(5, 1), (5, 2)]);
         let c = b.build();
-        assert_eq!(c.doc(0), &[DocPosting { term: 5, freq: 3, impact: 1.0 }]);
+        assert_eq!(
+            c.doc(0),
+            &[DocPosting {
+                term: 5,
+                freq: 3,
+                impact: 1.0
+            }]
+        );
     }
 
     #[test]

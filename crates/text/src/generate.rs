@@ -160,7 +160,10 @@ mod tests {
         let n_obj = c.num_objects() as f64;
         assert!((n_obj / 20_000.0 - 0.045).abs() < 0.005);
         let occ_per_obj = c.total_occurrences() as f64 / n_obj;
-        assert!((3.0..6.5).contains(&occ_per_obj), "occurrences/object {occ_per_obj}");
+        assert!(
+            (3.0..6.5).contains(&occ_per_obj),
+            "occurrences/object {occ_per_obj}"
+        );
         assert_eq!(v.len(), cfg.num_terms);
     }
 
@@ -201,7 +204,10 @@ mod tests {
         let (c, v) = corpus(&CorpusConfig::new(30_000, 4));
         let hotel = v.get("hotel").unwrap();
         // Rank 0 must be among the most frequent keywords.
-        let max_inv = (0..c.num_terms() as TermId).map(|t| c.inv_len(t)).max().unwrap();
+        let max_inv = (0..c.num_terms() as TermId)
+            .map(|t| c.inv_len(t))
+            .max()
+            .unwrap();
         assert!(c.inv_len(hotel) * 2 >= max_inv);
         assert!(c.inv_len(hotel) > 100);
     }

@@ -13,20 +13,15 @@ use kspin_graph::Weight;
 use crate::corpus::{Corpus, ObjectId, TermId};
 
 /// A per-keyword-decomposable textual relevance model.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum TextModel {
     /// Cosine similarity over `1 + ln(tf)` impacts with IDF query weights
     /// (Eq. 2/3) — the paper's default.
+    #[default]
     Cosine,
     /// Okapi BM25 with the usual `k1` saturation and `b` length
     /// normalization.
     Bm25 { k1: f64, b: f64 },
-}
-
-impl Default for TextModel {
-    fn default() -> Self {
-        TextModel::Cosine
-    }
 }
 
 impl TextModel {
@@ -69,7 +64,11 @@ impl QueryTerms {
                     .iter()
                     .map(|&t| {
                         let inv = corpus.inv_len(t) as f64;
-                        let ratio = if inv > 0.0 { num_objects / inv } else { num_objects };
+                        let ratio = if inv > 0.0 {
+                            num_objects / inv
+                        } else {
+                            num_objects
+                        };
                         (1.0 + ratio).ln()
                     })
                     .collect();
@@ -175,7 +174,13 @@ impl QueryTerms {
 /// Object-side term weight under `model`: the stored cosine impact, or the
 /// BM25 saturation term computed from tf + document length.
 #[inline]
-fn object_weight(model: TextModel, corpus: &Corpus, o: ObjectId, freq: u32, cosine_impact: f64) -> f64 {
+fn object_weight(
+    model: TextModel,
+    corpus: &Corpus,
+    o: ObjectId,
+    freq: u32,
+    cosine_impact: f64,
+) -> f64 {
     match model {
         TextModel::Cosine => cosine_impact,
         TextModel::Bm25 { k1, b } => {
@@ -275,9 +280,9 @@ mod tests {
                     let solo = QueryTerms::with_model(&c, &[t], model);
                     // solo impact may be normalized differently under
                     // cosine; compare using the shared query weights.
-                    let contribution = q.relevance(&c, o).min(
-                        q.impact(j) * (solo.relevance(&c, o) / solo.impact(0).max(1e-12)),
-                    );
+                    let contribution = q
+                        .relevance(&c, o)
+                        .min(q.impact(j) * (solo.relevance(&c, o) / solo.impact(0).max(1e-12)));
                     let _ = contribution;
                     // Direct check: term contribution ≤ max contribution.
                     if c.contains(o, t) {

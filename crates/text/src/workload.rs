@@ -41,11 +41,7 @@ pub struct Query {
 /// Vectors shorter than `len` can occur only when an object's document has
 /// fewer than `len` distinct keywords; such objects are skipped, so every
 /// returned vector has exactly `len` distinct terms and the seed term first.
-pub fn query_vectors(
-    corpus: &Corpus,
-    config: &WorkloadConfig,
-    len: usize,
-) -> Vec<Vec<TermId>> {
+pub fn query_vectors(corpus: &Corpus, config: &WorkloadConfig, len: usize) -> Vec<Vec<TermId>> {
     assert!(len >= 1);
     let mut rng = StdRng::seed_from_u64(config.seed ^ (len as u64).wrapping_mul(0x9e37_79b9));
     let mut vectors = Vec::new();
@@ -89,9 +85,18 @@ pub fn query_vertices(num_vertices: usize, count: usize, seed: u64) -> Vec<Verte
 
 /// Full §7.1 workload: the cross product of keyword vectors of length `len`
 /// and uniformly sampled vertices.
-pub fn queries(corpus: &Corpus, config: &WorkloadConfig, num_vertices: usize, len: usize) -> Vec<Query> {
+pub fn queries(
+    corpus: &Corpus,
+    config: &WorkloadConfig,
+    num_vertices: usize,
+    len: usize,
+) -> Vec<Query> {
     let vectors = query_vectors(corpus, config, len);
-    let vertices = query_vertices(num_vertices, config.vertices_per_vector, config.seed ^ 0xdead_beef);
+    let vertices = query_vertices(
+        num_vertices,
+        config.vertices_per_vector,
+        config.seed ^ 0xdead_beef,
+    );
     let mut out = Vec::with_capacity(vectors.len() * vertices.len());
     for vector in &vectors {
         for &v in &vertices {

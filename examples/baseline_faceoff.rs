@@ -64,17 +64,31 @@ fn main() {
     println!("top-10 spatial keyword queries:");
     {
         let mut e = QueryEngine::new(&graph, &corp, &index, &alt, HlDistance::new(&hl));
-        time("KS-HL (K-SPIN)", Box::new(move |q| e.top_k(q.vertex, 10, &q.terms).len()));
+        time(
+            "KS-HL (K-SPIN)",
+            Box::new(move |q| e.top_k(q.vertex, 10, &q.terms).len()),
+        );
     }
     time(
         "G-tree",
-        Box::new(|q| sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::Aggregated).0.len()),
+        Box::new(|q| {
+            sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::Aggregated)
+                .0
+                .len()
+        }),
     );
     time(
         "Gtree-Opt",
-        Box::new(|q| sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::PerKeyword).0.len()),
+        Box::new(|q| {
+            sk.top_k(q.vertex, 10, &q.terms, OccurrenceMode::PerKeyword)
+                .0
+                .len()
+        }),
     );
-    time("ROAD", Box::new(|q| road.top_k(q.vertex, 10, &q.terms).len()));
+    time(
+        "ROAD",
+        Box::new(|q| road.top_k(q.vertex, 10, &q.terms).len()),
+    );
     time(
         "network expansion",
         Box::new(|q| ine_topk(&graph, &corp, q.vertex, 10, &q.terms).len()),
@@ -90,20 +104,42 @@ fn main() {
     }
     time(
         "G-tree",
-        Box::new(|q| sk.bknn(q.vertex, 10, &q.terms, false, OccurrenceMode::Aggregated).0.len()),
+        Box::new(|q| {
+            sk.bknn(q.vertex, 10, &q.terms, false, OccurrenceMode::Aggregated)
+                .0
+                .len()
+        }),
     );
-    time("FS-FBS", Box::new(|q| fsfbs.bknn(q.vertex, 10, &q.terms, false).len()));
+    time(
+        "FS-FBS",
+        Box::new(|q| fsfbs.bknn(q.vertex, 10, &q.terms, false).len()),
+    );
     time(
         "network expansion",
         Box::new(|q| ine_bknn(&graph, &corp, q.vertex, 10, &q.terms, Op::Or).len()),
     );
 
     println!("\nindex sizes:");
-    println!("  K-SPIN keyword index   {:>9} KiB", index.size_bytes() / 1024);
-    println!("  ALT lower bounds       {:>9} KiB", alt.size_bytes() / 1024);
+    println!(
+        "  K-SPIN keyword index   {:>9} KiB",
+        index.size_bytes() / 1024
+    );
+    println!(
+        "  ALT lower bounds       {:>9} KiB",
+        alt.size_bytes() / 1024
+    );
     println!("  CH                     {:>9} KiB", ch.size_bytes() / 1024);
     println!("  HL                     {:>9} KiB", hl.size_bytes() / 1024);
-    println!("  G-tree (+ keywords)    {:>9} KiB", (gt.size_bytes() + sk.size_bytes()) / 1024);
-    println!("  ROAD overlay           {:>9} KiB", road.size_bytes() / 1024);
-    println!("  FS-FBS                 {:>9} KiB", fsfbs.size_bytes() / 1024);
+    println!(
+        "  G-tree (+ keywords)    {:>9} KiB",
+        (gt.size_bytes() + sk.size_bytes()) / 1024
+    );
+    println!(
+        "  ROAD overlay           {:>9} KiB",
+        road.size_bytes() / 1024
+    );
+    println!(
+        "  FS-FBS                 {:>9} KiB",
+        fsfbs.size_bytes() / 1024
+    );
 }

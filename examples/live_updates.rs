@@ -21,12 +21,8 @@ fn main() {
     // Open with only 90% of the POIs; the rest arrive live.
     println!("building index over 90% of {} POIs…", num_objects);
     let alt = kspin_alt::AltIndex::build(&graph, 16, kspin_alt::LandmarkStrategy::Farthest, 0);
-    let mut index = KspinIndex::build_filtered(
-        &graph,
-        &corp,
-        |o| o % 10 != 0,
-        &KspinConfig::default(),
-    );
+    let mut index =
+        KspinIndex::build_filtered(&graph, &corp, |o| o % 10 != 0, &KspinConfig::default());
 
     let late: Vec<ObjectId> = (0..num_objects).filter(|o| o % 10 == 0).collect();
     println!("lazily inserting the remaining {} POIs…", late.len());
@@ -48,7 +44,10 @@ fn main() {
     };
     println!("\nB5NN (hotel ∨ bank) after inserts:");
     for &(o, d) in &before {
-        println!("  object {o:>6} at distance {d} {}", if o % 10 == 0 { "(late arrival)" } else { "" });
+        println!(
+            "  object {o:>6} at distance {d} {}",
+            if o % 10 == 0 { "(late arrival)" } else { "" }
+        );
     }
 
     // Delete a batch (e.g. closures) — mark-only, still exact.
@@ -70,7 +69,10 @@ fn main() {
             QueryEngine::new(&graph, &corp, &index, &alt, DijkstraDistance::new(&graph));
         engine.bknn(77, 5, &[hotel, bank], Op::Or)
     };
-    assert!(after.iter().all(|&(o, _)| o % 20 != 3), "deleted object returned!");
+    assert!(
+        after.iter().all(|&(o, _)| o % 20 != 3),
+        "deleted object returned!"
+    );
     println!("  results still exact, deleted objects filtered");
 
     // Amortize: rebuild every keyword index that accumulated updates.

@@ -49,7 +49,9 @@ fn flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = k
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {k:?}"))?;
-        let v = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
         out.insert(key.to_string(), v.clone());
     }
     Ok(out)
@@ -73,9 +75,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let graph = kspin::graph::generate::road_network(
         &kspin::graph::generate::RoadNetworkConfig::new(vertices, seed),
     );
-    let (corpus, vocab) = kspin::text::generate::corpus(
-        &kspin::text::generate::CorpusConfig::new(graph.num_vertices(), seed),
-    );
+    let (corpus, vocab) = kspin::text::generate::corpus(&kspin::text::generate::CorpusConfig::new(
+        graph.num_vertices(),
+        seed,
+    ));
     let write = |path: String, f: &dyn Fn(&mut BufWriter<File>) -> std::io::Result<()>| {
         let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
         let mut w = BufWriter::new(file);
@@ -83,9 +86,15 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         eprintln!("  wrote {path}");
         Ok::<(), String>(())
     };
-    write(format!("{out}.gr"), &|w| kspin::graph::dimacs::write_gr(&graph, w))?;
-    write(format!("{out}.co"), &|w| kspin::graph::dimacs::write_co(&graph, w))?;
-    write(format!("{out}.kw"), &|w| kspin::text::io::write_kw(&corpus, &vocab, w))?;
+    write(format!("{out}.gr"), &|w| {
+        kspin::graph::dimacs::write_gr(&graph, w)
+    })?;
+    write(format!("{out}.co"), &|w| {
+        kspin::graph::dimacs::write_co(&graph, w)
+    })?;
+    write(format!("{out}.kw"), &|w| {
+        kspin::text::io::write_kw(&corpus, &vocab, w)
+    })?;
     eprintln!(
         "done: |V|={} |E|={} |O|={} |W|={}",
         graph.num_vertices(),
@@ -150,7 +159,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut dist = match dist_kind {
         "dijkstra" => Dist::Dij(kspin_core::DijkstraDistance::new(&system.graph)),
         "bidijkstra" => Dist::Bi(kspin_core::BiDijkstraDistance::new(&system.graph)),
-        "astar" => Dist::Astar(kspin_core::AltAstarDistance::new(&system.graph, &system.alt)),
+        "astar" => Dist::Astar(kspin_core::AltAstarDistance::new(
+            &system.graph,
+            &system.alt,
+        )),
         "ch" => {
             eprintln!("building CH…");
             ch = ContractionHierarchy::build(&system.graph, &ChConfig::default());
@@ -170,23 +182,53 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         (|$e:ident| $body:expr) => {
             match &mut dist {
                 Dist::Dij(d) => {
-                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    let mut $e = QueryEngine::new(
+                        &system.graph,
+                        &system.corpus,
+                        &system.index,
+                        &system.alt,
+                        d,
+                    );
                     $body
                 }
                 Dist::Bi(d) => {
-                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    let mut $e = QueryEngine::new(
+                        &system.graph,
+                        &system.corpus,
+                        &system.index,
+                        &system.alt,
+                        d,
+                    );
                     $body
                 }
                 Dist::Astar(d) => {
-                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    let mut $e = QueryEngine::new(
+                        &system.graph,
+                        &system.corpus,
+                        &system.index,
+                        &system.alt,
+                        d,
+                    );
                     $body
                 }
                 Dist::Ch(d) => {
-                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    let mut $e = QueryEngine::new(
+                        &system.graph,
+                        &system.corpus,
+                        &system.index,
+                        &system.alt,
+                        d,
+                    );
                     $body
                 }
                 Dist::Hl(d) => {
-                    let mut $e = QueryEngine::new(&system.graph, &system.corpus, &system.index, &system.alt, d);
+                    let mut $e = QueryEngine::new(
+                        &system.graph,
+                        &system.corpus,
+                        &system.index,
+                        &system.alt,
+                        d,
+                    );
                     $body
                 }
             }
@@ -233,11 +275,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 };
                 let terms = system.terms(kws);
                 if terms.len() < kws.len() {
-                    println!("  note: {} unknown keyword(s) ignored", kws.len() - terms.len());
+                    println!(
+                        "  note: {} unknown keyword(s) ignored",
+                        kws.len() - terms.len()
+                    );
                 }
                 let t0 = std::time::Instant::now();
-                let results: Vec<(ObjectId, Weight)> =
-                    with_engine!(|e| e.bknn(v, k, &terms, op));
+                let results: Vec<(ObjectId, Weight)> = with_engine!(|e| e.bknn(v, k, &terms, op));
                 let us = t0.elapsed().as_secs_f64() * 1e6;
                 for (o, d) in &results {
                     let words: Vec<&str> = system
@@ -246,7 +290,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                         .iter()
                         .map(|p| system.vocab.term(p.term))
                         .collect();
-                    println!("  object {o} @ vertex {} dist {d}  [{}]", system.corpus.vertex_of(*o), words.join(" "));
+                    println!(
+                        "  object {o} @ vertex {} dist {d}  [{}]",
+                        system.corpus.vertex_of(*o),
+                        words.join(" ")
+                    );
                 }
                 println!("  ({} results in {us:.0} µs)", results.len());
             }
@@ -261,11 +309,13 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 }
                 let terms = system.terms(kws);
                 let t0 = std::time::Instant::now();
-                let results: Vec<(ObjectId, f64)> =
-                    with_engine!(|e| e.top_k(v, k, &terms));
+                let results: Vec<(ObjectId, f64)> = with_engine!(|e| e.top_k(v, k, &terms));
                 let us = t0.elapsed().as_secs_f64() * 1e6;
                 for (o, s) in &results {
-                    println!("  object {o} @ vertex {} score {s:.1}", system.corpus.vertex_of(*o));
+                    println!(
+                        "  object {o} @ vertex {} score {s:.1}",
+                        system.corpus.vertex_of(*o)
+                    );
                 }
                 println!("  ({} results in {us:.0} µs)", results.len());
             }

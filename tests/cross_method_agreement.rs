@@ -50,12 +50,17 @@ fn workload(w: &World, len: usize) -> Vec<Vec<TermId>> {
 fn all_kspin_variants_agree_on_bknn() {
     let w = build_world(900, 1001);
     let s = &w.system;
-    let mut engines: Vec<(&str, Box<dyn FnMut(VertexId, usize, &[TermId], Op) -> Vec<(ObjectId, Weight)>>)> = Vec::new();
+    type BknnFn<'a> =
+        Box<dyn FnMut(VertexId, usize, &[TermId], Op) -> Vec<(ObjectId, Weight)> + 'a>;
+    let mut engines: Vec<(&str, BknnFn<'_>)> = Vec::new();
     let mut e_dij = s.engine_dijkstra();
     let mut e_ch = s.engine(ChDistance::new(&w.ch));
     let mut e_hl = s.engine(HlDistance::new(&w.hl));
     let mut e_gt = s.engine(GtreeNetworkDistance::new(&w.gt, &s.graph));
-    engines.push(("dijkstra", Box::new(move |q, k, t, op| e_dij.bknn(q, k, t, op))));
+    engines.push((
+        "dijkstra",
+        Box::new(move |q, k, t, op| e_dij.bknn(q, k, t, op)),
+    ));
     engines.push(("ks-ch", Box::new(move |q, k, t, op| e_ch.bknn(q, k, t, op))));
     engines.push(("ks-hl", Box::new(move |q, k, t, op| e_hl.bknn(q, k, t, op))));
     engines.push(("ks-gt", Box::new(move |q, k, t, op| e_gt.bknn(q, k, t, op))));
@@ -91,10 +96,17 @@ fn all_kspin_variants_agree_on_topk() {
                 }
             };
             check(s.engine_dijkstra().top_k(q, 5, &terms), "dijkstra");
-            check(s.engine(ChDistance::new(&w.ch)).top_k(q, 5, &terms), "ks-ch");
-            check(s.engine(HlDistance::new(&w.hl)).top_k(q, 5, &terms), "ks-hl");
             check(
-                s.engine(GtreeNetworkDistance::new(&w.gt, &s.graph)).top_k(q, 5, &terms),
+                s.engine(ChDistance::new(&w.ch)).top_k(q, 5, &terms),
+                "ks-ch",
+            );
+            check(
+                s.engine(HlDistance::new(&w.hl)).top_k(q, 5, &terms),
+                "ks-hl",
+            );
+            check(
+                s.engine(GtreeNetworkDistance::new(&w.gt, &s.graph))
+                    .top_k(q, 5, &terms),
                 "ks-gt",
             );
         }

@@ -9,8 +9,9 @@ use proptest::prelude::*;
 use kspin::prelude::*;
 use kspin_alt::{AltIndex, LandmarkStrategy};
 use kspin_ch::{ChConfig, ContractionHierarchy};
+use kspin_core::heap::{HeapContext, InvertedHeap};
 use kspin_core::query::baseline::brute_bknn;
-use kspin_core::LowerBound;
+use kspin_core::{ExactLowerBound, LowerBound};
 use kspin_graph::{Dijkstra, GraphBuilder};
 use kspin_hl::HubLabels;
 use kspin_nvd::ApproxNvd;
@@ -18,11 +19,17 @@ use kspin_text::CorpusBuilder;
 
 /// A connected random graph: a spanning path plus random extra edges.
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (5usize..40, proptest::collection::vec((0u32..40, 0u32..40, 1u32..100), 0..60))
+    (
+        5usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40, 1u32..100), 0..60),
+    )
         .prop_map(|(n, extras)| {
             let mut b = GraphBuilder::new(n);
             for v in 0..n as u32 {
-                b.set_coord(v, kspin_graph::Point::new((v as i32 * 37) % 100, (v as i32 * 61) % 100));
+                b.set_coord(
+                    v,
+                    kspin_graph::Point::new((v as i32 * 37) % 100, (v as i32 * 61) % 100),
+                );
             }
             // Spanning path guarantees connectivity.
             for v in 0..n as u32 - 1 {
@@ -141,6 +148,130 @@ proptest! {
         let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 3);
         let index = KspinIndex::build(&g, &corpus, &KspinConfig { rho: 2, num_threads: 1 });
         let mut engine = QueryEngine::new(&g, &corpus, &index, &alt, DijkstraDistance::new(&g));
+        let got = engine.top_k(q, k, &[0, 1]);
+        let want = kspin_core::query::baseline::brute_topk(&g, &corpus, q, k, &[0, 1]);
+        prop_assert_eq!(got.len(), want.len());
+        for ((_, gs), (_, ws)) in got.iter().zip(&want) {
+            prop_assert!((gs - ws).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn index_auditor_accepts_fresh_and_rebuilt_indexes(
+        g in arb_graph(),
+        placements in proptest::collection::btree_map(0u32..40, proptest::collection::vec(0u32..6, 1..4), 1..12),
+        rho in 1usize..4,
+    ) {
+        let n = g.num_vertices() as u32;
+        let mut cb = CorpusBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for (v, terms) in placements {
+            let v = v % n;
+            if !used.insert(v) {
+                continue;
+            }
+            let doc: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            cb.add_object(v, &doc);
+        }
+        let corpus = cb.build();
+        let mut index = KspinIndex::build(&g, &corpus, &KspinConfig { rho, num_threads: 1 });
+        prop_assert!(
+            index.validate(&corpus).is_ok(),
+            "fresh index failed audit: {:?}", index.validate(&corpus).err()
+        );
+        // Delete an object, fold the lazy updates in, and re-audit: the
+        // rebuilt index must re-satisfy the ρ-split and all NVD invariants.
+        index.delete_object(&corpus, 0);
+        for t in 0..corpus.num_terms() as TermId {
+            index.rebuild_term(&g, &corpus, t);
+        }
+        prop_assert!(
+            index.validate(&corpus).is_ok(),
+            "rebuilt index failed audit: {:?}", index.validate(&corpus).err()
+        );
+    }
+
+    #[test]
+    fn property1_extraction_order_is_nondecreasing_under_exact_bounds(
+        g in arb_graph(),
+        placements in proptest::collection::btree_map(0u32..40, proptest::collection::vec(0u32..6, 1..4), 1..12),
+        q in 0u32..40,
+        rho in 1usize..4,
+    ) {
+        let n = g.num_vertices() as u32;
+        let q = q % n;
+        let mut cb = CorpusBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for (v, terms) in placements {
+            let v = v % n;
+            if !used.insert(v) {
+                continue;
+            }
+            let doc: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            cb.add_object(v, &doc);
+        }
+        let corpus = cb.build();
+        let index = KspinIndex::build(&g, &corpus, &KspinConfig { rho, num_threads: 1 });
+        // An exact lower bound arms the heap's internal Property-1 audit;
+        // the loop below re-checks the same monotonicity externally and
+        // drains each heap to prove LazyReheap reaches every object.
+        let exact = ExactLowerBound::new(&g);
+        let ctx = HeapContext::new(&g, &corpus, &exact, q);
+        for t in 0..corpus.num_terms() as TermId {
+            let Some(mut heap) = InvertedHeap::create(&index, t, &ctx) else {
+                continue;
+            };
+            let mut extracted = Vec::new();
+            let mut prev = 0;
+            while let Some(c) = heap.extract(&ctx) {
+                prop_assert!(
+                    c.lower_bound >= prev,
+                    "term {}: extracted key {} after {}", t, c.lower_bound, prev
+                );
+                prev = c.lower_bound;
+                extracted.push(c.object);
+            }
+            extracted.sort_unstable();
+            let mut expect: Vec<ObjectId> =
+                corpus.inverted(t).iter().map(|p| p.object).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(
+                extracted, expect,
+                "term {}: lazy reheap must eventually surface every object exactly once", t
+            );
+        }
+    }
+
+    #[test]
+    fn queries_stay_exact_under_the_armed_audit(
+        g in arb_graph(),
+        placements in proptest::collection::btree_map(0u32..40, proptest::collection::vec(0u32..6, 1..4), 1..12),
+        q in 0u32..40,
+        k in 1usize..6,
+    ) {
+        let n = g.num_vertices() as u32;
+        let q = q % n;
+        let mut cb = CorpusBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for (v, terms) in placements {
+            let v = v % n;
+            if !used.insert(v) {
+                continue;
+            }
+            let doc: Vec<(TermId, u32)> = terms.iter().map(|&t| (t, 1)).collect();
+            cb.add_object(v, &doc);
+        }
+        let corpus = cb.build();
+        let index = KspinIndex::build(&g, &corpus, &KspinConfig { rho: 2, num_threads: 1 });
+        // Exact bounds keep the Property-1 extraction-order audit armed
+        // through the full BkNN and top-k paths.
+        let exact = ExactLowerBound::new(&g);
+        let mut engine = QueryEngine::new(&g, &corpus, &index, &exact, DijkstraDistance::new(&g));
+        let got = engine.bknn(q, k, &[0, 1], Op::Or);
+        let want = brute_bknn(&g, &corpus, q, k, &[0, 1], Op::Or);
+        let gd: Vec<Weight> = got.iter().map(|&(_, d)| d).collect();
+        let wd: Vec<Weight> = want.iter().map(|&(_, d)| d).collect();
+        prop_assert_eq!(gd, wd);
         let got = engine.top_k(q, k, &[0, 1]);
         let want = kspin_core::query::baseline::brute_topk(&g, &corpus, q, k, &[0, 1]);
         prop_assert_eq!(got.len(), want.len());

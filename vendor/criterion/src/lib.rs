@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the surface this workspace's `micro` bench uses: `Criterion`
+//! with builder-style config, `bench_function`/`Bencher::iter`,
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a simple calibrated wall-clock loop printing mean
+//! iteration time — adequate for relative comparisons; no statistics,
+//! plots, or report files.
+//!
+//! When invoked by `cargo test` (benchmarks compiled in test mode receive
+//! `--test` on their command line), each benchmark runs exactly one
+//! iteration so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; delegates to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver: times closures handed to [`Criterion::bench_function`].
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            smoke_test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: if self.smoke_test { 1 } else { 0 },
+            elapsed: Duration::ZERO,
+            warm_up: self.warm_up_time,
+            measurement: self.measurement_time,
+            samples: self.sample_size,
+            smoke_test: self.smoke_test,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<40} {:>12.1} ns/iter ({} iters)", per_iter, b.iters);
+        }
+        self
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Calibrates, warms up, then times `routine` until the measurement
+    /// budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_test {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Split the measurement budget into `samples` timed batches.
+        let batch = ((self.measurement.as_secs_f64() / self.samples as f64) / per_iter.max(1e-9))
+            .ceil()
+            .max(1.0) as u64;
+        let mut total_iters = 0u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            total_iters += batch;
+            if total >= self.measurement {
+                break;
+            }
+        }
+        self.iters = total_iters;
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group; mirrors criterion's two invocation forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.smoke_test = false;
+        let mut runs = 0u64;
+        c.bench_function("counter", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn smoke_test_mode_runs_once() {
+        let mut c = Criterion {
+            smoke_test: true,
+            ..Default::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("one-shot", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

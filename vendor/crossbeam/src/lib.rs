@@ -1,0 +1,120 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for structured
+//! fork-join parallelism. Since Rust 1.63 the standard library provides
+//! [`std::thread::scope`] with the same guarantees (borrowing from the
+//! enclosing stack frame, joining on scope exit), so this crate is a thin
+//! API adapter — same call shape, same `Result` signature, zero unsafe.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to the [`scope`] closure and to every spawned
+    /// worker (crossbeam hands workers the scope so they can spawn too).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: the wrapped reference is Copy regardless of lifetimes.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope again,
+        /// mirroring crossbeam's signature (`|_|` at most call sites).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle joining one scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads may borrow from the
+    /// caller's stack; all threads are joined before `scope` returns.
+    ///
+    /// Crossbeam returns `Err` when a child panicked without being joined.
+    /// `std::thread::scope` instead re-raises such panics, so the `Err` arm
+    /// here is unreachable in practice — every call site in this workspace
+    /// joins its handles explicitly anyway.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let counter = AtomicUsize::new(0);
+        let out = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+                .len()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_reports_worker_panic() {
+        let res = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn workers_can_spawn_from_the_scope_they_receive() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner
+                    .spawn(|_| counter.fetch_add(1, Ordering::Relaxed))
+                    .join()
+                    .unwrap();
+            })
+            .join()
+            .unwrap();
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

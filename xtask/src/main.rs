@@ -1,0 +1,20 @@
+//! `cargo xtask` — repo automation entry point.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
