@@ -2,8 +2,10 @@
 //! pluggable distance/lower-bound modules together and hosts the query
 //! algorithms implemented in [`crate::query`].
 
-use kspin_graph::Graph;
-use kspin_text::Corpus;
+use std::collections::HashSet;
+
+use kspin_graph::{Graph, Weight};
+use kspin_text::{Corpus, ObjectId};
 
 use crate::index::KspinIndex;
 use crate::modules::{LowerBound, NetworkDistance};
@@ -32,6 +34,22 @@ impl QueryStats {
     }
 }
 
+/// Reusable scratch buffers for the query hot loops (lint
+/// `no-alloc-in-hot-loop`): allocated once per engine, cleared per query,
+/// and grown to high-water capacity — never reallocated per iteration of
+/// the Algorithm 1/3 candidate loops.
+///
+/// Safe to move in and out with `std::mem::take` because the inverted
+/// heaps borrow the index through the engine's `'a` references, not
+/// through the engine itself.
+#[derive(Debug, Default)]
+pub(crate) struct QueryScratch {
+    /// Per-heap MINKEY snapshot for Algorithm 3's selection scan.
+    pub(crate) min_keys: Vec<Weight>,
+    /// Candidate dedup set shared by the BkNN/top-k extraction loops.
+    pub(crate) evaluated: HashSet<ObjectId>,
+}
+
 /// A K-SPIN query engine: one borrowed index + corpus + lower-bound oracle,
 /// and an owned (mutable) network distance oracle.
 ///
@@ -52,6 +70,7 @@ pub struct QueryEngine<'a, D: NetworkDistance> {
     pub(crate) lower_bound: &'a dyn LowerBound,
     pub(crate) dist: D,
     pub(crate) stats: QueryStats,
+    pub(crate) scratch: QueryScratch,
 }
 
 impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
@@ -70,6 +89,7 @@ impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
             lower_bound,
             dist,
             stats: QueryStats::default(),
+            scratch: QueryScratch::default(),
         }
     }
 

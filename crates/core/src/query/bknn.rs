@@ -10,7 +10,6 @@
 //! distance of the current k-th best.
 
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use kspin_graph::{VertexId, Weight};
 use kspin_text::{ObjectId, TermId};
@@ -61,7 +60,10 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .iter()
             .filter_map(|&t| InvertedHeap::create(self.index, t, ctx))
             .collect();
-        let mut evaluated: HashSet<ObjectId> = HashSet::new();
+        // Engine-lifetime dedup set (lint H1): cleared per query, grown to
+        // high-water capacity once, never reallocated in the hot loop.
+        let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
+        evaluated.clear();
         // Max-heap of the best k so far; top = current D_k.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
@@ -104,6 +106,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             }
         }
         self.finish_heap_stats(&heaps);
+        self.scratch.evaluated = evaluated;
         best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 

@@ -12,7 +12,7 @@
 //! it), so we pick the operand with the cheapest driving set; a disjunction
 //! must be driven by the union of its operands' driving sets.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use kspin_graph::{VertexId, Weight};
 use kspin_text::{Corpus, ObjectId, TermId};
@@ -134,7 +134,10 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .iter()
             .filter_map(|&t| InvertedHeap::create(self.index, t, &ctx))
             .collect();
-        let mut evaluated: HashSet<ObjectId> = HashSet::new();
+        // Engine-lifetime dedup set (lint H1): cleared per query, never
+        // reallocated in the extraction loop.
+        let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
+        evaluated.clear();
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -173,6 +176,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             }
         }
         self.finish_heap_stats(&heaps);
+        self.scratch.evaluated = evaluated;
         let mut out: Vec<(ObjectId, Weight)> = best.into_iter().map(|(d, o)| (o, d)).collect();
         out.sort_unstable_by_key(|&(o, d)| (d, o));
         out

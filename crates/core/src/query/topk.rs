@@ -9,7 +9,7 @@
 //! than the valid all-unseen bound; Lemma 2 shows termination is still
 //! exact.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use kspin_graph::{OrderedWeight, VertexId, Weight};
 use kspin_text::{ObjectId, QueryTerms, TermId, TextModel};
@@ -99,7 +99,12 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .map(|j| query.max_term_contribution(j))
             .collect();
 
-        let mut processed: HashSet<ObjectId> = HashSet::new();
+        // Engine-lifetime scratch (lint H1): the dedup set and the MINKEY
+        // snapshot reach high-water capacity on the first query and are
+        // only cleared — never reallocated — afterwards.
+        let mut processed = std::mem::take(&mut self.scratch.evaluated);
+        processed.clear();
+        let mut min_keys = std::mem::take(&mut self.scratch.min_keys);
         let mut best: BinaryHeap<(OrderedWeight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -112,14 +117,12 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // pseudo scores in a priority queue; recomputing them fresh each
             // round (O(|ψ|²), |ψ| ≤ 6) keeps the bound tight even when other
             // heaps' MINKEYs move, and performs the identical selection.
-            let min_keys: Vec<Weight> = heaps
-                .iter()
-                .map(|h| {
-                    h.as_ref()
-                        .and_then(InvertedHeap::min_key)
-                        .unwrap_or(Weight::MAX)
-                })
-                .collect();
+            min_keys.clear();
+            min_keys.extend(heaps.iter().map(|h| {
+                h.as_ref()
+                    .and_then(InvertedHeap::min_key)
+                    .unwrap_or(Weight::MAX)
+            }));
             let mut chosen: Option<(usize, f64)> = None;
             for (i, &mk) in min_keys.iter().enumerate() {
                 if mk == Weight::MAX {
@@ -172,6 +175,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         for h in heaps.into_iter().flatten() {
             self.stats.lb_computations += h.lb_computed();
         }
+        self.scratch.min_keys = min_keys;
+        self.scratch.evaluated = processed;
         let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.get())).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out

@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use crate::csr::Graph;
 use crate::types::{VertexId, Weight, INFINITY};
+use crate::weight::weight_add;
 
 /// Reusable bidirectional search state (epoch-reset, no per-query
 /// allocation in the steady state).
@@ -69,13 +70,13 @@ impl BiDijkstra {
             }
             let other = self.get(1 - side, v);
             if other < INFINITY {
-                let total = d + other;
+                let total = weight_add(d, other);
                 if total < best {
                     best = total;
                 }
             }
             for (u, w) in graph.neighbors(v) {
-                let nd = d + w;
+                let nd = weight_add(d, w);
                 if nd < self.get(side, u) {
                     self.relax(side, u, nd);
                 }

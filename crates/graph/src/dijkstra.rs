@@ -10,6 +10,7 @@ use std::collections::BinaryHeap;
 
 use crate::csr::Graph;
 use crate::types::{VertexId, Weight, INFINITY};
+use crate::weight::weight_add;
 
 /// What the settle callback tells the search loop to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +72,7 @@ impl Dijkstra {
             match on_settle(v, d) {
                 Control::Continue => {
                     for (u, w) in graph.neighbors(v) {
-                        let nd = d + w;
+                        let nd = weight_add(d, w);
                         if nd < self.tentative(u) {
                             self.relax(u, nd, v);
                         }

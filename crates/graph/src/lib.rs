@@ -34,4 +34,4 @@ pub use bidijkstra::BiDijkstra;
 pub use csr::{Graph, GraphBuilder};
 pub use dijkstra::{Dijkstra, SearchSpace};
 pub use types::{Edge, Point, VertexId, Weight, INFINITY};
-pub use weight::OrderedWeight;
+pub use weight::{weight_add, OrderedWeight};

@@ -17,6 +17,23 @@
 
 use std::cmp::Ordering;
 
+use crate::types::Weight;
+
+/// Sums two network weights without wrapping: the single sanctioned `+`
+/// for weight-typed values (lint `A1/checked-weight-arithmetic`).
+///
+/// [`crate::INFINITY`] is `u32::MAX / 2`, so one relaxation past an
+/// unreachable tentative distance stays finite-representable — but a
+/// plain `+` on sums of large real distances (or repeated additions past
+/// ∞) wraps in release builds and turns an unreachable vertex into the
+/// closest one. Saturating at `u32::MAX` keeps every sum `≥ INFINITY`
+/// once either operand passes it, which is exactly the algebra the
+/// relaxation step's `nd < tentative` comparison needs.
+#[inline]
+pub fn weight_add(a: Weight, b: Weight) -> Weight {
+    a.saturating_add(b)
+}
+
 /// An `f64` score with a total order (IEEE-754 `totalOrder`).
 ///
 /// Ordering places `-NaN < -∞ < … < +∞ < +NaN`; equal payloads compare
@@ -83,6 +100,18 @@ impl Ord for OrderedWeight {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weight_add_never_wraps_below_infinity() {
+        use crate::types::INFINITY;
+        assert_eq!(weight_add(3, 4), 7);
+        assert_eq!(weight_add(0, 0), 0);
+        // Sums past ∞ stay ≥ ∞ — an unreachable vertex can never look near.
+        assert!(weight_add(INFINITY, 1) >= INFINITY);
+        assert!(weight_add(INFINITY, INFINITY) >= INFINITY);
+        assert_eq!(weight_add(u32::MAX, 1), u32::MAX);
+        assert_eq!(weight_add(u32::MAX, u32::MAX), u32::MAX);
+    }
 
     #[test]
     fn orders_totally_including_infinities() {

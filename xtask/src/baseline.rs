@@ -1,0 +1,255 @@
+//! The `lint-baseline.json` ratchet.
+//!
+//! The baseline grandfathers known findings so the lint wall can gate on
+//! *new* findings only, while shrinking monotonically: entries that no
+//! longer fire are reported as stale (and fail CI under `--deny-stale`),
+//! so fixing a finding forces the baseline file to shrink with it.
+//! `cargo xtask lint --update-baseline` rewrites the file from the current
+//! findings, preserving the human-written reasons of entries that survive.
+
+use std::fs;
+use std::path::Path;
+
+use crate::json::{parse, Json};
+use crate::rules::Finding;
+
+/// Reason recorded for a finding newly admitted by `--update-baseline`.
+const TODO_REASON: &str = "TODO: fix or replace with a lint:allow justification";
+
+/// One grandfathered finding. Matching is by (rule, file, line) — columns
+/// shift too easily under formatting to participate in identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    /// Why this finding is tolerated (human-maintained).
+    pub reason: String,
+}
+
+impl BaselineEntry {
+    fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule.key() && self.file == f.file && self.line == f.line
+    }
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub note: String,
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Findings split against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Findings not in the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings grandfathered by a baseline entry.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that no longer fire — the file must shrink.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline, a malformed one
+    /// is an error (a truncated baseline must not silently admit
+    /// everything).
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let src = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Baseline::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the JSON document shape written by [`Baseline::render`].
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = parse(src)?;
+        let note = doc
+            .get("note")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let mut entries = Vec::new();
+        for (i, e) in doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline: missing `entries` array")?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                e.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("baseline entry {i}: missing string `{key}`"))
+            };
+            entries.push(BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                line: e
+                    .get("line")
+                    .and_then(Json::as_usize)
+                    .ok_or(format!("baseline entry {i}: missing integer `line`"))?,
+                reason: field("reason")?,
+            });
+        }
+        Ok(Baseline { note, entries })
+    }
+
+    /// Renders back to JSON text.
+    pub fn render(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("rule".into(), Json::Str(e.rule.clone())),
+                    ("file".into(), Json::Str(e.file.clone())),
+                    ("line".into(), Json::Num(to_f64(e.line))),
+                    ("reason".into(), Json::Str(e.reason.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("note".into(), Json::Str(self.note.clone())),
+            ("entries".into(), Json::Arr(entries)),
+        ])
+        .render()
+    }
+
+    /// Splits `findings` into new/baselined and reports stale entries.
+    pub fn apply(&self, findings: &[Finding]) -> Ratchet {
+        let mut ratchet = Ratchet::default();
+        for f in findings {
+            if self.entries.iter().any(|e| e.matches(f)) {
+                ratchet.baselined.push(f.clone());
+            } else {
+                ratchet.new.push(f.clone());
+            }
+        }
+        for e in &self.entries {
+            if !findings.iter().any(|f| e.matches(f)) {
+                ratchet.stale.push(e.clone());
+            }
+        }
+        ratchet
+    }
+
+    /// The baseline `--update-baseline` writes: one entry per current
+    /// finding, keeping the reason of any surviving entry and marking new
+    /// admissions with a TODO reason to be human-edited.
+    pub fn updated(&self, findings: &[Finding]) -> Baseline {
+        let entries = findings
+            .iter()
+            .map(|f| BaselineEntry {
+                rule: f.rule.key().to_string(),
+                file: f.file.clone(),
+                line: f.line,
+                reason: self
+                    .entries
+                    .iter()
+                    .find(|e| e.matches(f))
+                    .map_or_else(|| TODO_REASON.to_string(), |e| e.reason.clone()),
+            })
+            .collect();
+        Baseline {
+            note: if self.note.is_empty() {
+                "Grandfathered lint findings; cargo xtask lint fails only on findings \
+                 not listed here. Shrink, never grow."
+                    .to_string()
+            } else {
+                self.note.clone()
+            },
+            entries,
+        }
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(n: usize) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    fn finding(rule: Rule, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+        }
+    }
+
+    fn entry(rule: &str, file: &str, line: usize, reason: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            reason: reason.to_string(),
+        }
+    }
+
+    #[test]
+    fn ratchet_splits_new_baselined_and_stale() {
+        let baseline = Baseline {
+            note: String::new(),
+            entries: vec![
+                entry("no-swallowed-result", "src/a.rs", 10, "benign"),
+                entry("no-unwrap", "src/gone.rs", 3, "was fixed"),
+            ],
+        };
+        let findings = vec![
+            finding(Rule::NoSwallowedResult, "src/a.rs", 10),
+            finding(Rule::NoUnwrap, "src/b.rs", 7),
+        ];
+        let r = baseline.apply(&findings);
+        assert_eq!(r.baselined.len(), 1);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].file, "src/b.rs");
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].file, "src/gone.rs");
+    }
+
+    #[test]
+    fn update_preserves_reasons_and_marks_new_entries() {
+        let baseline = Baseline {
+            note: "keep".to_string(),
+            entries: vec![entry("no-swallowed-result", "src/a.rs", 10, "benign flush")],
+        };
+        let findings = vec![
+            finding(Rule::NoSwallowedResult, "src/a.rs", 10),
+            finding(Rule::NoAllocInHotLoop, "crates/core/src/query/topk.rs", 5),
+        ];
+        let updated = baseline.updated(&findings);
+        assert_eq!(updated.note, "keep");
+        assert_eq!(updated.entries.len(), 2);
+        assert_eq!(updated.entries[0].reason, "benign flush");
+        assert!(updated.entries[1].reason.starts_with("TODO"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let baseline = Baseline {
+            note: "n".to_string(),
+            entries: vec![entry("no-unwrap", "src/a.rs", 324, "REPL flush")],
+        };
+        let back = Baseline::parse(&baseline.render()).expect("round-trip");
+        assert_eq!(back.note, "n");
+        assert_eq!(back.entries, baseline.entries);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(r#"{"entries": [{"rule": "x"}]}"#).is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

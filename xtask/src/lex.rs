@@ -1,0 +1,525 @@
+//! A minimal Rust lexer for the lint engine (`cargo xtask lint`).
+//!
+//! Produces a flat token stream with byte-accurate, 1-based line/column
+//! spans. It covers exactly the parts of Rust's lexical grammar that a
+//! sound source scanner must get right:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw (byte) strings with any hash count (`r"…"`, `br##"…"##`),
+//! * char/byte literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#match`),
+//! * compound operators lexed as single tokens (`+=`, `::`, `=>`, …).
+//!
+//! Anything a rule must never match inside a string or comment sits in a
+//! dedicated token kind, so the rule passes in `crate::rules` only ever
+//! inspect genuine code tokens.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — *not* a char literal.
+    Lifetime,
+    /// A char or byte literal (`'x'`, `'\u{1F600}'`, `b'\n'`).
+    CharLit,
+    /// A (byte) string literal, quotes included.
+    StrLit,
+    /// A raw (byte) string literal, delimiters included.
+    RawStrLit,
+    /// A numeric literal (`42`, `1.5`, `0x7f`, `3u32`).
+    NumLit,
+    /// Punctuation; compound operators (`+=`, `::`) lex as one token.
+    Punct,
+    /// `// …` — including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` with nesting, newlines included.
+    BlockComment,
+}
+
+/// One lexed token with its byte-accurate source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The exact source text, delimiters included.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+    /// 1-based byte column of the token's first byte on `line`.
+    pub col: usize,
+}
+
+impl Token {
+    /// Whether this is a line or block comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is a doc comment (`///`, `//!`, `/** … */`, `/*! … */`).
+    pub fn is_doc_comment(&self) -> bool {
+        (self.text.starts_with("///") || self.text.starts_with("//!"))
+            || ((self.text.starts_with("/**") || self.text.starts_with("/*!"))
+                && self.text.len() > 4)
+    }
+
+    /// 1-based line of the token's last byte (block comments and plain
+    /// strings may span lines).
+    pub fn end_line(&self) -> usize {
+        self.line + self.text.matches('\n').count()
+    }
+
+    /// Kind + exact-text check for punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+
+    /// Kind + exact-text check for identifiers.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == id
+    }
+}
+
+/// Compound operators, longest first so maximal munch works.
+const COMPOUND_OPS: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Byte length of the UTF-8 sequence introduced by leading byte `b`.
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >= 0xF0 {
+        4
+    } else if b >= 0xE0 {
+        3
+    } else if b >= 0xC0 {
+        2
+    } else {
+        1
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: usize,
+    line_start: usize,
+    tokens: Vec<Token>,
+}
+
+/// Lexes Rust source into a token stream. Never fails: unexpected bytes
+/// degrade into single-char `Punct` tokens rather than aborting the scan.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_start: 0,
+        tokens: Vec::new(),
+    };
+    lx.run();
+    lx.tokens
+}
+
+impl Lexer<'_> {
+    fn peek(&self, k: usize) -> u8 {
+        self.bytes.get(self.i + k).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining the line/column bookkeeping.
+    fn bump(&mut self) {
+        if self.bytes[self.i] == b'\n' {
+            self.line += 1;
+            self.line_start = self.i + 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.i < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        while self.i < self.bytes.len() {
+            let start = self.i;
+            let line = self.line;
+            let col = self.i - self.line_start + 1;
+            if let Some(kind) = self.next_kind() {
+                self.tokens.push(Token {
+                    kind,
+                    text: self.src[start..self.i].to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> Option<TokenKind> {
+        let c = self.bytes[self.i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                self.bump();
+                None
+            }
+            b'/' if self.peek(1) == b'/' => {
+                while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+                    self.bump();
+                }
+                Some(TokenKind::LineComment)
+            }
+            b'/' if self.peek(1) == b'*' => {
+                self.block_comment();
+                Some(TokenKind::BlockComment)
+            }
+            b'"' => {
+                self.bump();
+                self.string_tail();
+                Some(TokenKind::StrLit)
+            }
+            b'\'' => Some(self.quote()),
+            b'0'..=b'9' => {
+                self.number();
+                Some(TokenKind::NumLit)
+            }
+            b'r' | b'b' => Some(self.raw_or_ident()),
+            _ if is_ident_start(c) => {
+                self.ident();
+                Some(TokenKind::Ident)
+            }
+            _ => Some(self.punct()),
+        }
+    }
+
+    /// `/* … */` with nesting; the cursor sits on the opening `/`.
+    fn block_comment(&mut self) {
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while self.i < self.bytes.len() && depth > 0 {
+            if self.bytes[self.i] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else if self.bytes[self.i] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a string body after its opening quote, honoring escapes.
+    fn string_tail(&mut self) {
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a char-literal body after its opening quote (escapes,
+    /// `\u{…}` included) through the closing quote.
+    fn char_tail(&mut self) {
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A `'` in code position: char literal or lifetime.
+    fn quote(&mut self) -> TokenKind {
+        let n1 = self.peek(1);
+        if n1 == b'\\' {
+            self.bump(); // opening '
+            self.char_tail();
+            return TokenKind::CharLit;
+        }
+        if is_ident_start(n1) {
+            // Scan the ident run; a closing quote right after it makes this
+            // a char literal ('a'), otherwise it is a lifetime ('a, 'static).
+            let mut k = 2;
+            while is_ident_continue(self.peek(k)) {
+                k += 1;
+            }
+            if self.peek(k) == b'\'' {
+                self.bump_n(k + 1);
+                return TokenKind::CharLit;
+            }
+            self.bump(); // '
+            self.ident();
+            return TokenKind::Lifetime;
+        }
+        // Non-ident single char: '(' , '€', …
+        let l = utf8_len(n1);
+        if n1 != 0 && self.peek(1 + l) == b'\'' {
+            self.bump_n(2 + l);
+            return TokenKind::CharLit;
+        }
+        // Stray quote (only reachable in malformed source).
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn number(&mut self) {
+        while self.i < self.bytes.len() {
+            let c = self.bytes[self.i];
+            // `.` continues the literal only before a digit (1.5), so `1..2`
+            // and `1.method()` keep their `.`s as punctuation.
+            if is_ident_continue(c) || (c == b'.' && self.peek(1).is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.i < self.bytes.len() && is_ident_continue(self.bytes[self.i]) {
+            self.bump();
+        }
+    }
+
+    /// `r`/`b` may introduce raw strings (`r"`, `br#"`), byte literals
+    /// (`b'x'`, `b"…"`), or raw identifiers (`r#match`); anything else is a
+    /// plain identifier.
+    fn raw_or_ident(&mut self) -> TokenKind {
+        let c0 = self.bytes[self.i];
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.bump_n(2); // b'
+            self.char_tail();
+            return TokenKind::CharLit;
+        }
+        if c0 == b'b' && self.peek(1) == b'"' {
+            self.bump_n(2); // b"
+            self.string_tail();
+            return TokenKind::StrLit;
+        }
+        let r_at = usize::from(c0 == b'b'); // br"…" has the r second
+        if self.peek(r_at) == b'r' {
+            let mut hashes = 0usize;
+            let mut k = r_at + 1;
+            while self.peek(k) == b'#' {
+                hashes += 1;
+                k += 1;
+            }
+            if self.peek(k) == b'"' {
+                self.bump_n(k + 1); // prefix + opening quote
+                self.raw_string_tail(hashes);
+                return TokenKind::RawStrLit;
+            }
+            if c0 == b'r' && hashes == 1 && is_ident_start(self.peek(k)) {
+                self.bump_n(2); // r#
+                self.ident();
+                return TokenKind::Ident;
+            }
+        }
+        self.ident();
+        TokenKind::Ident
+    }
+
+    /// Consumes a raw-string body after the opening quote: ends at a `"`
+    /// followed by exactly `hashes` `#`s.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'"' && (1..=hashes).all(|h| self.peek(h) == b'#') {
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        for op in COMPOUND_OPS {
+            if self.src[self.i..].starts_with(op) {
+                self.bump_n(op.len());
+                return TokenKind::Punct;
+            }
+        }
+        self.bump_n(utf8_len(self.bytes[self.i]));
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn find<'a>(tokens: &'a [Token], text: &str) -> &'a Token {
+        tokens
+            .iter()
+            .find(|t| t.text == text)
+            .unwrap_or_else(|| panic!("token `{text}` not lexed"))
+    }
+
+    #[test]
+    fn spans_survive_raw_strings() {
+        // The raw string contains `//`, quotes, and `.unwrap()` — none of it
+        // may leak into code tokens, and the span of `foo` after it must be
+        // byte-exact.
+        let src = r####"let s = r##"no // ".unwrap()" here"##; foo();"####;
+        let tokens = lex(src);
+        assert!(!tokens.iter().any(|t| t.is_comment()));
+        assert!(!tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        let raw = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::RawStrLit)
+            .expect("raw string token");
+        assert_eq!(raw.col, 9);
+        let foo = find(&tokens, "foo");
+        assert_eq!((foo.line, foo.col), (1, src.find("foo").unwrap() + 1));
+    }
+
+    #[test]
+    fn spans_survive_nested_block_comments() {
+        let src = "a /* x /* y */ z */ b\nc";
+        let tokens = lex(src);
+        assert_eq!(
+            tokens.iter().filter(|t| t.is_comment()).count(),
+            1,
+            "one nested block comment"
+        );
+        let b = find(&tokens, "b");
+        assert_eq!((b.line, b.col), (1, 21));
+        let c = find(&tokens, "c");
+        assert_eq!((c.line, c.col), (2, 1));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_are_distinguished() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let tokens = lex(src);
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        let chars: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'a'");
+        // 'static and '_ are lifetimes; '\n' and '\u{1F600}' are chars.
+        let more = lex(r"fn g<'_>(l: &'static str) { let a = '\n'; let b = '\u{1F600}'; }");
+        assert_eq!(
+            more.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            more.iter().filter(|t| t.kind == TokenKind::CharLit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multiline_strings_advance_lines() {
+        let src = "let s = \"line1\nline2\"; foo();";
+        let tokens = lex(src);
+        let foo = find(&tokens, "foo");
+        assert_eq!((foo.line, foo.col), (2, 9));
+        let s = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::StrLit)
+            .expect("string token");
+        assert_eq!(s.end_line(), 2);
+    }
+
+    #[test]
+    fn compound_operators_lex_as_single_tokens() {
+        let toks = kinds("a += b; c::d(); e => f; g..=h;");
+        let puncts: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_literals() {
+        let toks = kinds(r#"let r#match = b'\n'; let bs = b"x";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::CharLit && t == r"b'\n'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "b\"x\""));
+    }
+
+    #[test]
+    fn doc_comments_are_recognized() {
+        let tokens = lex("/// doc\n//! inner\n// plain\n/* block */\nfn f() {}\n");
+        let docs: Vec<bool> = tokens
+            .iter()
+            .filter(|t| t.is_comment())
+            .map(Token::is_doc_comment)
+            .collect();
+        assert_eq!(docs, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_literals() {
+        let tokens = lex(r#"let a = "x\"y"; let c = '\''; z();"#);
+        assert!(tokens.iter().any(|t| t.text == "z"));
+        assert!(!tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "x" || t.text == "y")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..10; 1.5; 1.max(2); 0x7f_u32;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5", "1", "2", "0x7f_u32"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+}

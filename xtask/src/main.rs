@@ -1,19 +1,36 @@
 //! `cargo xtask` — repo automation entry point.
 
+mod baseline;
+mod json;
+mod lex;
 mod lint;
+mod rules;
+mod scope;
 
 use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <task> [options]
+
+tasks:
+  lint    run the K-SPIN lint wall (see `cargo xtask lint --help`)
+
+Run `cargo xtask lint --list-rules` for the rule catalog.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("-h" | "--help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint");
+            eprintln!("error: unknown xtask `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }

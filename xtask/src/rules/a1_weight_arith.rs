@@ -1,0 +1,325 @@
+//! A1 `checked-weight-arithmetic` — `+` / `+=` on weight-like operands in
+//! query code (`crates/core/src/query/`) must go through the checked
+//! helpers of `crates/graph/src/weight.rs` (`weight_add`, the saturating
+//! methods, or `OrderedWeight`). `Weight` is an unsigned integer with a
+//! large `INFINITY` sentinel; a raw `d + w` can wrap past the sentinel and
+//! invert Property 1's ordering, which is exactly the silent corruption
+//! the lint wall exists to exclude.
+
+use crate::lex::TokenKind;
+use crate::rules::{record, scope, statement_around, tok, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// Identifier segments (split on `_`) that mark an operand as weight-like.
+const WEIGHTY: [&str; 18] = [
+    "d", "dk", "w", "wt", "dist", "distance", "weight", "weights", "lb", "lbs", "bound", "bounds",
+    "minkey", "key", "keys", "cost", "costs", "lower",
+];
+
+/// Segments that mark an operand as a counter/bookkeeping value even when
+/// another segment looks weighty (`lb_computations`, `dist_count`, …).
+const EXCLUDED: [&str; 10] = [
+    "computations",
+    "extractions",
+    "candidates",
+    "computed",
+    "count",
+    "counts",
+    "stats",
+    "len",
+    "idx",
+    "index",
+];
+
+/// Calls that make a statement sanctioned: the addition is already checked
+/// (or is part of asserting the checked form).
+const SANCTIONED_CALLS: [&str; 4] = [
+    "weight_add",
+    "saturating_add",
+    "checked_add",
+    "OrderedWeight",
+];
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    if !file.rel.starts_with("crates/core/src/query/") {
+        return;
+    }
+    for k in 0..file.code.len() {
+        let t = tok(file, k);
+        if !(t.is_punct("+") || t.is_punct("+=")) || scope(file, k).in_test {
+            continue;
+        }
+        let mut idents = operand_idents_left(file, k);
+        idents.extend(operand_idents_right(file, k));
+        let Some(weighty) = classify(&idents) else {
+            continue;
+        };
+        let (start, end) = statement_around(file, k);
+        let sanctioned =
+            (start..end).any(|j| SANCTIONED_CALLS.contains(&tok(file, j).text.as_str()));
+        if sanctioned {
+            continue;
+        }
+        record(
+            file,
+            t.line,
+            t.col,
+            Rule::CheckedWeightArithmetic,
+            format!(
+                "unchecked `{}` on weight-like operand `{weighty}` — route through \
+                 weight_add/saturating_add/OrderedWeight (crates/graph/src/weight.rs) or justify",
+                t.text
+            ),
+            summary,
+        );
+    }
+}
+
+/// If the operand identifiers look weight-like (and none are excluded
+/// bookkeeping), returns the identifier that matched.
+fn classify(idents: &[String]) -> Option<String> {
+    let mut weighty: Option<String> = None;
+    for id in idents {
+        // Only plain lowercase value identifiers participate: type names
+        // (`Weight`, `OrderedWeight`) and constants (`INFINITY`) are
+        // declarations/sentinels, not hot-path sums.
+        if !id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue;
+        }
+        for seg in id.split('_').filter(|s| !s.is_empty()) {
+            if EXCLUDED.contains(&seg) {
+                return None;
+            }
+            if weighty.is_none() && WEIGHTY.contains(&seg) {
+                weighty = Some(id.clone());
+            }
+        }
+    }
+    weighty
+}
+
+/// Identifiers of the operand expression left of code token `k`, walking
+/// back over `a.b`, `a::b`, calls and index groups.
+fn operand_idents_left(file: &SourceFile, k: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = tok(file, j);
+        match t.kind {
+            TokenKind::Punct if t.text == ")" || t.text == "]" => {
+                let Some(open) = matching_open(file, j) else {
+                    break;
+                };
+                if open == 0 {
+                    break;
+                }
+                j = open;
+            }
+            TokenKind::Ident => {
+                idents.push(t.text.clone());
+                if j >= 1 {
+                    let p = tok(file, j - 1);
+                    if p.is_punct(".") || p.is_punct("::") {
+                        j -= 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            TokenKind::NumLit => break,
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// Identifiers of the operand expression right of code token `k`, walking
+/// forward over `a.b`, `a::b`, calls and index groups.
+fn operand_idents_right(file: &SourceFile, k: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut j = k + 1;
+    while j < file.code.len() {
+        let t = tok(file, j);
+        match t.kind {
+            TokenKind::Ident => {
+                idents.push(t.text.clone());
+                j += 1;
+            }
+            TokenKind::NumLit => {
+                j += 1;
+            }
+            TokenKind::Punct if t.text == "(" || t.text == "[" => {
+                let Some(close) = matching_close(file, j) else {
+                    break;
+                };
+                j = close + 1;
+            }
+            TokenKind::Punct if t.text == "." || t.text == "::" => {
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    idents
+}
+
+/// Index of the `(`/`[` matching the closer at `j`.
+fn matching_open(file: &SourceFile, j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = j + 1;
+    while i > 0 {
+        i -= 1;
+        match tok(file, i).text.as_str() {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)`/`]` matching the opener at `j`.
+fn matching_close(file: &SourceFile, j: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in j..file.code.len() {
+        match tok(file, i).text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn a1_triggers_on_raw_weight_sums() {
+        let src = "\
+fn f(d: Weight, w: Weight) -> Weight {
+    let nd = d + w;
+    nd
+}
+";
+        let summary = run_rule(
+            "crates/core/src/query/x.rs",
+            src,
+            Rule::CheckedWeightArithmetic,
+        );
+        assert_eq!(summary.count(Rule::CheckedWeightArithmetic), 1);
+        let f = &summary.findings[0];
+        assert_eq!((f.line, f.col), (2, 16));
+        assert!(f.message.contains('d') || f.message.contains('w'));
+    }
+
+    #[test]
+    fn a1_triggers_on_compound_assignment_and_paths() {
+        let src = "\
+fn f(&mut self) {
+    self.min_key += edge_weight;
+    total_dist = total_dist + self.dist(v);
+}
+";
+        let summary = run_rule(
+            "crates/core/src/query/x.rs",
+            src,
+            Rule::CheckedWeightArithmetic,
+        );
+        assert_eq!(summary.count(Rule::CheckedWeightArithmetic), 2);
+    }
+
+    #[test]
+    fn a1_ignores_counters_indices_and_checked_forms() {
+        let src = "\
+fn f(&mut self) {
+    self.stats.lb_computations += 1;
+    self.stats.dist_computations += extra;
+    i += 1;
+    let j = idx + 1;
+    let nd = weight_add(d, w);
+    let s = d.saturating_add(w);
+}
+";
+        assert_eq!(
+            run_rule(
+                "crates/core/src/query/x.rs",
+                src,
+                Rule::CheckedWeightArithmetic
+            )
+            .count(Rule::CheckedWeightArithmetic),
+            0
+        );
+    }
+
+    #[test]
+    fn a1_ignores_trait_bounds_and_other_files() {
+        let bounds = "fn f<T: Clone + Send>(x: T) where T: Ord + Eq {}\n";
+        assert_eq!(
+            run_rule(
+                "crates/core/src/query/x.rs",
+                bounds,
+                Rule::CheckedWeightArithmetic
+            )
+            .count(Rule::CheckedWeightArithmetic),
+            0
+        );
+        let elsewhere = "fn f(d: Weight, w: Weight) -> Weight { d + w }\n";
+        assert_eq!(
+            run_rule(
+                "crates/graph/src/dijkstra.rs",
+                elsewhere,
+                Rule::CheckedWeightArithmetic
+            )
+            .count(Rule::CheckedWeightArithmetic),
+            0
+        );
+    }
+
+    #[test]
+    fn a1_ignores_tests_and_honors_justifications() {
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t(d: Weight, w: Weight) { let _x = d + w; }
+}
+";
+        assert_eq!(
+            run_rule(
+                "crates/core/src/query/x.rs",
+                test_only,
+                Rule::CheckedWeightArithmetic
+            )
+            .count(Rule::CheckedWeightArithmetic),
+            0
+        );
+        let justified = "\
+fn f(d: Weight, w: Weight) -> Weight {
+    // lint:allow(checked-weight-arithmetic) — both operands < INFINITY/2 by construction
+    d + w
+}
+";
+        let summary = run_rule(
+            "crates/core/src/query/x.rs",
+            justified,
+            Rule::CheckedWeightArithmetic,
+        );
+        assert_eq!(summary.count(Rule::CheckedWeightArithmetic), 0);
+        assert_eq!(summary.justified.get("checked-weight-arithmetic"), Some(&1));
+    }
+}

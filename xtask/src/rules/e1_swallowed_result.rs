@@ -1,0 +1,138 @@
+//! E1 `no-swallowed-result` — no `let _ =` and no bare `.ok();` discarding
+//! a `Result` outside tests, anywhere in the scanned workspace. A silently
+//! dropped error on an I/O or parse path turns a recoverable failure into
+//! wrong query answers; either handle the error, propagate it with `?`, or
+//! justify the site.
+
+use crate::rules::{record, scope, statement_around, tok, tok_is, Rule, Summary};
+use crate::scope::SourceFile;
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    for k in 0..file.code.len() {
+        if scope(file, k).in_test {
+            continue;
+        }
+        let t = tok(file, k);
+        // `let _ = …;` — the exact wildcard pattern (a named `_unused`
+        // binding is a different identifier and intentional).
+        if t.is_ident("let")
+            && tok_is(file, k + 1, |n| n.is_ident("_"))
+            && tok_is(file, k + 2, |n| n.is_punct("="))
+        {
+            record(
+                file,
+                t.line,
+                t.col,
+                Rule::NoSwallowedResult,
+                "`let _ =` discards a Result — handle or propagate the error, or justify".into(),
+                summary,
+            );
+        }
+        // A bare `….ok();` statement: the Result is evaluated for nothing.
+        if t.is_punct(".")
+            && tok_is(file, k + 1, |n| n.is_ident("ok"))
+            && tok_is(file, k + 2, |n| n.is_punct("("))
+            && tok_is(file, k + 3, |n| n.is_punct(")"))
+            && tok_is(file, k + 4, |n| n.is_punct(";"))
+        {
+            let (start, _) = statement_around(file, k);
+            let bound = (start..k).any(|j| {
+                let s = tok(file, j);
+                s.is_ident("let") || s.is_ident("return") || s.is_punct("=")
+            });
+            if !bound {
+                record(
+                    file,
+                    t.line,
+                    t.col,
+                    Rule::NoSwallowedResult,
+                    "Result silently dropped via `.ok();` — handle the error or justify".into(),
+                    summary,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn e1_triggers_on_let_underscore_and_bare_ok() {
+        let src = "\
+fn f(w: &mut W) {
+    let _ = writeln!(w, \"x\");
+    w.flush().ok();
+}
+";
+        let summary = run_rule("crates/core/src/x.rs", src, Rule::NoSwallowedResult);
+        assert_eq!(summary.count(Rule::NoSwallowedResult), 2);
+        assert_eq!(summary.findings[0].line, 2);
+        assert_eq!(summary.findings[0].col, 5);
+        // The `.ok();` finding anchors on the dot before `ok`.
+        assert_eq!(summary.findings[1].line, 3);
+        assert_eq!(
+            summary.findings[1].col,
+            src.lines()
+                .nth(2)
+                .expect("line")
+                .find(".ok()")
+                .expect("pos")
+                + 1
+        );
+    }
+
+    #[test]
+    fn e1_ignores_bound_ok_named_bindings_and_match_wildcards() {
+        let src = "\
+fn f(r: Result<u32, E>) -> Option<u32> {
+    let v = r.ok();
+    let _hint = side_effect();
+    match v {
+        Some(_) => v,
+        _ => None,
+    }
+}
+";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", src, Rule::NoSwallowedResult)
+                .count(Rule::NoSwallowedResult),
+            0
+        );
+    }
+
+    #[test]
+    fn e1_ignores_tests_and_honors_justifications() {
+        let test_only = "\
+#[cfg(test)]
+mod tests {
+    fn t(w: &mut W) { let _ = writeln!(w, \"x\"); w.flush().ok(); }
+}
+";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", test_only, Rule::NoSwallowedResult)
+                .count(Rule::NoSwallowedResult),
+            0
+        );
+        let justified = "\
+fn f(w: &mut W) {
+    // lint:allow(no-swallowed-result) — broken pipe on stdout is benign here
+    w.flush().ok();
+}
+";
+        let summary = run_rule("crates/core/src/x.rs", justified, Rule::NoSwallowedResult);
+        assert_eq!(summary.count(Rule::NoSwallowedResult), 0);
+        assert_eq!(summary.justified.get("no-swallowed-result"), Some(&1));
+    }
+
+    #[test]
+    fn e1_scans_every_workspace_file() {
+        let src = "fn f(w: &mut W) { w.flush().ok(); }\n";
+        assert_eq!(
+            run_rule("src/bin/tool.rs", src, Rule::NoSwallowedResult)
+                .count(Rule::NoSwallowedResult),
+            1
+        );
+    }
+}

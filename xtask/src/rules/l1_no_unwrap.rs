@@ -1,0 +1,100 @@
+//! L1 `no-unwrap` — no `.unwrap()` / `.expect(..)` in non-test code of
+//! `crates/core` and `crates/nvd` (the query hot paths). Algorithms 1–4
+//! must degrade by returning empty results or propagating worker panics,
+//! never by panicking on a `None` the paper's invariants were supposed to
+//! exclude.
+
+use crate::lex::TokenKind;
+use crate::rules::{record, scope, tok, tok_is, Rule, Summary};
+use crate::scope::SourceFile;
+
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") || rel.starts_with("crates/nvd/src/")
+}
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    if !in_scope(&file.rel) {
+        return;
+    }
+    for k in 0..file.code.len() {
+        let t = tok(file, k);
+        if t.kind != TokenKind::Ident || (t.text != "unwrap" && t.text != "expect") {
+            continue;
+        }
+        if scope(file, k).in_test {
+            continue;
+        }
+        // `.unwrap(` exactly: a leading dot and an immediate call, so
+        // `unwrap_or(..)` (a different identifier token) never matches.
+        let method_call =
+            k > 0 && tok(file, k - 1).is_punct(".") && tok_is(file, k + 1, |n| n.is_punct("("));
+        if method_call {
+            let what = if t.text == "unwrap" {
+                ".unwrap()"
+            } else {
+                ".expect(..)"
+            };
+            record(
+                file,
+                t.line,
+                t.col,
+                Rule::NoUnwrap,
+                format!("{what} in hot-path code — handle the None/Err case or justify"),
+                summary,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn l1_triggers_on_unwrap_and_expect() {
+        let src = "fn f() { a.unwrap(); b.expect(\"boom\"); }\n";
+        let summary = run_rule("crates/core/src/x.rs", src, Rule::NoUnwrap);
+        assert_eq!(summary.count(Rule::NoUnwrap), 2);
+        assert_eq!(summary.findings[0].line, 1);
+        assert_eq!(
+            summary.findings[0].col,
+            src.find("unwrap").expect("pos") + 1
+        );
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_and_tests_and_other_crates() {
+        let ok = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", ok, Rule::NoUnwrap).count(Rule::NoUnwrap),
+            0
+        );
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", test_only, Rule::NoUnwrap).count(Rule::NoUnwrap),
+            0
+        );
+        let other_crate = "fn f() { a.unwrap(); }\n";
+        assert_eq!(
+            run_rule("crates/graph/src/x.rs", other_crate, Rule::NoUnwrap).count(Rule::NoUnwrap),
+            0
+        );
+    }
+
+    #[test]
+    fn l1_ignores_strings_and_comments() {
+        let src = "fn f() { let s = \".unwrap()\"; } // a.unwrap() in comment\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", src, Rule::NoUnwrap).count(Rule::NoUnwrap),
+            0
+        );
+    }
+
+    #[test]
+    fn l1_justification_is_honored() {
+        let src = "fn f() {\n    // lint:allow(no-unwrap) — invariant: list non-empty\n    x.unwrap();\n}\n";
+        let summary = run_rule("crates/core/src/x.rs", src, Rule::NoUnwrap);
+        assert_eq!(summary.count(Rule::NoUnwrap), 0);
+        assert_eq!(summary.justified.get("no-unwrap"), Some(&1));
+    }
+}

@@ -1,0 +1,87 @@
+//! L2 `total-order-weights` — no `partial_cmp` and no raw-`f64` binary
+//! heaps anywhere outside `crates/graph/src/weight.rs`. Result heaps order
+//! Eq. 1 scores; a NaN under `partial_cmp` would silently corrupt heap
+//! order, so `OrderedWeight` (`f64::total_cmp`) is the one sanctioned
+//! float-ordering site.
+
+use crate::rules::{record, scope, tok, tok_is, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// The single sanctioned float-ordering site.
+const SANCTIONED: &str = "crates/graph/src/weight.rs";
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    if file.rel == SANCTIONED {
+        return;
+    }
+    for k in 0..file.code.len() {
+        let t = tok(file, k);
+        if scope(file, k).in_test {
+            continue;
+        }
+        if t.is_ident("partial_cmp") {
+            record(
+                file,
+                t.line,
+                t.col,
+                Rule::TotalOrderWeights,
+                "partial_cmp outside crates/graph/src/weight.rs — order scores through OrderedWeight"
+                    .into(),
+                summary,
+            );
+        }
+        // `BinaryHeap<f64…>` or `BinaryHeap<(f64…` — a raw-f64 heap type.
+        if t.is_ident("BinaryHeap") && tok_is(file, k + 1, |n| n.is_punct("<")) {
+            let inner = if tok_is(file, k + 2, |n| n.is_punct("(")) {
+                k + 3
+            } else {
+                k + 2
+            };
+            if tok_is(file, inner, |n| n.is_ident("f64")) {
+                record(
+                    file,
+                    t.line,
+                    t.col,
+                    Rule::TotalOrderWeights,
+                    "raw f64 binary heap — wrap scores in OrderedWeight".into(),
+                    summary,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn l2_triggers_on_partial_cmp_and_raw_f64_heaps() {
+        let src = "fn f() { a.partial_cmp(&b); }\nfn g() -> BinaryHeap<(f64, u32)> { BinaryHeap::new() }\n";
+        let summary = run_rule("crates/core/src/x.rs", src, Rule::TotalOrderWeights);
+        assert_eq!(summary.count(Rule::TotalOrderWeights), 2);
+    }
+
+    #[test]
+    fn l2_exempts_the_sanctioned_weight_module() {
+        let src = "fn f() { a.partial_cmp(&b); }\n";
+        let summary = run_rule("crates/graph/src/weight.rs", src, Rule::TotalOrderWeights);
+        assert_eq!(summary.count(Rule::TotalOrderWeights), 0);
+    }
+
+    #[test]
+    fn l2_ignores_ordered_heaps_and_tests() {
+        let ok = "fn g() -> BinaryHeap<(OrderedWeight, u32)> { BinaryHeap::new() }\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", ok, Rule::TotalOrderWeights)
+                .count(Rule::TotalOrderWeights),
+            0
+        );
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { a.partial_cmp(&b); }\n}\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", test_only, Rule::TotalOrderWeights)
+                .count(Rule::TotalOrderWeights),
+            0
+        );
+    }
+}

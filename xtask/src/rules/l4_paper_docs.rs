@@ -1,0 +1,114 @@
+//! L4 `paper-docs` — every `pub fn` in `crates/core/src/query/` carries a
+//! doc comment citing the paper section it implements (`§`, `Algorithm`,
+//! `Lemma`, `Theorem`, `Observation`, `Definition`, `Eq.` or `Fig.`),
+//! keeping the query processors traceable to the source material.
+//! `pub(crate)`/`pub(super)` functions are internal and exempt.
+
+use crate::rules::{record, scope, tok, tok_is, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// Markers accepted as a paper citation.
+pub(crate) const CITATION_MARKERS: [&str; 8] = [
+    "§",
+    "Algorithm",
+    "Lemma",
+    "Theorem",
+    "Observation",
+    "Definition",
+    "Eq.",
+    "Fig.",
+];
+
+/// Qualifiers that may sit between `pub` and `fn`.
+const FN_QUALIFIERS: [&str; 4] = ["async", "const", "unsafe", "extern"];
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    if !file.rel.starts_with("crates/core/src/query/") {
+        return;
+    }
+    for k in 0..file.code.len() {
+        let t = tok(file, k);
+        if !t.is_ident("pub") || scope(file, k).in_test {
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are internal: exempt.
+        if tok_is(file, k + 1, |n| n.is_punct("(")) {
+            continue;
+        }
+        // Walk `pub [async|const|unsafe|extern ["C"]] fn`.
+        let mut j = k + 1;
+        while tok_is(file, j, |n| {
+            FN_QUALIFIERS.contains(&n.text.as_str()) || n.text.starts_with('"')
+        }) {
+            j += 1;
+        }
+        if !tok_is(file, j, |n| n.is_ident("fn")) {
+            continue;
+        }
+        let doc = file.doc_block_above(t.line);
+        let msg = if doc.is_empty() {
+            "undocumented pub fn in the query processor — cite the paper section it implements"
+        } else if !CITATION_MARKERS.iter().any(|m| doc.contains(m)) {
+            "query-processor doc comment cites no paper section (§/Algorithm/Lemma/…)"
+        } else {
+            continue;
+        };
+        record(file, t.line, t.col, Rule::PaperDocs, msg.into(), summary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn l4_triggers_on_undocumented_and_citation_free_pub_fns() {
+        let undocumented = "pub fn naked() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", undocumented, Rule::PaperDocs)
+                .count(Rule::PaperDocs),
+            1
+        );
+        let uncited = "/// Does a thing, no citation.\npub fn vague() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", uncited, Rule::PaperDocs).count(Rule::PaperDocs),
+            1
+        );
+    }
+
+    #[test]
+    fn l4_accepts_cited_docs_and_ignores_internal_fns() {
+        let cited = "/// Implements Algorithm 2 (§4.2).\n#[inline]\npub fn good() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", cited, Rule::PaperDocs).count(Rule::PaperDocs),
+            0
+        );
+        let internal = "pub(crate) fn helper() {}\nfn private() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", internal, Rule::PaperDocs)
+                .count(Rule::PaperDocs),
+            0
+        );
+        let outside = "pub fn naked() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/heap.rs", outside, Rule::PaperDocs).count(Rule::PaperDocs),
+            0
+        );
+    }
+
+    #[test]
+    fn l4_sees_async_fns_and_non_fn_pub_items() {
+        let async_fn = "pub async fn naked() {}\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", async_fn, Rule::PaperDocs)
+                .count(Rule::PaperDocs),
+            1
+        );
+        let not_a_fn = "pub struct S;\npub use other::thing;\n";
+        assert_eq!(
+            run_rule("crates/core/src/query/x.rs", not_a_fn, Rule::PaperDocs)
+                .count(Rule::PaperDocs),
+            0
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The lint rules and their shared scaffolding.
+//!
+//! Every rule is a token-level pass over a [`SourceFile`] (lexed source +
+//! per-token scope facts). Rules record findings through [`record`], which
+//! consults the `lint:allow` justification model, so a justified site is
+//! counted but never reported as a violation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lex::Token;
+use crate::scope::{SourceFile, TokenScope};
+
+pub mod a1_weight_arith;
+pub mod e1_swallowed_result;
+pub mod h1_no_alloc;
+pub mod l1_no_unwrap;
+pub mod l2_total_order;
+pub mod l3_concurrency;
+pub mod l4_paper_docs;
+
+/// The lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// L1: no unwrap/expect in hot-path crates.
+    NoUnwrap,
+    /// L2: float ordering only through `OrderedWeight`.
+    TotalOrderWeights,
+    /// L3: concurrency only in the sanctioned build scope.
+    SanctionedConcurrency,
+    /// L4: query-processor `pub fn`s cite their paper section.
+    PaperDocs,
+    /// H1: no allocation inside hot-path loop bodies.
+    NoAllocInHotLoop,
+    /// A1: weight arithmetic goes through the checked helpers.
+    CheckedWeightArithmetic,
+    /// E1: no silently discarded `Result`s.
+    NoSwallowedResult,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::NoUnwrap,
+        Rule::TotalOrderWeights,
+        Rule::SanctionedConcurrency,
+        Rule::PaperDocs,
+        Rule::NoAllocInHotLoop,
+        Rule::CheckedWeightArithmetic,
+        Rule::NoSwallowedResult,
+    ];
+
+    /// The name used inside `lint:allow(..)` comments, CLI filters, and
+    /// baseline entries.
+    pub fn key(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::TotalOrderWeights => "total-order-weights",
+            Rule::SanctionedConcurrency => "sanctioned-concurrency",
+            Rule::PaperDocs => "paper-docs",
+            Rule::NoAllocInHotLoop => "no-alloc-in-hot-loop",
+            Rule::CheckedWeightArithmetic => "checked-weight-arithmetic",
+            Rule::NoSwallowedResult => "no-swallowed-result",
+        }
+    }
+
+    /// Display label with the rule number.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "L1 no-unwrap",
+            Rule::TotalOrderWeights => "L2 total-order-weights",
+            Rule::SanctionedConcurrency => "L3 sanctioned-concurrency",
+            Rule::PaperDocs => "L4 paper-docs",
+            Rule::NoAllocInHotLoop => "H1 no-alloc-in-hot-loop",
+            Rule::CheckedWeightArithmetic => "A1 checked-weight-arithmetic",
+            Rule::NoSwallowedResult => "E1 no-swallowed-result",
+        }
+    }
+
+    /// One-line documentation for `--list-rules`.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => {
+                "no .unwrap()/.expect(..) in non-test code of crates/core and crates/nvd"
+            }
+            Rule::TotalOrderWeights => {
+                "no partial_cmp or raw-f64 heaps outside crates/graph/src/weight.rs (OrderedWeight)"
+            }
+            Rule::SanctionedConcurrency => {
+                "no thread::spawn or bare Mutex outside the Observation-3 build scope (index.rs)"
+            }
+            Rule::PaperDocs => {
+                "every pub fn in crates/core/src/query/ cites the paper section it implements"
+            }
+            Rule::NoAllocInHotLoop => {
+                "no Vec::new/vec!/to_vec/clone/collect/format!/Box::new inside hot-path loop bodies"
+            }
+            Rule::CheckedWeightArithmetic => {
+                "+/+= on weight-like operands in query code goes through weight_add/OrderedWeight"
+            }
+            Rule::NoSwallowedResult => {
+                "no `let _ =` or bare `.ok();` discarding a Result outside tests"
+            }
+        }
+    }
+
+    /// Parses a rule key from the CLI.
+    pub fn from_key(key: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.key() == key)
+    }
+}
+
+/// One lint finding with a byte-accurate source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    pub message: String,
+    /// The trimmed source line the finding sits on.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.key(),
+            self.message
+        )
+    }
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct Summary {
+    pub findings: Vec<Finding>,
+    /// Sites matched by a rule but exempted via `lint:allow`.
+    pub justified: BTreeMap<&'static str, usize>,
+    pub files_scanned: usize,
+}
+
+impl Summary {
+    /// Findings of one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.findings.iter().filter(|v| v.rule == rule).count()
+    }
+
+    /// Justified (exempted) sites of one rule.
+    pub fn justified_count(&self, rule: Rule) -> usize {
+        self.justified.get(rule.key()).copied().unwrap_or(0)
+    }
+}
+
+/// Runs every requested rule over one file, appending to `summary`.
+pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
+    for &rule in rules {
+        match rule {
+            Rule::NoUnwrap => l1_no_unwrap::check(file, summary),
+            Rule::TotalOrderWeights => l2_total_order::check(file, summary),
+            Rule::SanctionedConcurrency => l3_concurrency::check(file, summary),
+            Rule::PaperDocs => l4_paper_docs::check(file, summary),
+            Rule::NoAllocInHotLoop => h1_no_alloc::check(file, summary),
+            Rule::CheckedWeightArithmetic => a1_weight_arith::check(file, summary),
+            Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
+        }
+    }
+}
+
+/// Records a match at (1-based) line/col: a finding, or a justified
+/// exemption.
+pub(crate) fn record(
+    file: &SourceFile,
+    line: usize,
+    col: usize,
+    rule: Rule,
+    msg: String,
+    summary: &mut Summary,
+) {
+    if file.justified(line, rule.key()) {
+        *summary.justified.entry(rule.key()).or_insert(0) += 1;
+    } else {
+        summary.findings.push(Finding {
+            rule,
+            file: file.rel.clone(),
+            line,
+            col,
+            message: msg,
+            snippet: file.snippet(line).to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code-token navigation shared by the rule passes. `k` always indexes
+// `file.code` (the comment-free token sequence).
+// ---------------------------------------------------------------------------
+
+/// The `k`-th code token.
+pub(crate) fn tok(file: &SourceFile, k: usize) -> &Token {
+    &file.tokens[file.code[k]]
+}
+
+/// Scope facts of the `k`-th code token.
+pub(crate) fn scope(file: &SourceFile, k: usize) -> &TokenScope {
+    &file.scopes[file.code[k]]
+}
+
+/// Whether code token `k` exists and satisfies `pred`.
+pub(crate) fn tok_is(file: &SourceFile, k: usize, pred: impl Fn(&Token) -> bool) -> bool {
+    k < file.code.len() && pred(tok(file, k))
+}
+
+/// Code-token index range `[start, end)` of the statement containing `k`,
+/// bounded (exclusively) by the nearest `;`, `{` or `}` on each side.
+pub(crate) fn statement_around(file: &SourceFile, k: usize) -> (usize, usize) {
+    let boundary = |t: &Token| t.is_punct(";") || t.is_punct("{") || t.is_punct("}");
+    let mut start = k;
+    while start > 0 && !boundary(tok(file, start - 1)) {
+        start -= 1;
+    }
+    let mut end = k + 1;
+    while end < file.code.len() && !boundary(tok(file, end)) {
+        end += 1;
+    }
+    (start, end)
+}
+
+/// Test helper: run one rule over fixture source.
+#[cfg(test)]
+pub(crate) fn run_rule(rel: &str, src: &str, rule: Rule) -> Summary {
+    let file = SourceFile::from_source(rel, src);
+    let mut summary = Summary::default();
+    scan_file(&file, &[rule], &mut summary);
+    summary
+}

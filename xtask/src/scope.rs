@@ -1,0 +1,645 @@
+//! Brace-tracked scope analysis over the token stream of [`crate::lex`].
+//!
+//! For every token the analyzer knows:
+//!
+//! * the innermost enclosing named item (`fn`/`impl`/`mod`),
+//! * whether the token sits inside `#[cfg(test)]` / `#[test]` code,
+//! * the **loop nesting depth** — how many `for`/`while`/`loop` bodies
+//!   enclose it within the current function.
+//!
+//! The model is deliberately approximate (no full parse): a `{` is
+//! classified by the head tokens seen since the last statement boundary,
+//! with precedence `fn > impl > mod > item > loop > block` so that
+//! `impl Trait for Type {` never counts as a loop and a `for<'a>` bound in
+//! a signature never counts either. Closures and plain blocks inherit the
+//! enclosing loop depth — an allocation inside a closure that is invoked
+//! per-iteration is still a per-iteration allocation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::Path;
+
+use crate::lex::{lex, Token, TokenKind};
+
+/// How a brace scope was classified from its head tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A function (or method, or closure with an explicit `fn`-headed item).
+    Fn,
+    /// An `impl` block.
+    Impl,
+    /// A `mod` block.
+    Mod,
+    /// `struct`/`enum`/`union`/`trait` bodies.
+    Item,
+    /// A `for`/`while`/`loop` body.
+    Loop,
+    /// Anything else: plain blocks, `if`/`match` bodies, closures,
+    /// struct literals.
+    Block,
+}
+
+/// Scope facts for one token.
+#[derive(Debug, Clone, Default)]
+pub struct TokenScope {
+    /// Inside `#[cfg(test)]` or `#[test]` code.
+    pub in_test: bool,
+    /// Number of enclosing loop bodies within the current function.
+    pub loop_depth: usize,
+    /// Name of the innermost enclosing `fn`, if any.
+    pub fn_name: Option<String>,
+    /// Name of the innermost enclosing named item (fn/mod/struct/…).
+    pub item_name: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Scope {
+    in_test: bool,
+    loop_depth: usize,
+    fn_name: Option<String>,
+    item_name: Option<String>,
+    /// `(`/`[` nesting of the *enclosing* scope at push time, restored on
+    /// pop so closure bodies inside call arguments track statements again.
+    saved_group_depth: usize,
+    /// For a brace opened mid-expression (inside `(`/`[`): the suspended
+    /// head state of the enclosing statement, restored on pop so a closure
+    /// in `for x in xs.map(|v| { … }) {` does not erase the `for` head.
+    saved_head: Option<Head>,
+}
+
+/// Head-token state gathered since the last statement boundary; decides
+/// what the next `{` opens.
+#[derive(Debug, Default, Clone)]
+struct Head {
+    fn_name: Option<String>,
+    item_name: Option<String>,
+    saw_fn: bool,
+    saw_impl: bool,
+    saw_mod: bool,
+    saw_item: bool,
+    saw_loop: bool,
+    test_attr: bool,
+}
+
+impl Head {
+    fn clear(&mut self) {
+        *self = Head::default();
+    }
+}
+
+/// Computes per-token scope facts. `scopes[i]` describes `tokens[i]`.
+pub fn analyze(tokens: &[Token]) -> Vec<TokenScope> {
+    let mut scopes: Vec<TokenScope> = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Scope> = vec![Scope {
+        in_test: false,
+        loop_depth: 0,
+        fn_name: None,
+        item_name: None,
+        saved_group_depth: 0,
+        saved_head: None,
+    }];
+    let mut head = Head::default();
+    let mut group_depth = 0usize;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            scopes.push(current(&stack));
+            i += 1;
+            continue;
+        }
+        // Attribute groups (`#[...]` / `#![...]`) are consumed wholesale so
+        // their brackets never perturb the delimiter bookkeeping.
+        if t.is_punct("#") && group_depth == 0 {
+            let (end, is_test) = scan_attribute(tokens, i);
+            if let Some(end) = end {
+                head.test_attr |= is_test;
+                for _ in i..=end {
+                    scopes.push(current(&stack));
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        match t.kind {
+            TokenKind::Ident if group_depth == 0 => {
+                match t.text.as_str() {
+                    "fn" => {
+                        head.saw_fn = true;
+                        head.fn_name = next_ident(tokens, i);
+                        head.item_name.clone_from(&head.fn_name);
+                    }
+                    "impl" => head.saw_impl = true,
+                    "mod" => {
+                        head.saw_mod = true;
+                        head.item_name = next_ident(tokens, i);
+                    }
+                    "struct" | "enum" | "trait" | "union" => {
+                        head.saw_item = true;
+                        head.item_name = next_ident(tokens, i);
+                    }
+                    "for" | "while" | "loop" => head.saw_loop = true,
+                    _ => {}
+                }
+                scopes.push(current(&stack));
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "(" | "[" => {
+                    scopes.push(current(&stack));
+                    group_depth += 1;
+                }
+                ")" | "]" => {
+                    group_depth = group_depth.saturating_sub(1);
+                    scopes.push(current(&stack));
+                }
+                ";" if group_depth == 0 => {
+                    scopes.push(current(&stack));
+                    head.clear();
+                }
+                "{" => {
+                    scopes.push(current(&stack));
+                    let mut scope = open_scope(&stack, &head, group_depth);
+                    if group_depth > 0 {
+                        scope.saved_head = Some(std::mem::take(&mut head));
+                    }
+                    stack.push(scope);
+                    group_depth = 0;
+                    head.clear();
+                }
+                "}" => {
+                    if stack.len() > 1 {
+                        let closed = stack.pop().expect("stack.len() > 1");
+                        group_depth = closed.saved_group_depth;
+                        head = closed.saved_head.unwrap_or_default();
+                    } else {
+                        head.clear();
+                    }
+                    scopes.push(current(&stack));
+                }
+                _ => scopes.push(current(&stack)),
+            },
+            _ => scopes.push(current(&stack)),
+        }
+        i += 1;
+    }
+    scopes
+}
+
+fn current(stack: &[Scope]) -> TokenScope {
+    let top = stack.last().expect("scope stack never empties");
+    TokenScope {
+        in_test: top.in_test,
+        loop_depth: top.loop_depth,
+        fn_name: top.fn_name.clone(),
+        item_name: top.item_name.clone(),
+    }
+}
+
+/// Classifies the scope a `{` opens, by head precedence.
+fn open_scope(stack: &[Scope], head: &Head, group_depth: usize) -> Scope {
+    let parent = stack.last().expect("scope stack never empties");
+    let kind = if head.saw_fn {
+        ScopeKind::Fn
+    } else if head.saw_impl {
+        ScopeKind::Impl
+    } else if head.saw_mod {
+        ScopeKind::Mod
+    } else if head.saw_item {
+        ScopeKind::Item
+    } else if head.saw_loop && group_depth == 0 {
+        ScopeKind::Loop
+    } else {
+        ScopeKind::Block
+    };
+    Scope {
+        in_test: parent.in_test || head.test_attr,
+        loop_depth: match kind {
+            ScopeKind::Fn => 0,
+            ScopeKind::Loop => parent.loop_depth + 1,
+            _ => parent.loop_depth,
+        },
+        fn_name: if kind == ScopeKind::Fn {
+            head.fn_name.clone()
+        } else {
+            parent.fn_name.clone()
+        },
+        item_name: if head.item_name.is_some() {
+            head.item_name.clone()
+        } else {
+            parent.item_name.clone()
+        },
+        saved_group_depth: group_depth,
+        saved_head: None,
+    }
+}
+
+/// The first identifier after position `i`, skipping comments (the `fn` /
+/// `mod` / `struct` name).
+fn next_ident(tokens: &[Token], i: usize) -> Option<String> {
+    tokens[i + 1..]
+        .iter()
+        .find(|t| !t.is_comment())
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Scans an attribute starting at the `#` at `i`. Returns the index of the
+/// closing `]` (if this really is an attribute) and whether the attribute
+/// marks test-only code: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`
+/// — but **not** `#[cfg(not(test))]`.
+fn scan_attribute(tokens: &[Token], i: usize) -> (Option<usize>, bool) {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct("[")) {
+        return (None, false);
+    }
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    for (k, t) in tokens.iter().enumerate().skip(j) {
+        match t.kind {
+            TokenKind::Punct if t.text == "[" => depth += 1,
+            TokenKind::Punct if t.text == "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let has = |s: &str| idents.contains(&s);
+                    let is_test = has("test") && (idents.len() == 1 || has("cfg")) && !has("not");
+                    return (Some(k), is_test);
+                }
+            }
+            TokenKind::Ident => idents.push(&t.text),
+            _ => {}
+        }
+    }
+    (None, false)
+}
+
+// ---------------------------------------------------------------------------
+// SourceFile: tokens + scopes + the line-level comment model that backs
+// `lint:allow` justifications and report snippets.
+// ---------------------------------------------------------------------------
+
+/// A parsed source file ready for rule scans.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// The full token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// `scopes[i]` describes `tokens[i]`.
+    pub scopes: Vec<TokenScope>,
+    /// Indices into `tokens` of non-comment tokens, in order — what the
+    /// rule passes iterate.
+    pub code: Vec<usize>,
+    /// Raw source lines (for report snippets), 0-based.
+    lines: Vec<String>,
+    /// 1-based line → concatenated comment text on that line.
+    comment_on_line: BTreeMap<usize, String>,
+    /// 1-based lines carrying at least one code token.
+    code_on_line: BTreeSet<usize>,
+    /// 1-based lines carrying a doc comment (`///`, `//!`, `/** … */`).
+    doc_on_line: BTreeSet<usize>,
+}
+
+impl SourceFile {
+    /// Parses source text (for fixtures and tests as well as real files).
+    pub fn from_source(rel: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let scopes = analyze(&tokens);
+        let mut comment_on_line: BTreeMap<usize, String> = BTreeMap::new();
+        let mut code_on_line = BTreeSet::new();
+        let mut doc_on_line = BTreeSet::new();
+        let mut code = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.is_comment() {
+                for line in t.line..=t.end_line() {
+                    let slot = comment_on_line.entry(line).or_default();
+                    slot.push_str(&t.text);
+                    slot.push('\n');
+                    if t.is_doc_comment() {
+                        doc_on_line.insert(line);
+                    }
+                }
+            } else {
+                code.push(i);
+                for line in t.line..=t.end_line() {
+                    code_on_line.insert(line);
+                }
+            }
+        }
+        SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            scopes,
+            code,
+            lines: src.lines().map(str::to_string).collect(),
+            comment_on_line,
+            code_on_line,
+            doc_on_line,
+        }
+    }
+
+    /// Reads and parses a file, producing a workspace-relative name.
+    pub fn load(root: &Path, path: &Path) -> Option<Self> {
+        let src = fs::read_to_string(path).ok()?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        Some(SourceFile::from_source(&rel, &src))
+    }
+
+    /// The trimmed raw source of a 1-based line (for report snippets).
+    pub fn snippet(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map_or("", |l| l.trim())
+    }
+
+    /// Whether a match at 1-based `line` is justified for `rule_key`: a
+    /// `lint:allow(rule) — reason` comment on the line itself or in the
+    /// contiguous comment-only block directly above.
+    pub fn justified(&self, line: usize, rule_key: &str) -> bool {
+        if self
+            .comment_on_line
+            .get(&line)
+            .is_some_and(|c| allows(c, rule_key))
+        {
+            return true;
+        }
+        let mut j = line;
+        while j > 1 {
+            j -= 1;
+            let Some(comment) = self.comment_on_line.get(&j) else {
+                break;
+            };
+            if self.code_on_line.contains(&j) {
+                break;
+            }
+            if allows(comment, rule_key) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any token on the 1-based line is code (not comment).
+    pub fn line_has_code(&self, line: usize) -> bool {
+        self.code_on_line.contains(&line)
+    }
+
+    /// The contiguous doc block directly above 1-based `line`, skipping
+    /// attribute lines (`#[...]`) between the docs and the item.
+    pub fn doc_block_above(&self, line: usize) -> String {
+        let mut doc = String::new();
+        let mut j = line;
+        while j > 1 {
+            j -= 1;
+            let raw = self.snippet(j);
+            if self.doc_on_line.contains(&j) && !self.line_has_code(j) {
+                doc.push_str(raw);
+                doc.push('\n');
+            } else if raw.starts_with("#[") || raw.starts_with("#![") {
+                continue;
+            } else {
+                break;
+            }
+        }
+        doc
+    }
+}
+
+/// Parses one `lint:allow(..)` comment: the rule list must contain
+/// `rule_key` and a dash-separated non-empty reason must follow.
+pub fn allows(comment: &str, rule_key: &str) -> bool {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return false;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return false;
+    };
+    if !rest[..end].split(',').any(|r| r.trim() == rule_key) {
+        return false;
+    }
+    let after = rest[end + 1..].trim_start();
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix('–'))
+        .or_else(|| after.strip_prefix('-'));
+    matches!(reason, Some(r) if r.trim().len() >= 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scope of the first code token with the given text.
+    fn scope_of<'a>(file: &'a SourceFile, text: &str) -> &'a TokenScope {
+        let (i, _) = file
+            .tokens
+            .iter()
+            .enumerate()
+            .find(|(_, t)| !t.is_comment() && t.text == text)
+            .unwrap_or_else(|| panic!("token `{text}` not found"));
+        &file.scopes[i]
+    }
+
+    #[test]
+    fn loop_depth_nests_and_resets_per_fn() {
+        let src = "\
+fn outer() {
+    before();
+    for x in xs {
+        one();
+        while cond {
+            two();
+        }
+        back_to_one();
+    }
+    after();
+}
+fn next_fn() { zero(); }
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "before").loop_depth, 0);
+        assert_eq!(scope_of(&f, "one").loop_depth, 1);
+        assert_eq!(scope_of(&f, "two").loop_depth, 2);
+        assert_eq!(scope_of(&f, "back_to_one").loop_depth, 1);
+        assert_eq!(scope_of(&f, "after").loop_depth, 0);
+        assert_eq!(scope_of(&f, "zero").loop_depth, 0);
+        assert_eq!(scope_of(&f, "one").fn_name.as_deref(), Some("outer"));
+        assert_eq!(scope_of(&f, "zero").fn_name.as_deref(), Some("next_fn"));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "\
+impl<T> Iterator for Wrapper<T> {
+    fn next(&mut self) -> Option<T> { body() }
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "body").loop_depth, 0);
+        assert_eq!(scope_of(&f, "body").fn_name.as_deref(), Some("next"));
+    }
+
+    #[test]
+    fn hrtb_for_in_signature_is_not_a_loop() {
+        let src = "fn apply<F>(f: F) where F: for<'a> Fn(&'a u8) { body() }\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "body").loop_depth, 0);
+    }
+
+    #[test]
+    fn closures_and_blocks_inherit_loop_depth() {
+        let src = "\
+fn f() {
+    for x in xs {
+        let c = values.iter().map(|v| { inside_closure(v) });
+        if cond {
+            inside_if();
+        }
+        let s = Struct { field: literal_block() };
+    }
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "inside_closure").loop_depth, 1);
+        assert_eq!(scope_of(&f, "inside_if").loop_depth, 1);
+        assert_eq!(scope_of(&f, "literal_block").loop_depth, 1);
+    }
+
+    #[test]
+    fn nested_fn_resets_loop_depth() {
+        let src = "\
+fn f() {
+    loop {
+        fn helper() { in_helper() }
+        in_loop();
+    }
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "in_helper").loop_depth, 0);
+        assert_eq!(scope_of(&f, "in_helper").fn_name.as_deref(), Some("helper"));
+        assert_eq!(scope_of(&f, "in_loop").loop_depth, 1);
+    }
+
+    #[test]
+    fn cfg_test_marks_whole_items() {
+        let src = "\
+fn live() { a(); }
+#[cfg(test)]
+mod tests {
+    fn t() { b(); }
+}
+fn live2() { c(); }
+#[test]
+fn unit() { d(); }
+#[cfg(not(test))]
+fn shipped() { e(); }
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(!scope_of(&f, "a").in_test);
+        assert!(scope_of(&f, "b").in_test);
+        assert!(!scope_of(&f, "c").in_test);
+        assert!(scope_of(&f, "d").in_test);
+        assert!(!scope_of(&f, "e").in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { body(); }\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(!scope_of(&f, "body").in_test);
+    }
+
+    #[test]
+    fn closure_in_loop_header_does_not_erase_the_loop() {
+        let src = "\
+fn f() {
+    for x in xs.iter().map(|v| { in_header(v) }) {
+        in_body(x);
+    }
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "in_body").loop_depth, 1);
+        assert_eq!(scope_of(&f, "in_header").loop_depth, 0);
+    }
+
+    #[test]
+    fn while_let_is_a_loop() {
+        let src = "fn f() { while let Some(x) = it.next() { body(x); } }\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "body").loop_depth, 1);
+    }
+
+    #[test]
+    fn match_and_if_let_are_not_loops() {
+        let src = "\
+fn f() {
+    match x {
+        Some(v) => { in_arm(v) }
+        None => {}
+    }
+    if let Some(v) = y { in_if_let(v); }
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert_eq!(scope_of(&f, "in_arm").loop_depth, 0);
+        assert_eq!(scope_of(&f, "in_if_let").loop_depth, 0);
+    }
+
+    #[test]
+    fn justification_walks_contiguous_comment_block() {
+        let src = "\
+fn f() {
+    // lint:allow(no-unwrap) — invariant: list non-empty
+    // (continued explanation)
+    x.unwrap();
+    y.unwrap();
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.justified(4, "no-unwrap"));
+        assert!(!f.justified(5, "no-unwrap"), "code line breaks the block");
+        assert!(!f.justified(4, "paper-docs"), "rule key must match");
+    }
+
+    #[test]
+    fn justification_grammar() {
+        assert!(allows(
+            "// lint:allow(no-unwrap) — proven by Theorem 1",
+            "no-unwrap"
+        ));
+        assert!(allows(
+            "// lint:allow(no-unwrap) - ascii dash reason",
+            "no-unwrap"
+        ));
+        assert!(allows(
+            "// lint:allow(a, no-alloc-in-hot-loop) — multi",
+            "no-alloc-in-hot-loop"
+        ));
+        assert!(!allows("// lint:allow(no-unwrap)", "no-unwrap"));
+        assert!(!allows("// lint:allow(no-unwrap) — ", "no-unwrap"));
+        assert!(!allows(
+            "// lint:allow(paper-docs) — wrong rule",
+            "no-unwrap"
+        ));
+        assert!(!allows("// nothing here", "no-unwrap"));
+    }
+
+    #[test]
+    fn doc_block_above_skips_attributes() {
+        let src = "/// Implements Algorithm 2 (§4.2).\n#[inline]\npub fn good() {}\n";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.doc_block_above(3).contains("Algorithm 2"));
+        assert!(f.doc_block_above(1).is_empty());
+    }
+}
