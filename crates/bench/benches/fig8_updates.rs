@@ -78,6 +78,7 @@ fn main() {
                 &KspinConfig {
                     rho: 5,
                     num_threads: threads,
+                    ..KspinConfig::default()
                 },
             );
             let mut dist = HlDistance::new(&hl);
@@ -111,6 +112,7 @@ fn main() {
                     &KspinConfig {
                         rho: 5,
                         num_threads: threads,
+                        ..KspinConfig::default()
                     },
                 );
                 let mut dist = HlDistance::new(&hl);

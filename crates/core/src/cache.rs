@@ -1,0 +1,411 @@
+//! The cross-query heap-seed cache (serving-layer optimization).
+//!
+//! §6 Observation 1: keyword frequencies are Zipf-distributed, so a small
+//! set of hot keywords dominates any realistic query load. Yet every
+//! [`crate::heap::InvertedHeap::create`] recomputes the same
+//! query-*independent* work for such keywords: locate the quadtree source
+//! cell of the query vertex, gather the cell's generator candidates plus
+//! the §6.2 lazily-attached inserts, sort and deduplicate them (Theorem 1's
+//! seed set). This module memoizes exactly that value — the seed candidates
+//! per `(keyword, source cell)` — across queries and across the
+//! [`crate::serving::BatchExecutor`]'s worker threads.
+//!
+//! What is *not* cached: the `MINKEY` lower-bound keys. Those depend on the
+//! query vertex and are recomputed per query, so Property 1 (§5) is
+//! preserved verbatim — a cached seeding pushes the identical candidate set
+//! in the identical order as a cold seeding, and `LazyReheap` proceeds
+//! unchanged. The `ExactLowerBound`-armed extraction-order audit therefore
+//! holds with the cache enabled (see `tests/property_invariants.rs`).
+//!
+//! Admission policy: only NVD-backed keywords — exactly those with
+//! `|inv(t)| > ρ` (Observation 1's split) — are admitted. Zipf-tail
+//! keywords seed from their whole (≤ ρ) list with no cell lookup, so there
+//! is nothing worth memoizing for them.
+//!
+//! Consistency: index updates (§6.2 lazy insert/delete and `rebuild_term`)
+//! invalidate every cached cell of the touched keyword, synchronously,
+//! under the index's `&mut self` — queries hold `&KspinIndex`, so Rust's
+//! aliasing rules make an update racing a lookup impossible.
+//!
+//! Concurrency: the cache is sharded; each shard is an independent
+//! `Mutex`-guarded LRU map with a byte budget. This file is a sanctioned
+//! concurrency site of the `sanctioned-concurrency` lint (see
+//! `xtask/src/rules/l3_concurrency.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use kspin_graph::VertexId;
+use kspin_text::TermId;
+
+use crate::index::NvdIndex;
+
+/// Configuration of the heap-seed cache (part of
+/// [`crate::KspinConfig`]).
+#[derive(Debug, Clone)]
+pub struct SeedCacheConfig {
+    /// Whether the index carries a seed cache at all.
+    pub enabled: bool,
+    /// Total capacity budget in bytes across all shards; least-recently
+    /// used entries are evicted once a shard exceeds its share.
+    pub capacity_bytes: usize,
+    /// Number of independent shards (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for SeedCacheConfig {
+    fn default() -> Self {
+        SeedCacheConfig {
+            enabled: false,
+            capacity_bytes: 4 * 1024 * 1024,
+            shards: 8,
+        }
+    }
+}
+
+impl SeedCacheConfig {
+    /// An enabled cache with the default budget — convenience for tests
+    /// and benches.
+    pub fn enabled() -> Self {
+        SeedCacheConfig {
+            enabled: true,
+            ..SeedCacheConfig::default()
+        }
+    }
+}
+
+/// One memoized seed candidate: the NVD-local object id plus its road
+/// vertex (denormalized so a cached seeding performs no per-candidate
+/// `object_vertex` lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedCandidate {
+    /// NVD-local object id (original generator or attached insert).
+    pub local: u32,
+    /// The object's road-network vertex.
+    pub vertex: VertexId,
+}
+
+/// Fixed per-entry overhead charged against the byte budget (key, map
+/// slot, `Arc` header) on top of the seed payload itself.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+fn entry_bytes(seeds: &[SeedCandidate]) -> usize {
+    std::mem::size_of_val(seeds) + ENTRY_OVERHEAD_BYTES
+}
+
+#[derive(Debug)]
+struct Entry {
+    seeds: Arc<[SeedCandidate]>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(TermId, u32), Entry>,
+    /// Monotone recency clock; bumped per touch.
+    tick: u64,
+    /// Bytes currently charged to this shard.
+    bytes: usize,
+}
+
+impl Shard {
+    /// Evicts least-recently-used entries until the shard fits `budget`.
+    /// Linear-scan LRU: shards hold few enough entries (budget / entry
+    /// size) that a scan beats the bookkeeping of an intrusive list.
+    fn evict_to(&mut self, budget: usize) {
+        while self.bytes > budget && !self.map.is_empty() {
+            let mut victim: Option<((TermId, u32), u64)> = None;
+            for (&k, e) in &self.map {
+                if victim.is_none_or(|(_, t)| e.last_used < t) {
+                    victim = Some((k, e.last_used));
+                }
+            }
+            if let Some((k, _)) = victim {
+                if let Some(e) = self.map.remove(&k) {
+                    self.bytes -= entry_bytes(&e.seeds);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate counters of a [`HeapSeedCache`], lifetime totals across all
+/// shards (per-query accounting lives in [`crate::QueryStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedCacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (followed by an admission).
+    pub misses: u64,
+    /// Entries dropped by keyword invalidation (§6.2 updates).
+    pub invalidated: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Bytes currently held (payload + per-entry overhead).
+    pub bytes: usize,
+}
+
+/// The sharded, byte-budgeted, Zipf-aware cross-query heap-seed cache.
+///
+/// Keys are `(keyword, quadtree leaf)`; values are the sorted seed
+/// candidate sets of [`kspin_nvd::ApproxNvd::init_candidates_of_leaf`],
+/// denormalized with object vertices. Shared by reference across the
+/// [`crate::serving::BatchExecutor`] worker threads.
+#[derive(Debug)]
+pub struct HeapSeedCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl HeapSeedCache {
+    /// Creates an empty cache per `config` (which must be `enabled`;
+    /// callers gate on the flag).
+    pub fn new(config: &SeedCacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        HeapSeedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (config.capacity_bytes / shards).max(ENTRY_OVERHEAD_BYTES),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, t: TermId, leaf: u32) -> MutexGuard<'_, Shard> {
+        let mix = (t as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(leaf as u64);
+        let i = (mix % self.shards.len() as u64) as usize;
+        match self.shards[i].lock() {
+            Ok(g) => g,
+            // A worker that panicked mid-insert left the shard in a valid
+            // (if partially updated) state: every mutation below keeps
+            // `bytes` and `map` consistent statement-by-statement.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The memoized seeds of `(t, leaf)`, bumping recency; `None` on miss.
+    pub fn lookup(&self, t: TermId, leaf: u32) -> Option<Arc<[SeedCandidate]>> {
+        let mut shard = self.shard(t, leaf);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&(t, leaf)) {
+            Some(e) => {
+                e.last_used = tick;
+                let seeds = Arc::clone(&e.seeds);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(seeds)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Admits freshly computed seeds for `(t, leaf)`, evicting LRU entries
+    /// past the shard budget. Racing admissions of the same key (two
+    /// workers missing concurrently) are benign: both computed the same
+    /// deterministic value and the second simply replaces the first.
+    pub fn admit(&self, t: TermId, leaf: u32, seeds: Arc<[SeedCandidate]>) {
+        let bytes = entry_bytes(&seeds);
+        let budget = self.shard_budget;
+        let mut shard = self.shard(t, leaf);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.insert(
+            (t, leaf),
+            Entry {
+                seeds,
+                last_used: tick,
+            },
+        ) {
+            shard.bytes -= entry_bytes(&old.seeds);
+        }
+        shard.bytes += bytes;
+        shard.evict_to(budget);
+    }
+
+    /// Drops every cached cell of keyword `t` — the §6.2 lazy-update hook:
+    /// `insert_into_term`, `delete_from_term` and `rebuild_term` call this
+    /// so no query ever seeds from a pre-update candidate set.
+    pub fn invalidate_term(&self, t: TermId) {
+        let mut dropped = 0u64;
+        for m in &self.shards {
+            let mut shard = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let before = shard.map.len();
+            let mut freed = 0;
+            shard.map.retain(|&(kt, _), e| {
+                let keep = kt != t;
+                if !keep {
+                    freed += entry_bytes(&e.seeds);
+                }
+                keep
+            });
+            dropped += (before - shard.map.len()) as u64;
+            shard.bytes -= freed;
+        }
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Empties the cache (benches use this to compare warm vs cold runs on
+    /// one index build). Lifetime hit/miss counters are reset too.
+    pub fn clear(&self) {
+        for m in &self.shards {
+            let mut shard = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            shard.map.clear();
+            shard.bytes = 0;
+            shard.tick = 0;
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.invalidated.store(0, Ordering::Relaxed);
+    }
+
+    /// Lifetime counters plus current occupancy.
+    pub fn stats(&self) -> SeedCacheStats {
+        let mut entries = 0;
+        let mut bytes = 0;
+        for m in &self.shards {
+            let shard = match m.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            entries += shard.map.len();
+            bytes += shard.bytes;
+        }
+        SeedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+/// Computes the seed candidates of `(t, leaf)` from the keyword's NVD —
+/// the value the cache memoizes. Sorted ascending by local id, exactly the
+/// order a cold [`crate::heap::InvertedHeap::create`] seeds in, so cached
+/// and cold heaps are bit-identical in extraction order.
+pub(crate) fn compute_seeds(n: &NvdIndex, leaf: u32) -> Arc<[SeedCandidate]> {
+    n.nvd()
+        .init_candidates_of_leaf(leaf)
+        .into_iter()
+        .map(|local| SeedCandidate {
+            local,
+            vertex: n.nvd().object_vertex(local),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(n: usize) -> Arc<[SeedCandidate]> {
+        (0..n as u32)
+            .map(|local| SeedCandidate {
+                local,
+                vertex: local,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let cache = HeapSeedCache::new(&SeedCacheConfig::enabled());
+        assert!(cache.lookup(3, 7).is_none());
+        cache.admit(3, 7, seeds(4));
+        let got = cache.lookup(3, 7).expect("admitted entry");
+        assert_eq!(got.len(), 4);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(s.bytes >= 4 * std::mem::size_of::<SeedCandidate>());
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_keyword() {
+        let cache = HeapSeedCache::new(&SeedCacheConfig::enabled());
+        cache.admit(1, 0, seeds(2));
+        cache.admit(1, 9, seeds(2));
+        cache.admit(2, 0, seeds(2));
+        cache.invalidate_term(1);
+        assert!(cache.lookup(1, 0).is_none());
+        assert!(cache.lookup(1, 9).is_none());
+        assert!(cache.lookup(2, 0).is_some());
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let config = SeedCacheConfig {
+            enabled: true,
+            // One shard, room for ~2 small entries.
+            capacity_bytes: 2 * (8 * std::mem::size_of::<SeedCandidate>() + ENTRY_OVERHEAD_BYTES),
+            shards: 1,
+        };
+        let cache = HeapSeedCache::new(&config);
+        cache.admit(0, 0, seeds(8));
+        cache.admit(0, 1, seeds(8));
+        // Touch (0,0) so (0,1) is the LRU victim.
+        assert!(cache.lookup(0, 0).is_some());
+        cache.admit(0, 2, seeds(8));
+        assert!(cache.lookup(0, 1).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(0, 0).is_some());
+        assert!(cache.lookup(0, 2).is_some());
+        assert!(cache.stats().bytes <= config.capacity_bytes);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = HeapSeedCache::new(&SeedCacheConfig::enabled());
+        cache.admit(5, 5, seeds(3));
+        assert!(cache.lookup(5, 5).is_some());
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.hits, 0);
+        assert!(cache.lookup(5, 5).is_none());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = HeapSeedCache::new(&SeedCacheConfig::enabled());
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..4u32 {
+                let cache = &cache;
+                handles.push(s.spawn(move |_| {
+                    for i in 0..50 {
+                        let (t, leaf) = ((i % 5) as TermId, w % 2);
+                        if cache.lookup(t, leaf).is_none() {
+                            cache.admit(t, leaf, seeds(4));
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("cache worker panicked");
+            }
+        })
+        .expect("scope failed");
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.entries <= 10);
+    }
+}

@@ -3,11 +3,15 @@
 //! algorithms implemented in [`crate::query`].
 
 use std::collections::HashSet;
+use std::fmt;
+use std::ops::AddAssign;
 
 use kspin_graph::{Graph, Weight};
-use kspin_text::{Corpus, ObjectId};
+use kspin_text::{Corpus, ObjectId, TermId};
 
-use crate::index::KspinIndex;
+use crate::cache::compute_seeds;
+use crate::heap::{HeapContext, InvertedHeap};
+use crate::index::{KeywordIndex, KspinIndex};
 use crate::modules::{LowerBound, NetworkDistance};
 
 /// Per-query/side-channel instrumentation.
@@ -26,11 +30,60 @@ pub struct QueryStats {
     /// Candidates discarded without a distance computation (keyword filter,
     /// duplicate, or lower-bound-score prune).
     pub pruned_candidates: usize,
+    /// Heap creations served from the cross-query seed cache.
+    pub cache_hits: usize,
+    /// Heap creations that recomputed (and admitted) their seeds.
+    pub cache_misses: usize,
+    /// Seed candidates reused from the cache (the per-hit payload — the
+    /// quadtree walks and sort/dedup passes the cache saved).
+    pub seed_reuse: usize,
 }
 
 impl QueryStats {
     pub(crate) fn clear(&mut self) {
         *self = QueryStats::default();
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 when the cache never engaged).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Cross-thread merge for the [`crate::serving::BatchExecutor`]: every
+/// counter is an additive total, so worker stats sum into an aggregate.
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.dist_computations += rhs.dist_computations;
+        self.heap_extractions += rhs.heap_extractions;
+        self.lb_computations += rhs.lb_computations;
+        self.pruned_candidates += rhs.pruned_candidates;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.seed_reuse += rhs.seed_reuse;
+    }
+}
+
+/// One-line rendering for the bench tables (`table_serving` rows).
+impl fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dist={} extract={} lb={} pruned={} cache={}h/{}m ({:.1}%) reuse={}",
+            self.dist_computations,
+            self.heap_extractions,
+            self.lb_computations,
+            self.pruned_candidates,
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate(),
+            self.seed_reuse
+        )
     }
 }
 
@@ -71,6 +124,9 @@ pub struct QueryEngine<'a, D: NetworkDistance> {
     pub(crate) dist: D,
     pub(crate) stats: QueryStats,
     pub(crate) scratch: QueryScratch,
+    /// Whether this engine consults the index's heap-seed cache (when the
+    /// index carries one). On by default; benches toggle it per sweep leg.
+    pub(crate) use_cache: bool,
 }
 
 impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
@@ -90,7 +146,50 @@ impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
             dist,
             stats: QueryStats::default(),
             scratch: QueryScratch::default(),
+            use_cache: true,
         }
+    }
+
+    /// Enables/disables use of the index's heap-seed cache for this engine
+    /// (no-op when the index was built without one). The cache only ever
+    /// changes *how seeds are obtained*, never query results, so this is a
+    /// pure performance knob.
+    pub fn set_seed_cache(&mut self, on: bool) {
+        self.use_cache = on;
+    }
+
+    /// Builds the inverted heap for keyword `t`, serving the seed set from
+    /// the index's cross-query cache when possible (§6 Obs. 1: hot-keyword
+    /// seeds repeat across queries). Falls through to the cold
+    /// [`InvertedHeap::create`] for Small entries, cache-off engines, and
+    /// cacheless indexes — the three paths produce bit-identical heaps.
+    pub(crate) fn make_heap(
+        &mut self,
+        t: TermId,
+        ctx: &HeapContext<'_>,
+    ) -> Option<InvertedHeap<'a>> {
+        if self.use_cache {
+            if let (Some(cache), Some(KeywordIndex::Nvd(n))) =
+                (self.index.seed_cache(), self.index.entry(t))
+            {
+                let leaf = n.nvd().leaf_index(ctx.graph.coord(ctx.q));
+                let seeds = match cache.lookup(t, leaf) {
+                    Some(s) => {
+                        self.stats.cache_hits += 1;
+                        self.stats.seed_reuse += s.len();
+                        s
+                    }
+                    None => {
+                        self.stats.cache_misses += 1;
+                        let s = compute_seeds(n, leaf);
+                        cache.admit(t, leaf, std::sync::Arc::clone(&s));
+                        s
+                    }
+                };
+                return InvertedHeap::create_seeded(self.index, t, ctx, &seeds);
+            }
+        }
+        InvertedHeap::create(self.index, t, ctx)
     }
 
     /// Statistics accumulated since the last [`QueryEngine::reset_stats`].

@@ -21,6 +21,7 @@ use std::collections::BinaryHeap;
 use kspin_graph::{Graph, VertexId, Weight};
 use kspin_text::{Corpus, ObjectId, TermId};
 
+use crate::cache::SeedCandidate;
 use crate::index::{KeywordIndex, KspinIndex};
 use crate::modules::LowerBound;
 
@@ -74,6 +75,10 @@ pub struct InvertedHeap<'a> {
     inserted: Vec<bool>,
     /// Lower-bound computations performed (for the §5.1 cost accounting).
     lb_computed: usize,
+    /// Successful [`InvertedHeap::extract`] calls — the κ of §5.1, counted
+    /// structurally here (once per extraction, never per candidate touched)
+    /// so no query-loop call site can drift the accounting.
+    extractions: usize,
     /// Key of the last extraction, for the Property-1 audit (debug builds
     /// and the `audit` feature only).
     #[cfg(any(debug_assertions, feature = "audit"))]
@@ -113,11 +118,56 @@ impl<'a> InvertedHeap<'a> {
                 ins
             }
         };
+        Self::finish(entry, heap, inserted, lb_computed, ctx)
+    }
+
+    /// Creates the heap for keyword `t` seeding from a memoized candidate
+    /// set (the [`crate::cache::HeapSeedCache`] fast path). `seeds` must be
+    /// the cached value of `t`'s NVD source cell for `ctx.q` — exactly what
+    /// a cold [`InvertedHeap::create`] would have gathered (Theorem 1's
+    /// seed set, §6.2 attachments included), in the same sorted order, so
+    /// seeded and cold heaps behave bit-identically. Lower-bound keys are
+    /// still computed fresh per query: Property 1 is untouched.
+    ///
+    /// Falls back to [`InvertedHeap::create`] for Small entries (Zipf-tail
+    /// keywords are never cached).
+    pub fn create_seeded(
+        index: &'a KspinIndex,
+        t: TermId,
+        ctx: &HeapContext<'_>,
+        seeds: &[SeedCandidate],
+    ) -> Option<Self> {
+        let entry = index.entry(t)?;
+        let KeywordIndex::Nvd(n) = entry else {
+            return Self::create(index, t, ctx);
+        };
+        let mut heap = BinaryHeap::new();
+        let mut lb_computed = 0;
+        let mut inserted = vec![false; n.apx.num_total()];
+        for s in seeds {
+            inserted[s.local as usize] = true;
+            lb_computed += 1;
+            heap.push((
+                Reverse(ctx.lower_bound.lower_bound(ctx.q, s.vertex)),
+                s.local,
+            ));
+        }
+        Self::finish(entry, heap, inserted, lb_computed, ctx)
+    }
+
+    fn finish(
+        entry: &'a KeywordIndex,
+        heap: BinaryHeap<(Reverse<Weight>, u32)>,
+        inserted: Vec<bool>,
+        lb_computed: usize,
+        ctx: &HeapContext<'_>,
+    ) -> Option<Self> {
         let mut h = InvertedHeap {
             entry,
             heap,
             inserted,
             lb_computed,
+            extractions: 0,
             #[cfg(any(debug_assertions, feature = "audit"))]
             last_extracted_lb: None,
         };
@@ -138,6 +188,7 @@ impl<'a> InvertedHeap<'a> {
     /// holding for the remainder.
     pub fn extract(&mut self, ctx: &HeapContext<'_>) -> Option<Candidate> {
         let (Reverse(lb), local) = self.heap.pop()?;
+        self.extractions += 1;
         #[cfg(any(debug_assertions, feature = "audit"))]
         self.audit_extraction_order(lb, ctx);
         self.reheap(local, ctx);
@@ -221,6 +272,12 @@ impl<'a> InvertedHeap<'a> {
         self.lb_computed
     }
 
+    /// Candidates extracted from this heap so far (the κ of §5.1) —
+    /// incremented exactly once per successful [`InvertedHeap::extract`].
+    pub fn extractions(&self) -> usize {
+        self.extractions
+    }
+
     /// Current number of buffered (not yet extracted) entries — small by
     /// design ("the heap only contains a small number of objects due to
     /// being lazily populated", §4.2 implementation notes).
@@ -264,6 +321,7 @@ mod tests {
             &KspinConfig {
                 rho: 4,
                 num_threads: 2,
+                ..KspinConfig::default()
             },
         );
         Fixture {
@@ -436,6 +494,7 @@ mod tests {
             &KspinConfig {
                 rho: 4,
                 num_threads: 1,
+                ..KspinConfig::default()
             },
         );
         f.index = index;

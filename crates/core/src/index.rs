@@ -20,6 +20,7 @@ use kspin_graph::{Graph, VertexId};
 use kspin_nvd::ApproxNvd;
 use kspin_text::{Corpus, ObjectId, TermId};
 
+use crate::cache::{HeapSeedCache, SeedCacheConfig};
 use crate::modules::NetworkDistance;
 
 /// Index construction parameters.
@@ -31,6 +32,10 @@ pub struct KspinConfig {
     pub rho: usize,
     /// Worker threads for parallel per-keyword NVD construction.
     pub num_threads: usize,
+    /// The cross-query heap-seed cache (serving layer; off by default).
+    /// Admission is implied by the ρ-split: only NVD-backed keywords —
+    /// exactly those with `|inv(t)| > ρ` — have cacheable seed sets.
+    pub seed_cache: SeedCacheConfig,
 }
 
 impl Default for KspinConfig {
@@ -38,6 +43,7 @@ impl Default for KspinConfig {
         KspinConfig {
             rho: 5,
             num_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            seed_cache: SeedCacheConfig::default(),
         }
     }
 }
@@ -120,6 +126,10 @@ pub struct KspinIndex {
     rho: usize,
     entries: Vec<Option<KeywordIndex>>,
     stats: BuildStats,
+    /// The cross-query heap-seed cache, when the index was built with one
+    /// ([`SeedCacheConfig::enabled`]). Owned by the index so §6.2 updates
+    /// (`&mut self`) invalidate it without any query racing them.
+    seed_cache: Option<HeapSeedCache>,
 }
 
 impl KspinIndex {
@@ -202,6 +212,10 @@ impl KspinIndex {
             rho: config.rho,
             entries,
             stats,
+            seed_cache: config
+                .seed_cache
+                .enabled
+                .then(|| HeapSeedCache::new(&config.seed_cache)),
         }
     }
 
@@ -253,6 +267,12 @@ impl KspinIndex {
     #[inline]
     pub fn entry(&self, t: TermId) -> Option<&KeywordIndex> {
         self.entries.get(t as usize).and_then(Option::as_ref)
+    }
+
+    /// The cross-query heap-seed cache, if the index carries one.
+    #[inline]
+    pub fn seed_cache(&self) -> Option<&HeapSeedCache> {
+        self.seed_cache.as_ref()
     }
 
     /// Approximate index size in bytes (Keyword Separated Index only — the
@@ -420,6 +440,12 @@ impl KspinIndex {
         t: TermId,
         dist: &mut dyn NetworkDistance,
     ) {
+        // §6.2 lazy update: every cached seed set of `t` may now miss the
+        // new object (it might belong in a cell's candidate/attachment
+        // set), so drop them all before the structural change.
+        if let Some(cache) = &self.seed_cache {
+            cache.invalidate_term(t);
+        }
         let vertex = corpus.vertex_of(o);
         if (t as usize) >= self.entries.len() {
             self.entries.resize_with(t as usize + 1, || None);
@@ -466,6 +492,12 @@ impl KspinIndex {
     /// corpus and return stale objects from queries (§6.2 requires
     /// delete-then-rebuild bookkeeping to stay exact).
     pub fn delete_from_term(&mut self, o: ObjectId, t: TermId) {
+        // Deleted objects would be skipped at seeding time anyway, but
+        // dropping `t`'s cached cells keeps cached and cold seeding
+        // trivially identical after every §6.2 update.
+        if let Some(cache) = &self.seed_cache {
+            cache.invalidate_term(t);
+        }
         match self.entries.get_mut(t as usize).and_then(Option::as_mut) {
             None => panic!("keyword {t} has no index"),
             Some(KeywordIndex::Small(s)) => {
@@ -491,6 +523,11 @@ impl KspinIndex {
     /// updates in (the amortized cost of Fig. 8(b)). Converts between
     /// Small and NVD representations as the live count crosses ρ.
     pub fn rebuild_term(&mut self, graph: &Graph, corpus: &Corpus, t: TermId) {
+        // A rebuild renumbers NVD-local ids; stale cached seeds would point
+        // at the wrong objects, so drop every cell of `t`.
+        if let Some(cache) = &self.seed_cache {
+            cache.invalidate_term(t);
+        }
         let Some(entry) = self.entries.get_mut(t as usize).and_then(Option::as_mut) else {
             return;
         };

@@ -20,12 +20,15 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod heap;
 pub mod index;
 pub mod modules;
 pub mod query;
+pub mod serving;
 
+pub use cache::{HeapSeedCache, SeedCacheConfig, SeedCacheStats};
 pub use engine::{QueryEngine, QueryStats};
 pub use index::{KspinConfig, KspinIndex};
 pub use modules::{
@@ -35,3 +38,4 @@ pub use modules::{
 pub use query::boolean::BoolExpr;
 pub use query::topk::ScoreModel;
 pub use query::Op;
+pub use serving::{BatchExecutor, BatchOutput, ServingQuery, ServingResult};

@@ -58,7 +58,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
     ) -> Vec<(ObjectId, Weight)> {
         let mut heaps: Vec<InvertedHeap<'_>> = terms
             .iter()
-            .filter_map(|&t| InvertedHeap::create(self.index, t, ctx))
+            .copied()
+            .filter_map(|t| self.make_heap(t, ctx))
             .collect();
         // Engine-lifetime dedup set (lint H1): cleared per query, grown to
         // high-water capacity once, never reallocated in the hot loop.
@@ -89,7 +90,6 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");
                 break;
             };
-            self.stats.heap_extractions += 1;
             // Any object in this heap contains its keyword, so only
             // duplicates across heaps are filtered (line 10).
             if !evaluated.insert(c.object) {
@@ -130,7 +130,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         if terms.iter().any(|&t| self.index.live_count(t) == 0) {
             return Vec::new();
         }
-        let Some(mut heap) = InvertedHeap::create(self.index, driver, ctx) else {
+        let Some(mut heap) = self.make_heap(driver, ctx) else {
             return Vec::new();
         };
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
@@ -148,7 +148,6 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "driver heap reported MINKEY but was empty");
                 break;
             };
-            self.stats.heap_extractions += 1;
             // Filter before distance: the whole point of keyword
             // separation — false keyword matches never cost a graph
             // operation.
@@ -166,6 +165,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             }
         }
         self.stats.lb_computations += heap.lb_computed();
+        self.stats.heap_extractions += heap.extractions();
         best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 
@@ -191,9 +191,13 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         }
     }
 
+    /// Folds per-heap counters into the engine stats. `heap_extractions`
+    /// is owned by [`InvertedHeap`] (incremented once per `extract`, §5.1's
+    /// κ) and only *merged* here, so no query loop can miscount it.
     pub(crate) fn finish_heap_stats(&mut self, heaps: &[InvertedHeap<'_>]) {
         for h in heaps {
             self.stats.lb_computations += h.lb_computed();
+            self.stats.heap_extractions += h.extractions();
         }
     }
 }

@@ -132,7 +132,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let ctx = HeapContext::new(self.graph, self.corpus, self.lower_bound, q);
         let mut heaps: Vec<InvertedHeap<'_>> = driving
             .iter()
-            .filter_map(|&t| InvertedHeap::create(self.index, t, &ctx))
+            .copied()
+            .filter_map(|t| self.make_heap(t, &ctx))
             .collect();
         // Engine-lifetime dedup set (lint H1): cleared per query, never
         // reallocated in the extraction loop.
@@ -161,7 +162,6 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");
                 break;
             };
-            self.stats.heap_extractions += 1;
             if !evaluated.insert(c.object) || !expr.matches(self.corpus, c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;

@@ -91,7 +91,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut heaps: Vec<Option<InvertedHeap<'_>>> = query
             .terms()
             .iter()
-            .map(|&t| InvertedHeap::create(self.index, t, &ctx))
+            .map(|&t| self.make_heap(t, &ctx))
             .collect();
         // λ_{t_j,ψ} · λ_{t_j,max} per keyword — Algorithm 2's summands,
         // generalized per text model by QueryTerms.
@@ -144,10 +144,12 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "chosen heap {i} must exist and be non-empty");
                 break;
             };
-            self.stats.heap_extractions += 1;
-            // Keep counters before dropping an exhausted heap.
+            // Keep counters before dropping an exhausted heap
+            // (`heap_extractions` lives in the heap itself — once per
+            // `extract` — and is merged here and at drain-out below).
             if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
                 self.stats.lb_computations += h.lb_computed();
+                self.stats.heap_extractions += h.extractions();
             }
             if !processed.insert(c.object) {
                 self.stats.pruned_candidates += 1;
@@ -174,6 +176,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         }
         for h in heaps.into_iter().flatten() {
             self.stats.lb_computations += h.lb_computed();
+            self.stats.heap_extractions += h.extractions();
         }
         self.scratch.min_keys = min_keys;
         self.scratch.evaluated = processed;

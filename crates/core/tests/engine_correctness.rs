@@ -33,6 +33,7 @@ fn world(n: usize, seed: u64, rho: usize) -> World {
         &KspinConfig {
             rho,
             num_threads: 2,
+            ..KspinConfig::default()
         },
     );
     World {
@@ -380,6 +381,7 @@ fn results_stay_exact_after_lazy_insertions() {
         &KspinConfig {
             rho: 5,
             num_threads: 2,
+            ..KspinConfig::default()
         },
     );
     let mut dist = DijkstraDistance::new(&w0.graph);
@@ -416,6 +418,7 @@ fn results_stay_exact_after_deletions() {
         &KspinConfig {
             rho: 5,
             num_threads: 2,
+            ..KspinConfig::default()
         },
     );
     // Delete every 5th object.
@@ -464,6 +467,7 @@ fn rebuild_after_updates_preserves_results() {
         &KspinConfig {
             rho: 5,
             num_threads: 2,
+            ..KspinConfig::default()
         },
     );
     let mut dist = DijkstraDistance::new(&w.graph);

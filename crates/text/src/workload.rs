@@ -75,6 +75,80 @@ pub fn query_vectors(corpus: &Corpus, config: &WorkloadConfig, len: usize) -> Ve
     vectors
 }
 
+/// Parameters for the Zipf-skewed hot-keyword serving workload.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkloadConfig {
+    /// Queries to generate.
+    pub num_queries: usize,
+    /// Distinct keywords per query.
+    pub terms_per_query: usize,
+    /// Zipf exponent over keyword popularity ranks — §6 Obs. 1's skew.
+    /// Higher concentrates the load on fewer hot keywords.
+    pub zipf_exponent: f64,
+    /// Query vertices are drawn from a pre-sampled pool of this size
+    /// rather than the whole graph, so `(keyword, source cell)` pairs
+    /// recur across queries the way real traffic hot-spots do.
+    pub hot_vertex_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfWorkloadConfig {
+    fn default() -> Self {
+        ZipfWorkloadConfig {
+            num_queries: 1000,
+            terms_per_query: 2,
+            zipf_exponent: 1.0,
+            hot_vertex_pool: 64,
+            seed: 0x5e47,
+        }
+    }
+}
+
+/// Builds a serving workload whose keyword choices follow a Zipf
+/// distribution over *popularity ranks* (keywords ordered by inverted-list
+/// length, most frequent first) and whose vertices come from a small hot
+/// pool — the §6 Obs. 1 traffic shape the cross-query heap-seed cache is
+/// designed for. Deterministic in `config.seed`.
+pub fn zipf_queries(
+    corpus: &Corpus,
+    config: &ZipfWorkloadConfig,
+    num_vertices: usize,
+) -> Vec<Query> {
+    assert!(config.terms_per_query >= 1);
+    assert!(config.hot_vertex_pool >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Popularity ranking: rank 0 = most frequent keyword.
+    let mut by_freq: Vec<TermId> = (0..corpus.num_terms() as TermId)
+        .filter(|&t| corpus.inv_len(t) > 0)
+        .collect();
+    by_freq.sort_by_key(|&t| (std::cmp::Reverse(corpus.inv_len(t)), t));
+    assert!(
+        by_freq.len() >= config.terms_per_query,
+        "corpus has too few used keywords for the requested vector length"
+    );
+    let zipf = crate::generate::ZipfSampler::new(by_freq.len(), config.zipf_exponent);
+    let pool: Vec<VertexId> = (0..config.hot_vertex_pool)
+        .map(|_| rng.gen_range(0..num_vertices) as VertexId)
+        .collect();
+    let mut out = Vec::with_capacity(config.num_queries);
+    let mut terms = Vec::with_capacity(config.terms_per_query);
+    while out.len() < config.num_queries {
+        terms.clear();
+        while terms.len() < config.terms_per_query {
+            let t = by_freq[zipf.sample(&mut rng)];
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+        }
+        out.push(Query {
+            vertex: pool[rng.gen_range(0..pool.len())],
+            terms: terms.clone(),
+        });
+    }
+    out
+}
+
 /// Uniformly samples query vertices.
 pub fn query_vertices(num_vertices: usize, count: usize, seed: u64) -> Vec<VertexId> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -182,5 +256,55 @@ mod tests {
         let (c, mut cfg) = setup();
         cfg.seed_terms = vec![TermId::MAX - 1];
         assert!(query_vectors(&c, &cfg, 2).is_empty());
+    }
+
+    #[test]
+    fn zipf_workload_shape_and_determinism() {
+        let (c, _) = setup();
+        let cfg = ZipfWorkloadConfig {
+            num_queries: 200,
+            terms_per_query: 2,
+            hot_vertex_pool: 8,
+            ..ZipfWorkloadConfig::default()
+        };
+        let qs = zipf_queries(&c, &cfg, 10_000);
+        assert_eq!(qs.len(), 200);
+        let mut vertices: Vec<VertexId> = qs.iter().map(|q| q.vertex).collect();
+        vertices.sort_unstable();
+        vertices.dedup();
+        assert!(vertices.len() <= 8, "vertices must come from the hot pool");
+        for q in &qs {
+            assert_eq!(q.terms.len(), 2);
+            assert_ne!(q.terms[0], q.terms[1]);
+            for &t in &q.terms {
+                assert!(c.inv_len(t) > 0, "sampled an unused keyword");
+            }
+        }
+        assert_eq!(qs, zipf_queries(&c, &cfg, 10_000));
+    }
+
+    #[test]
+    fn zipf_workload_is_head_heavy() {
+        let (c, _) = setup();
+        let cfg = ZipfWorkloadConfig {
+            num_queries: 400,
+            terms_per_query: 1,
+            zipf_exponent: 1.0,
+            hot_vertex_pool: 4,
+            seed: 9,
+        };
+        let qs = zipf_queries(&c, &cfg, 10_000);
+        // Obs. 1 shape: the single most-drawn keyword should account for a
+        // clearly super-uniform share of the queries.
+        let mut counts = std::collections::HashMap::new();
+        for q in &qs {
+            *counts.entry(q.terms[0]).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let uniform = qs.len() / counts.len().max(1);
+        assert!(
+            max > 2 * uniform.max(1),
+            "head keyword drawn {max} times, uniform share {uniform} — not Zipf-skewed"
+        );
     }
 }

@@ -66,8 +66,8 @@ pub mod prelude {
     pub use crate::adapters::{ChDistance, GtreeNetworkDistance, HlDistance};
     pub use crate::KspinSystem;
     pub use kspin_core::{
-        BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, LowerBound, NetworkDistance, Op,
-        QueryEngine,
+        BatchExecutor, BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, LowerBound,
+        NetworkDistance, Op, QueryEngine, QueryStats, SeedCacheConfig, ServingQuery, ServingResult,
     };
     pub use kspin_graph::{Graph, VertexId, Weight};
     pub use kspin_text::{Corpus, ObjectId, TermId, Vocabulary};

@@ -1,0 +1,175 @@
+//! Serving-layer determinism: the `BatchExecutor` must be a pure
+//! throughput optimization — at any thread count, with the heap-seed cache
+//! on or off, results are bit-identical to a sequential cold
+//! `QueryEngine` loop, including after §6.2 updates invalidate cached
+//! terms.
+
+use kspin::prelude::*;
+use kspin_core::{BoolExpr, SeedCacheConfig};
+use kspin_text::workload::{zipf_queries, ZipfWorkloadConfig};
+
+struct Fixture {
+    graph: Graph,
+    corpus: Corpus,
+    alt: kspin::alt::AltIndex,
+    index: KspinIndex,
+    queries: Vec<ServingQuery>,
+}
+
+fn fixture() -> Fixture {
+    let graph = kspin::graph::generate::road_network(
+        &kspin::graph::generate::RoadNetworkConfig::new(1_200, 2026),
+    );
+    let mut cc = kspin::text::generate::CorpusConfig::new(graph.num_vertices(), 2027);
+    cc.object_fraction = 0.1;
+    let (corpus, _) = kspin::text::generate::corpus(&cc);
+    let alt = kspin::alt::AltIndex::build(&graph, 8, kspin::alt::LandmarkStrategy::Farthest, 0);
+    let index = KspinIndex::build(
+        &graph,
+        &corpus,
+        &KspinConfig {
+            rho: 4,
+            seed_cache: SeedCacheConfig::enabled(),
+            ..KspinConfig::default()
+        },
+    );
+    // The fixed 200-query workload: Zipf-hot keywords over a small vertex
+    // pool, cycled through all three query families.
+    let zipf = zipf_queries(
+        &corpus,
+        &ZipfWorkloadConfig {
+            num_queries: 200,
+            terms_per_query: 2,
+            zipf_exponent: 1.0,
+            hot_vertex_pool: 24,
+            seed: 41,
+        },
+        graph.num_vertices(),
+    );
+    let queries: Vec<ServingQuery> = zipf
+        .iter()
+        .enumerate()
+        .map(|(i, q)| match i % 4 {
+            0 => ServingQuery::Bknn {
+                vertex: q.vertex,
+                k: 8,
+                terms: q.terms.clone(),
+                op: Op::Or,
+            },
+            1 => ServingQuery::Bknn {
+                vertex: q.vertex,
+                k: 8,
+                terms: q.terms.clone(),
+                op: Op::And,
+            },
+            2 => ServingQuery::TopK {
+                vertex: q.vertex,
+                k: 8,
+                terms: q.terms.clone(),
+            },
+            _ => ServingQuery::Boolean {
+                vertex: q.vertex,
+                k: 8,
+                expr: BoolExpr::And(vec![BoolExpr::Term(q.terms[0]), BoolExpr::any(&q.terms)]),
+            },
+        })
+        .collect();
+    Fixture {
+        graph,
+        corpus,
+        alt,
+        index,
+        queries,
+    }
+}
+
+/// Sequential, cache-bypassing reference run (the "cold" baseline).
+fn sequential_cold(f: &Fixture) -> Vec<ServingResult> {
+    let mut engine = QueryEngine::new(
+        &f.graph,
+        &f.corpus,
+        &f.index,
+        &f.alt,
+        DijkstraDistance::new(&f.graph),
+    );
+    engine.set_seed_cache(false);
+    f.queries.iter().map(|q| q.run(&mut engine)).collect()
+}
+
+fn assert_batches_match(f: &Fixture, reference: &[ServingResult]) {
+    for threads in [1, 2, 8] {
+        for cache in [false, true] {
+            let exec = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, threads)
+                .with_seed_cache(cache);
+            let out = exec.execute(&f.queries, || DijkstraDistance::new(&f.graph));
+            assert_eq!(
+                out.results, reference,
+                "{threads}-thread cache={cache} run diverged from sequential cold"
+            );
+            if cache {
+                assert!(
+                    out.stats.cache_hits + out.stats.cache_misses > 0,
+                    "cache-on run never consulted the cache"
+                );
+            } else {
+                assert_eq!(out.stats.cache_hits + out.stats.cache_misses, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_executor_matches_sequential_cold_at_all_thread_counts() {
+    let f = fixture();
+    let reference = sequential_cold(&f);
+    assert_batches_match(&f, &reference);
+    // The Zipf workload must actually exercise the fast path: a second
+    // cached run over a warmed cache sees real hits.
+    let exec = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, 2);
+    let out = exec.execute(&f.queries, || DijkstraDistance::new(&f.graph));
+    assert!(out.stats.cache_hits > 0, "warmed run produced no hits");
+    assert!(out.stats.seed_reuse > 0);
+}
+
+#[test]
+fn batch_executor_stays_deterministic_after_updates() {
+    let mut f = fixture();
+
+    // Warm the cache so the updates below have entries to invalidate.
+    let warm = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, 2)
+        .execute(&f.queries, || DijkstraDistance::new(&f.graph));
+    assert!(warm.stats.cache_misses > 0);
+
+    // §6.2 lazy updates on objects of queried keywords: delete a batch,
+    // re-insert half of it.
+    let mut touched: Vec<ObjectId> = f
+        .queries
+        .iter()
+        .filter_map(|q| match q {
+            ServingQuery::Bknn { terms, .. } | ServingQuery::TopK { terms, .. } => {
+                f.corpus.inverted(terms[0]).first().map(|p| p.object)
+            }
+            ServingQuery::Boolean { .. } => None,
+        })
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched.truncate(6);
+    assert!(touched.len() >= 2, "workload touched too few objects");
+    let mut dist = DijkstraDistance::new(&f.graph);
+    for &o in &touched {
+        f.index.delete_object(&f.corpus, o);
+    }
+    for &o in touched.iter().step_by(2) {
+        f.index.insert_object(&f.graph, &f.corpus, o, &mut dist);
+    }
+    let cache_stats = f.index.seed_cache().expect("cache enabled").stats();
+    assert!(
+        cache_stats.invalidated > 0,
+        "updates must invalidate cached seed cells of touched keywords"
+    );
+
+    // Post-update: parallel + cached must again equal sequential cold.
+    let reference = sequential_cold(&f);
+    assert_batches_match(&f, &reference);
+}
