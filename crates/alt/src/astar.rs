@@ -7,9 +7,7 @@
 //! returns exact distances while exploring a cone toward the target
 //! instead of a full Dijkstra ball.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use kspin_graph::dheap::{DaryHeap, HeapCounters};
 use kspin_graph::{Graph, VertexId, Weight, INFINITY};
 
 use crate::AltIndex;
@@ -20,7 +18,7 @@ pub struct AltAstar {
     epoch: Vec<u32>,
     closed: Vec<u32>,
     cur: u32,
-    heap: BinaryHeap<(Reverse<Weight>, VertexId)>,
+    heap: DaryHeap,
     /// Vertices settled by the last query (exploration-effort metric).
     settled: usize,
 }
@@ -33,7 +31,7 @@ impl AltAstar {
             epoch: vec![0; n],
             closed: vec![0; n],
             cur: 0,
-            heap: BinaryHeap::new(),
+            heap: DaryHeap::new(n),
             settled: 0,
         }
     }
@@ -53,13 +51,12 @@ impl AltAstar {
         self.settled = 0;
         // Heap keys are f = g + π(v); g values live in `dist`.
         self.set(s, 0);
-        self.heap.push((Reverse(alt.lower_bound(s, t)), s));
-        while let Some((Reverse(_), v)) = self.heap.pop() {
-            // The potential is consistent, so the first pop of a vertex
-            // carries its final g; later (stale) pops are skipped outright.
-            if self.closed[v as usize] == self.cur {
-                continue;
-            }
+        self.heap.push(alt.lower_bound(s, t), s);
+        while let Some((_, v)) = self.heap.pop() {
+            // The potential is consistent, so the first (and only) pop of
+            // a vertex carries its final g: improvements to an open vertex
+            // are decrease-keys, never duplicate (stale) entries.
+            debug_assert!(self.closed[v as usize] != self.cur);
             self.closed[v as usize] = self.cur;
             let g = self.get(v);
             self.settled += 1;
@@ -70,7 +67,7 @@ impl AltAstar {
                 let ng = g + w;
                 if ng < self.get(u) {
                     self.set(u, ng);
-                    self.heap.push((Reverse(ng + alt.lower_bound(u, t)), u));
+                    self.heap.insert_or_decrease(ng + alt.lower_bound(u, t), u);
                 }
             }
         }
@@ -80,6 +77,12 @@ impl AltAstar {
     /// Vertices settled by the last query.
     pub fn last_settled(&self) -> usize {
         self.settled
+    }
+
+    /// Cumulative heap-kernel counters across every query this instance
+    /// has run.
+    pub fn heap_counters(&self) -> HeapCounters {
+        self.heap.counters()
     }
 
     #[inline]

@@ -94,7 +94,10 @@ fn main() {
             if let Some(cache) = index.seed_cache() {
                 cache.clear();
             }
-            let exec = BatchExecutor::new(&ds.graph, &ds.corpus, &index, &alt, threads)
+            // `with_exact_threads`: the sweep deliberately measures
+            // oversubscription past the hardware clamp of `new`.
+            let exec = BatchExecutor::new(&ds.graph, &ds.corpus, &index, &alt, 1)
+                .with_exact_threads(threads)
                 .with_seed_cache(cache_on);
             // Warmup pass (unmeasured): populates the seed cache so the
             // measured passes see the steady-state hit rate.
@@ -126,11 +129,17 @@ fn main() {
                 "{_comma}    {{\"threads\": {threads}, \"cache\": {cache_on}, \
                  \"qps\": {qps:.1}, \"hit_rate\": {:.4}, \
                  \"cache_hits\": {}, \"cache_misses\": {}, \"seed_reuse\": {}, \
+                 \"heap_pushes\": {}, \"heap_pops\": {}, \
+                 \"heap_decrease_keys\": {}, \"heap_stale_skipped\": {}, \
                  \"speedup_vs_1t\": {:.3}}}",
                 out.stats.cache_hit_rate(),
                 out.stats.cache_hits,
                 out.stats.cache_misses,
                 out.stats.seed_reuse,
+                out.stats.heap_pushes,
+                out.stats.heap_pops,
+                out.stats.heap_decrease_keys,
+                out.stats.heap_stale_skipped,
                 qps / baseline_qps[ci],
             )
             .expect("write to String cannot fail");

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use std::fmt;
 use std::ops::AddAssign;
 
-use kspin_graph::{Graph, Weight};
+use kspin_graph::{Graph, HeapCounters, Weight};
 use kspin_text::{Corpus, ObjectId, TermId};
 
 use crate::cache::compute_seeds;
@@ -37,11 +37,39 @@ pub struct QueryStats {
     /// Seed candidates reused from the cache (the per-hit payload — the
     /// quadtree walks and sort/dedup passes the cache saved).
     pub seed_reuse: usize,
+    /// Heap-kernel entries pushed, across the inverted heaps and the
+    /// distance oracle's internal searches.
+    pub heap_pushes: usize,
+    /// Heap-kernel entries popped.
+    pub heap_pops: usize,
+    /// In-place decrease-keys — each one is a stale entry the old lazy
+    /// kernel would have duplicated, percolated, and re-popped.
+    pub heap_decrease_keys: usize,
+    /// Stale heap entries popped and discarded. Structurally zero on the
+    /// indexed d-ary kernel (asserted by the tier-1 suite); carried so the
+    /// lazy-deletion bench baselines report on the same schema.
+    pub heap_stale_skipped: usize,
 }
 
 impl QueryStats {
     pub(crate) fn clear(&mut self) {
         *self = QueryStats::default();
+    }
+
+    /// Folds a finished inverted heap's accounting into these stats: the
+    /// §5.1 lb/extraction counters and the heap-kernel traffic counters.
+    pub(crate) fn absorb_heap(&mut self, heap: &crate::heap::InvertedHeap<'_>) {
+        self.lb_computations += heap.lb_computed();
+        self.heap_extractions += heap.extractions();
+        self.absorb_counters(heap.heap_counters());
+    }
+
+    /// Adds raw kernel counters (inverted heaps and distance oracles).
+    pub(crate) fn absorb_counters(&mut self, c: HeapCounters) {
+        self.heap_pushes += c.pushes as usize;
+        self.heap_pops += c.pops as usize;
+        self.heap_decrease_keys += c.decrease_keys as usize;
+        self.heap_stale_skipped += c.stale_skipped as usize;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when the cache never engaged).
@@ -66,6 +94,10 @@ impl AddAssign for QueryStats {
         self.cache_hits += rhs.cache_hits;
         self.cache_misses += rhs.cache_misses;
         self.seed_reuse += rhs.seed_reuse;
+        self.heap_pushes += rhs.heap_pushes;
+        self.heap_pops += rhs.heap_pops;
+        self.heap_decrease_keys += rhs.heap_decrease_keys;
+        self.heap_stale_skipped += rhs.heap_stale_skipped;
     }
 }
 
@@ -74,7 +106,8 @@ impl fmt::Display for QueryStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "dist={} extract={} lb={} pruned={} cache={}h/{}m ({:.1}%) reuse={}",
+            "dist={} extract={} lb={} pruned={} cache={}h/{}m ({:.1}%) reuse={} \
+             heap={}push/{}pop/{}dec/{}stale",
             self.dist_computations,
             self.heap_extractions,
             self.lb_computations,
@@ -82,7 +115,11 @@ impl fmt::Display for QueryStats {
             self.cache_hits,
             self.cache_misses,
             100.0 * self.cache_hit_rate(),
-            self.seed_reuse
+            self.seed_reuse,
+            self.heap_pushes,
+            self.heap_pops,
+            self.heap_decrease_keys,
+            self.heap_stale_skipped
         )
     }
 }
@@ -122,6 +159,10 @@ pub struct QueryEngine<'a, D: NetworkDistance> {
     pub(crate) index: &'a KspinIndex,
     pub(crate) lower_bound: &'a dyn LowerBound,
     pub(crate) dist: D,
+    /// The distance oracle's kernel counters at the last stats reset —
+    /// [`QueryEngine::stats`] reports the delta, so oracle heap traffic
+    /// is attributed alongside the inverted-heap traffic.
+    dist_base: HeapCounters,
     pub(crate) stats: QueryStats,
     pub(crate) scratch: QueryScratch,
     /// Whether this engine consults the index's heap-seed cache (when the
@@ -138,12 +179,14 @@ impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
         lower_bound: &'a dyn LowerBound,
         dist: D,
     ) -> Self {
+        let dist_base = dist.heap_counters();
         QueryEngine {
             graph,
             corpus,
             index,
             lower_bound,
             dist,
+            dist_base,
             stats: QueryStats::default(),
             scratch: QueryScratch::default(),
             use_cache: true,
@@ -192,14 +235,19 @@ impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
         InvertedHeap::create(self.index, t, ctx)
     }
 
-    /// Statistics accumulated since the last [`QueryEngine::reset_stats`].
+    /// Statistics accumulated since the last [`QueryEngine::reset_stats`],
+    /// including the distance oracle's heap-kernel traffic over the same
+    /// window.
     pub fn stats(&self) -> QueryStats {
-        self.stats
+        let mut s = self.stats;
+        s.absorb_counters(self.dist.heap_counters().since(self.dist_base));
+        s
     }
 
     /// Clears the statistics counters.
     pub fn reset_stats(&mut self) {
         self.stats.clear();
+        self.dist_base = self.dist.heap_counters();
     }
 
     /// The distance module's name (for bench labels).

@@ -15,9 +15,7 @@
 //! Deleted objects (§6.2) are never *returned*, but their adjacencies are
 //! still expanded, so the frontier keeps growing past them.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use kspin_graph::dheap::{DaryHeap, HeapCounters};
 use kspin_graph::{Graph, VertexId, Weight};
 use kspin_text::{Corpus, ObjectId, TermId};
 
@@ -69,10 +67,11 @@ pub struct Candidate {
 /// objects at all (query processors treat such heaps as exhausted).
 pub struct InvertedHeap<'a> {
     entry: &'a KeywordIndex,
-    heap: BinaryHeap<(Reverse<Weight>, u32)>,
-    /// Marks NVD-local ids (or Small-list positions) already inserted, so
-    /// LazyReheap inserts each object at most once (Algorithm 4 line 3).
-    inserted: Vec<bool>,
+    /// The indexed d-ary kernel. Its epoch stamps double as the "already
+    /// inserted" side table (Algorithm 4 line 3): `was_inserted` covers
+    /// both buffered and extracted locals, so LazyReheap inserts each
+    /// object at most once without a separate `Vec<bool>`.
+    heap: DaryHeap,
     /// Lower-bound computations performed (for the §5.1 cost accounting).
     lb_computed: usize,
     /// Successful [`InvertedHeap::extract`] calls — the κ of §5.1, counted
@@ -90,35 +89,34 @@ impl<'a> InvertedHeap<'a> {
     /// keyword indexes no objects.
     pub fn create(index: &'a KspinIndex, t: TermId, ctx: &HeapContext<'_>) -> Option<Self> {
         let entry = index.entry(t)?;
-        let mut heap = BinaryHeap::new();
         let mut lb_computed = 0;
-        let inserted = match entry {
+        let heap = match entry {
             KeywordIndex::Small(s) => {
                 // Observation 1: the whole inverted list fits; seeding it
                 // entirely trivially satisfies Property 1.
-                let mut ins = vec![false; s.objects.len()];
+                let mut heap = DaryHeap::new(s.objects.len());
                 for (i, &v) in s.vertices.iter().enumerate() {
-                    ins[i] = true;
                     lb_computed += 1;
-                    heap.push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), i as u32));
+                    heap.push(ctx.lower_bound.lower_bound(ctx.q, v), i as u32);
                 }
-                ins
+                heap
             }
             KeywordIndex::Nvd(n) => {
                 // Theorem 1: seeding with the quadtree leaf's candidates
                 // (which contain the 1NN of q) plus attached lazy inserts
                 // satisfies Property 1.
-                let mut ins = vec![false; n.apx.num_total()];
+                let mut heap = DaryHeap::new(n.apx.num_total());
                 for local in n.apx.init_candidates(ctx.graph.coord(ctx.q)) {
-                    ins[local as usize] = true;
-                    let v = n.apx.object_vertex(local);
-                    lb_computed += 1;
-                    heap.push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), local));
+                    if !heap.was_inserted(local) {
+                        let v = n.apx.object_vertex(local);
+                        lb_computed += 1;
+                        heap.push(ctx.lower_bound.lower_bound(ctx.q, v), local);
+                    }
                 }
-                ins
+                heap
             }
         };
-        Self::finish(entry, heap, inserted, lb_computed, ctx)
+        Self::finish(entry, heap, lb_computed, ctx)
     }
 
     /// Creates the heap for keyword `t` seeding from a memoized candidate
@@ -141,31 +139,26 @@ impl<'a> InvertedHeap<'a> {
         let KeywordIndex::Nvd(n) = entry else {
             return Self::create(index, t, ctx);
         };
-        let mut heap = BinaryHeap::new();
+        let mut heap = DaryHeap::new(n.apx.num_total());
         let mut lb_computed = 0;
-        let mut inserted = vec![false; n.apx.num_total()];
         for s in seeds {
-            inserted[s.local as usize] = true;
-            lb_computed += 1;
-            heap.push((
-                Reverse(ctx.lower_bound.lower_bound(ctx.q, s.vertex)),
-                s.local,
-            ));
+            if !heap.was_inserted(s.local) {
+                lb_computed += 1;
+                heap.push(ctx.lower_bound.lower_bound(ctx.q, s.vertex), s.local);
+            }
         }
-        Self::finish(entry, heap, inserted, lb_computed, ctx)
+        Self::finish(entry, heap, lb_computed, ctx)
     }
 
     fn finish(
         entry: &'a KeywordIndex,
-        heap: BinaryHeap<(Reverse<Weight>, u32)>,
-        inserted: Vec<bool>,
+        heap: DaryHeap,
         lb_computed: usize,
         ctx: &HeapContext<'_>,
     ) -> Option<Self> {
         let mut h = InvertedHeap {
             entry,
             heap,
-            inserted,
             lb_computed,
             extractions: 0,
             #[cfg(any(debug_assertions, feature = "audit"))]
@@ -181,13 +174,13 @@ impl<'a> InvertedHeap<'a> {
     /// `MINKEY(H)` — the lower bound of the current top (a live object).
     /// `None` once exhausted.
     pub fn min_key(&self) -> Option<Weight> {
-        self.heap.peek().map(|&(Reverse(d), _)| d)
+        self.heap.peek().map(|(d, _)| d)
     }
 
     /// Extracts the top candidate and runs `LazyReheap` so Property 1 keeps
     /// holding for the remainder.
     pub fn extract(&mut self, ctx: &HeapContext<'_>) -> Option<Candidate> {
-        let (Reverse(lb), local) = self.heap.pop()?;
+        let (lb, local) = self.heap.pop()?;
         self.extractions += 1;
         #[cfg(any(debug_assertions, feature = "audit"))]
         self.audit_extraction_order(lb, ctx);
@@ -230,13 +223,10 @@ impl<'a> InvertedHeap<'a> {
             return;
         };
         for &a in n.apx.adjacent(local) {
-            let slot = &mut self.inserted[a as usize];
-            if !*slot {
-                *slot = true;
+            if !self.heap.was_inserted(a) {
                 let v = n.apx.object_vertex(a);
                 self.lb_computed += 1;
-                self.heap
-                    .push((Reverse(ctx.lower_bound.lower_bound(ctx.q, v)), a));
+                self.heap.push(ctx.lower_bound.lower_bound(ctx.q, v), a);
             }
         }
     }
@@ -244,7 +234,7 @@ impl<'a> InvertedHeap<'a> {
     /// Pops (and expands) deleted objects until the top is live. Keeps
     /// `min_key` meaningful and guarantees `extract` returns live objects.
     fn skip_deleted(&mut self, ctx: &HeapContext<'_>) {
-        while let Some(&(_, local)) = self.heap.peek() {
+        while let Some((_, local)) = self.heap.peek() {
             if self.is_live(local) {
                 break;
             }
@@ -288,6 +278,12 @@ impl<'a> InvertedHeap<'a> {
     /// Whether no live candidates remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Heap-kernel counters of this heap (pushes/pops/decrease-keys;
+    /// `stale_skipped` is structurally zero on the indexed kernel).
+    pub fn heap_counters(&self) -> HeapCounters {
+        self.heap.counters()
     }
 }
 

@@ -6,7 +6,7 @@
 //! admissible [`LowerBound`] heuristic serves the Heap Generator.
 
 use kspin_alt::AltIndex;
-use kspin_graph::{Dijkstra, Graph, VertexId, Weight};
+use kspin_graph::{Dijkstra, Graph, HeapCounters, VertexId, Weight};
 
 /// Module 2: exact network distance between two vertices.
 ///
@@ -20,6 +20,14 @@ pub trait NetworkDistance {
 
     /// Human-readable technique name ("CH", "HL", "G-tree", "Dijkstra").
     fn name(&self) -> &'static str;
+
+    /// Cumulative heap-kernel counters of this oracle's internal searches
+    /// (zero for oracles that answer from precomputed tables, the
+    /// default). [`crate::QueryEngine`] snapshots and diffs these to
+    /// attribute per-query heap traffic in [`crate::QueryStats`].
+    fn heap_counters(&self) -> HeapCounters {
+        HeapCounters::default()
+    }
 }
 
 impl<T: NetworkDistance + ?Sized> NetworkDistance for &mut T {
@@ -29,6 +37,10 @@ impl<T: NetworkDistance + ?Sized> NetworkDistance for &mut T {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn heap_counters(&self) -> HeapCounters {
+        (**self).heap_counters()
     }
 }
 
@@ -162,6 +174,10 @@ impl NetworkDistance for DijkstraDistance<'_> {
     fn name(&self) -> &'static str {
         "Dijkstra"
     }
+
+    fn heap_counters(&self) -> HeapCounters {
+        self.search.heap_counters()
+    }
 }
 
 /// A [`NetworkDistance`] backed by bidirectional Dijkstra — still
@@ -188,6 +204,10 @@ impl NetworkDistance for BiDijkstraDistance<'_> {
 
     fn name(&self) -> &'static str {
         "BiDijkstra"
+    }
+
+    fn heap_counters(&self) -> HeapCounters {
+        self.search.heap_counters()
     }
 }
 
@@ -218,6 +238,10 @@ impl NetworkDistance for AltAstarDistance<'_> {
 
     fn name(&self) -> &'static str {
         "ALT-A*"
+    }
+
+    fn heap_counters(&self) -> HeapCounters {
+        self.search.heap_counters()
     }
 }
 

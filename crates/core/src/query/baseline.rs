@@ -68,8 +68,9 @@ pub fn ine_topk(
         return Vec::new();
     }
     let mut dij = Dijkstra::new(graph.num_vertices());
-    let mut best: std::collections::BinaryHeap<(OrderedWeight, ObjectId)> =
-        std::collections::BinaryHeap::new();
+    // lint:allow(no-binary-heap) — bounded k-best result max-heap (evicts
+    // the worst of <= k entries); not a search frontier, no decrease-key.
+    let mut best = std::collections::BinaryHeap::<(OrderedWeight, ObjectId)>::new();
     dij.run(graph, &[(q, 0)], |v, d| {
         let d_k = match best.peek() {
             Some(&(s, _)) if best.len() == k => s.get(),

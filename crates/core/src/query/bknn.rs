@@ -66,6 +66,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
         evaluated.clear();
         // Max-heap of the best k so far; top = current D_k.
+        // lint:allow(no-binary-heap) — bounded k-best result max-heap over
+        // ObjectIds; top-k eviction wants a max-heap, not decrease-key.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -133,6 +135,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let Some(mut heap) = self.make_heap(driver, ctx) else {
             return Vec::new();
         };
+        // lint:allow(no-binary-heap) — bounded k-best result max-heap
+        // (conjunctive path); same shape as the disjunctive one above.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
         loop {
             let d_k = match best.peek() {
@@ -164,8 +168,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 best.push((d, c.object));
             }
         }
-        self.stats.lb_computations += heap.lb_computed();
-        self.stats.heap_extractions += heap.extractions();
+        self.stats.absorb_heap(&heap);
         best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 
@@ -193,11 +196,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
 
     /// Folds per-heap counters into the engine stats. `heap_extractions`
     /// is owned by [`InvertedHeap`] (incremented once per `extract`, §5.1's
-    /// κ) and only *merged* here, so no query loop can miscount it.
+    /// κ) and only *merged* here, so no query loop can miscount it; the
+    /// kernel traffic counters ride along the same way.
     pub(crate) fn finish_heap_stats(&mut self, heaps: &[InvertedHeap<'_>]) {
         for h in heaps {
-            self.stats.lb_computations += h.lb_computed();
-            self.stats.heap_extractions += h.extractions();
+            self.stats.absorb_heap(h);
         }
     }
 }

@@ -139,6 +139,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         // reallocated in the extraction loop.
         let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
         evaluated.clear();
+        // lint:allow(no-binary-heap) — bounded k-best result max-heap for
+        // boolean-expression answers; not a search frontier.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {

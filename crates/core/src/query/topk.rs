@@ -105,6 +105,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut processed = std::mem::take(&mut self.scratch.evaluated);
         processed.clear();
         let mut min_keys = std::mem::take(&mut self.scratch.min_keys);
+        // lint:allow(no-binary-heap) — bounded k-best result max-heap over
+        // OrderedWeight scores; top-k eviction, not a vertex frontier.
         let mut best: BinaryHeap<(OrderedWeight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -148,8 +150,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // (`heap_extractions` lives in the heap itself — once per
             // `extract` — and is merged here and at drain-out below).
             if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
-                self.stats.lb_computations += h.lb_computed();
-                self.stats.heap_extractions += h.extractions();
+                self.stats.absorb_heap(&h);
             }
             if !processed.insert(c.object) {
                 self.stats.pruned_candidates += 1;
@@ -175,8 +176,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             }
         }
         for h in heaps.into_iter().flatten() {
-            self.stats.lb_computations += h.lb_computed();
-            self.stats.heap_extractions += h.extractions();
+            self.stats.absorb_heap(&h);
         }
         self.scratch.min_keys = min_keys;
         self.scratch.evaluated = processed;

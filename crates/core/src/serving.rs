@@ -137,7 +137,13 @@ pub struct BatchExecutor<'a> {
 
 impl<'a> BatchExecutor<'a> {
     /// Assembles an executor over the shared framework modules with
-    /// `num_threads` workers (clamped to at least 1).
+    /// `num_threads` workers, clamped to `[1, available_parallelism()]`.
+    /// Oversubscribing a host buys nothing here — workers are pure CPU
+    /// with no blocking I/O, so extra threads only add scheduler churn
+    /// (BENCH_serving.json measured 0.77× QPS at 8 workers on a
+    /// 1-hardware-thread host). Configurations that really want an exact
+    /// count (benches sweeping the thread axis) override with
+    /// [`BatchExecutor::with_exact_threads`].
     pub fn new(
         graph: &'a Graph,
         corpus: &'a Corpus,
@@ -145,12 +151,13 @@ impl<'a> BatchExecutor<'a> {
         lower_bound: &'a (dyn LowerBound + Sync),
         num_threads: usize,
     ) -> Self {
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
         BatchExecutor {
             graph,
             corpus,
             index,
             lower_bound,
-            num_threads: num_threads.max(1),
+            num_threads: num_threads.clamp(1, hw),
             use_cache: true,
         }
     }
@@ -159,6 +166,14 @@ impl<'a> BatchExecutor<'a> {
     /// bench sweep's cache on/off axis). No-op on cacheless indexes.
     pub fn with_seed_cache(mut self, on: bool) -> Self {
         self.use_cache = on;
+        self
+    }
+
+    /// Overrides the worker count exactly, bypassing the hardware clamp of
+    /// [`BatchExecutor::new`] (still at least 1). For benches and tests
+    /// that sweep the thread axis past the host's parallelism on purpose.
+    pub fn with_exact_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads.max(1);
         self
     }
 
@@ -321,10 +336,29 @@ mod tests {
             QueryEngine::new(&graph, &corpus, &index, &alt, DijkstraDistance::new(&graph));
         let sequential: Vec<ServingResult> = queries.iter().map(|q| q.run(&mut engine)).collect();
         for threads in [1, 2, 8] {
-            let exec = BatchExecutor::new(&graph, &corpus, &index, &alt, threads);
+            let exec =
+                BatchExecutor::new(&graph, &corpus, &index, &alt, 1).with_exact_threads(threads);
             let out = exec.execute(&queries, || DijkstraDistance::new(&graph));
             assert_eq!(out.results, sequential, "{threads} threads diverged");
         }
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_hardware_but_overridable() {
+        let (graph, corpus, alt, index) = fixture();
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let exec = BatchExecutor::new(&graph, &corpus, &index, &alt, 64);
+        assert!(
+            exec.num_threads() <= hw,
+            "{} workers on {hw} threads",
+            exec.num_threads()
+        );
+        assert_eq!(
+            BatchExecutor::new(&graph, &corpus, &index, &alt, 0).num_threads(),
+            1
+        );
+        let exact = BatchExecutor::new(&graph, &corpus, &index, &alt, 1).with_exact_threads(64);
+        assert_eq!(exact.num_threads(), 64);
     }
 
     #[test]

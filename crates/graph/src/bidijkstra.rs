@@ -6,10 +6,8 @@
 //! unidirectional search, making it the cheapest index-free upgrade for
 //! the Network Distance Module.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::csr::Graph;
+use crate::dheap::{DaryHeap, HeapCounters};
 use crate::types::{VertexId, Weight, INFINITY};
 use crate::weight::weight_add;
 
@@ -19,7 +17,7 @@ pub struct BiDijkstra {
     dist: [Vec<Weight>; 2],
     epoch: [Vec<u32>; 2],
     cur: u32,
-    heaps: [BinaryHeap<(Reverse<Weight>, VertexId)>; 2],
+    heaps: [DaryHeap; 2],
 }
 
 impl BiDijkstra {
@@ -29,7 +27,7 @@ impl BiDijkstra {
             dist: [vec![INFINITY; n], vec![INFINITY; n]],
             epoch: [vec![0; n], vec![0; n]],
             cur: 0,
-            heaps: [BinaryHeap::new(), BinaryHeap::new()],
+            heaps: [DaryHeap::new(n), DaryHeap::new(n)],
         }
     }
 
@@ -54,20 +52,16 @@ impl BiDijkstra {
         loop {
             // Pick the side with the smaller frontier key; stop when the
             // frontier sum can no longer improve the best meeting.
-            let top = |h: &BinaryHeap<(Reverse<Weight>, VertexId)>| {
-                h.peek().map(|&(Reverse(d), _)| d).unwrap_or(INFINITY)
-            };
+            let top = |h: &DaryHeap| h.peek().map(|(d, _)| d).unwrap_or(INFINITY);
             let (f, b) = (top(&self.heaps[0]), top(&self.heaps[1]));
             if f.saturating_add(b) >= best || (f == INFINITY && b == INFINITY) {
                 break;
             }
             let side = if f <= b { 0 } else { 1 };
-            let Some((Reverse(d), v)) = self.heaps[side].pop() else {
+            let Some((d, v)) = self.heaps[side].pop() else {
                 break;
             };
-            if d > self.get(side, v) {
-                continue; // stale
-            }
+            debug_assert!(d == self.get(side, v), "indexed heap pops are never stale");
             let other = self.get(1 - side, v);
             if other < INFINITY {
                 let total = weight_add(d, other);
@@ -98,7 +92,14 @@ impl BiDijkstra {
     fn relax(&mut self, side: usize, v: VertexId, d: Weight) {
         self.epoch[side][v as usize] = self.cur;
         self.dist[side][v as usize] = d;
-        self.heaps[side].push((Reverse(d), v));
+        self.heaps[side].insert_or_decrease(d, v);
+    }
+
+    /// Cumulative heap-kernel counters summed over both search directions.
+    pub fn heap_counters(&self) -> HeapCounters {
+        let mut c = self.heaps[0].counters();
+        c += self.heaps[1].counters();
+        c
     }
 }
 

@@ -5,12 +5,13 @@
 //! pattern in every index builder and in the network-expansion baseline)
 //! never pay an `O(|V|)` clear.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::csr::Graph;
+use crate::dheap::{DaryHeap, HeapCounters};
 use crate::types::{VertexId, Weight, INFINITY};
 use crate::weight::weight_add;
+
+/// Sentinel for "no slot" in the one-to-many target chains.
+const NO_SLOT: u32 = u32::MAX;
 
 /// What the settle callback tells the search loop to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +34,15 @@ pub struct Dijkstra {
     epoch: Vec<u32>,
     settled: Vec<bool>,
     cur_epoch: u32,
-    heap: BinaryHeap<(Reverse<Weight>, VertexId)>,
+    heap: DaryHeap,
     settled_order: Vec<VertexId>,
+    /// One-to-many target bookkeeping ([`Dijkstra::one_to_many`]):
+    /// per-vertex chain heads into `tgt_next`, epoch-stamped so repeated
+    /// calls never clear or reallocate the per-vertex arrays.
+    tgt_epoch: Vec<u32>,
+    tgt_head: Vec<u32>,
+    tgt_next: Vec<u32>,
+    tgt_cur: u32,
 }
 
 impl Dijkstra {
@@ -46,8 +54,12 @@ impl Dijkstra {
             epoch: vec![0; n],
             settled: vec![false; n],
             cur_epoch: 0,
-            heap: BinaryHeap::new(),
+            heap: DaryHeap::new(n),
             settled_order: Vec::new(),
+            tgt_epoch: vec![0; n],
+            tgt_head: vec![NO_SLOT; n],
+            tgt_next: Vec::new(),
+            tgt_cur: 0,
         }
     }
 
@@ -63,10 +75,10 @@ impl Dijkstra {
                 self.relax(s, d0, VertexId::MAX);
             }
         }
-        while let Some((Reverse(d), v)) = self.heap.pop() {
-            if self.settled[v as usize] || d > self.dist[v as usize] {
-                continue; // stale heap entry
-            }
+        while let Some((d, v)) = self.heap.pop() {
+            // The indexed heap holds each vertex once, at its best key:
+            // every pop settles (no stale entries to skip).
+            debug_assert!(!self.settled[v as usize] && d == self.dist[v as usize]);
             self.settled[v as usize] = true;
             self.settled_order.push(v);
             match on_settle(v, d) {
@@ -106,20 +118,44 @@ impl Dijkstra {
     /// Distances from `s` to each of `targets`, stopping as soon as all are
     /// settled. Unreachable targets get [`INFINITY`].
     pub fn one_to_many(&mut self, graph: &Graph, s: VertexId, targets: &[VertexId]) -> Vec<Weight> {
-        let mut remaining = targets.len();
-        let mut want = std::collections::HashMap::with_capacity(targets.len());
-        for (i, &t) in targets.iter().enumerate() {
-            want.entry(t).or_insert_with(Vec::new).push(i);
-        }
         let mut out = vec![INFINITY; targets.len()];
         if targets.is_empty() {
             return out;
         }
+        // Epoch-stamped target chains instead of a per-call HashMap:
+        // `tgt_head[v]` points at the most recent slot asking for `v`, and
+        // `tgt_next` chains duplicates. Only slots touched this call are
+        // initialized, so the per-vertex arrays are never cleared.
+        self.tgt_cur = self.tgt_cur.wrapping_add(1);
+        if self.tgt_cur == 0 {
+            self.tgt_epoch.iter_mut().for_each(|e| *e = 0);
+            self.tgt_cur = 1;
+        }
+        self.tgt_next.clear();
+        for (i, &t) in targets.iter().enumerate() {
+            let ti = t as usize;
+            if self.tgt_epoch[ti] != self.tgt_cur {
+                self.tgt_epoch[ti] = self.tgt_cur;
+                self.tgt_head[ti] = NO_SLOT;
+            }
+            self.tgt_next.push(self.tgt_head[ti]);
+            self.tgt_head[ti] = i as u32;
+        }
+        // Move the chains out so the settle closure can read them while
+        // `run` holds `&mut self`; restored below.
+        let tgt_epoch = std::mem::take(&mut self.tgt_epoch);
+        let tgt_head = std::mem::take(&mut self.tgt_head);
+        let tgt_next = std::mem::take(&mut self.tgt_next);
+        let cur = self.tgt_cur;
+        let mut remaining = targets.len();
         self.run(graph, &[(s, 0)], |v, d| {
-            if let Some(slots) = want.get(&v) {
-                for &i in slots {
-                    out[i] = d;
+            let vi = v as usize;
+            if tgt_epoch[vi] == cur {
+                let mut slot = tgt_head[vi];
+                while slot != NO_SLOT {
+                    out[slot as usize] = d;
                     remaining -= 1;
+                    slot = tgt_next[slot as usize];
                 }
                 if remaining == 0 {
                     return Control::Stop;
@@ -127,6 +163,9 @@ impl Dijkstra {
             }
             Control::Continue
         });
+        self.tgt_epoch = tgt_epoch;
+        self.tgt_head = tgt_head;
+        self.tgt_next = tgt_next;
         out
     }
 
@@ -164,6 +203,12 @@ impl Dijkstra {
         SearchSpace { d: self }
     }
 
+    /// Cumulative heap-kernel counters across every search this instance
+    /// has run (`stale_skipped` is structurally zero on the indexed heap).
+    pub fn heap_counters(&self) -> HeapCounters {
+        self.heap.counters()
+    }
+
     fn begin(&mut self) {
         self.cur_epoch = self.cur_epoch.wrapping_add(1);
         if self.cur_epoch == 0 {
@@ -193,7 +238,7 @@ impl Dijkstra {
         }
         self.dist[i] = d;
         self.parent[i] = from;
-        self.heap.push((Reverse(d), v));
+        self.heap.insert_or_decrease(d, v);
     }
 }
 
@@ -323,6 +368,31 @@ mod tests {
         for w in settled.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn heap_counters_report_decrease_keys_and_no_stales() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        // Relaxing 0→3 first (weight 5) then improving via 0-1-2-3 makes
+        // vertex 3 a decrease-key, not a duplicate push.
+        d.sssp(&g, 0);
+        let c = d.heap_counters();
+        assert_eq!(c.stale_skipped, 0);
+        assert!(c.decrease_keys >= 1, "shortcut graph must improve vertex 3");
+        assert_eq!(c.pops, 4, "one pop per reachable vertex");
+        assert_eq!(c.pushes, 4);
+    }
+
+    #[test]
+    fn one_to_many_reuses_target_chains_across_calls() {
+        let g = line_graph();
+        let mut d = Dijkstra::new(g.num_vertices());
+        assert_eq!(d.one_to_many(&g, 1, &[3, 3, 0, 4]), vec![2, 2, 1, INFINITY]);
+        // A second call with different (and duplicate) targets must see
+        // fresh chains, not leftovers from the first call.
+        assert_eq!(d.one_to_many(&g, 0, &[2, 2, 2]), vec![2, 2, 2]);
+        assert_eq!(d.one_to_many(&g, 3, &[]), Vec::<Weight>::new());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`dijkstra`] — single-source, point-to-point, one-to-many and k-nearest
 //!   searches used both directly (network-expansion baseline) and by every
 //!   index builder in the workspace.
+//! * [`dheap`] — the indexed 4-ary decrease-key heap kernel under every
+//!   best-first search in the workspace (zero stale pops, O(1) reset,
+//!   structural instrumentation counters).
 //! * [`connectivity`] — connected-component analysis and largest-component
 //!   extraction (road networks must be connected for Voronoi diagrams to
 //!   cover every vertex).
@@ -24,6 +27,7 @@
 pub mod bidijkstra;
 pub mod connectivity;
 pub mod csr;
+pub mod dheap;
 pub mod dijkstra;
 pub mod dimacs;
 pub mod generate;
@@ -32,6 +36,7 @@ pub mod weight;
 
 pub use bidijkstra::BiDijkstra;
 pub use csr::{Graph, GraphBuilder};
+pub use dheap::{DaryHeap, HeapCounters};
 pub use dijkstra::{Dijkstra, SearchSpace};
 pub use types::{Edge, Point, VertexId, Weight, INFINITY};
 pub use weight::{weight_add, OrderedWeight};

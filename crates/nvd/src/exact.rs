@@ -10,9 +10,7 @@
 //! * `MaxRadius` per generator — free during construction, needed by the
 //!   Theorem-2 update rule (§6.2).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use kspin_graph::dheap::{DaryHeap, HeapCounters};
 use kspin_graph::{Graph, VertexId, Weight, INFINITY};
 
 use crate::adjacency::AdjacencyGraph;
@@ -25,6 +23,7 @@ pub struct ExactNvd {
     dist_to_owner: Vec<Weight>,
     max_radius: Vec<Weight>,
     adjacency: AdjacencyGraph,
+    build_counters: HeapCounters,
 }
 
 impl ExactNvd {
@@ -41,8 +40,7 @@ impl ExactNvd {
         let m = generators.len();
         let mut owner = vec![u32::MAX; n];
         let mut dist = vec![INFINITY; n];
-        let mut settled = vec![false; n];
-        let mut heap: BinaryHeap<(Reverse<Weight>, VertexId)> = BinaryHeap::new();
+        let mut heap = DaryHeap::new(n);
 
         for (i, &g) in generators.iter().enumerate() {
             assert!(
@@ -51,15 +49,14 @@ impl ExactNvd {
             );
             owner[g as usize] = i as u32;
             dist[g as usize] = 0;
-            heap.push((Reverse(0), g));
+            heap.push(0, g);
         }
 
         let mut max_radius = vec![0 as Weight; m];
-        while let Some((Reverse(d), v)) = heap.pop() {
-            if settled[v as usize] || d > dist[v as usize] {
-                continue;
-            }
-            settled[v as usize] = true;
+        while let Some((d, v)) = heap.pop() {
+            // The indexed heap holds each vertex once at its best key, so
+            // every pop settles (no stale-entry or settled-vertex skips).
+            debug_assert!(d == dist[v as usize]);
             let o = owner[v as usize];
             if d > max_radius[o as usize] {
                 max_radius[o as usize] = d;
@@ -69,7 +66,7 @@ impl ExactNvd {
                 if nd < dist[u as usize] {
                     dist[u as usize] = nd;
                     owner[u as usize] = o;
-                    heap.push((Reverse(nd), u));
+                    heap.insert_or_decrease(nd, u);
                 }
             }
         }
@@ -90,7 +87,14 @@ impl ExactNvd {
             dist_to_owner: dist,
             max_radius,
             adjacency,
+            build_counters: heap.counters(),
         }
+    }
+
+    /// Heap-kernel counters of the construction sweep (`stale_skipped` is
+    /// structurally zero on the indexed heap).
+    pub fn build_counters(&self) -> HeapCounters {
+        self.build_counters
     }
 
     /// Generator vertices, indexed by generator id.

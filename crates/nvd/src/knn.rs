@@ -27,22 +27,21 @@ impl ApproxNvd {
         if k == 0 {
             return Vec::new();
         }
-        use std::cmp::Reverse;
-        let mut heap: std::collections::BinaryHeap<(Reverse<Weight>, u32)> =
-            std::collections::BinaryHeap::new();
-        let mut inserted = vec![false; self.num_total()];
+        // The indexed heap's epoch stamps double as the "already inserted"
+        // side table the lazy kernel kept in a separate Vec<bool>.
+        let mut heap = kspin_graph::DaryHeap::new(self.num_total());
         for id in self.init_candidates(coord) {
-            inserted[id as usize] = true;
-            heap.push((Reverse(dist(self.object_vertex(id))), id));
+            if !heap.was_inserted(id) {
+                heap.push(dist(self.object_vertex(id)), id);
+            }
         }
         let mut out = Vec::with_capacity(k);
-        while let Some((Reverse(d), id)) = heap.pop() {
+        while let Some((d, id)) = heap.pop() {
             // Property 2: expand adjacency regardless of deletion state so
             // the frontier keeps moving outward.
             for &a in self.adjacent(id) {
-                if !inserted[a as usize] {
-                    inserted[a as usize] = true;
-                    heap.push((Reverse(dist(self.object_vertex(a))), a));
+                if !heap.was_inserted(a) {
+                    heap.push(dist(self.object_vertex(a)), a);
                 }
             }
             if !self.is_deleted(id) {

@@ -99,7 +99,10 @@ fn sequential_cold(f: &Fixture) -> Vec<ServingResult> {
 fn assert_batches_match(f: &Fixture, reference: &[ServingResult]) {
     for threads in [1, 2, 8] {
         for cache in [false, true] {
-            let exec = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, threads)
+            // `with_exact_threads` bypasses the hardware clamp so the
+            // 8-worker leg really runs 8 workers even on a 1-core host.
+            let exec = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, 1)
+                .with_exact_threads(threads)
                 .with_seed_cache(cache);
             let out = exec.execute(&f.queries, || DijkstraDistance::new(&f.graph));
             assert_eq!(
@@ -114,6 +117,14 @@ fn assert_batches_match(f: &Fixture, reference: &[ServingResult]) {
             } else {
                 assert_eq!(out.stats.cache_hits + out.stats.cache_misses, 0);
             }
+            // The d-ary kernel under every search: real heap traffic,
+            // structurally zero stale pops.
+            assert!(out.stats.heap_pops > 0, "workload produced no heap traffic");
+            assert!(out.stats.heap_pushes >= out.stats.heap_pops);
+            assert_eq!(
+                out.stats.heap_stale_skipped, 0,
+                "indexed kernel popped a stale entry"
+            );
         }
     }
 }

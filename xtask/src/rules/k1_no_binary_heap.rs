@@ -1,0 +1,153 @@
+//! K1 `no-binary-heap` — no `std::collections::BinaryHeap` construction
+//! in the distance-module crates now that `kspin_graph::DaryHeap` exists.
+//!
+//! Every search frontier in `crates/graph`, `crates/alt`, `crates/nvd`,
+//! and `crates/core` runs on the indexed d-ary kernel (true decrease-key,
+//! zero stale pops, O(1) epoch reset). A `BinaryHeap` reintroduced there
+//! means lazy deletion crept back in: stale duplicates, per-query
+//! allocation, and `stale_skipped` counters that are no longer
+//! structurally zero. Bounded *result* heaps (e.g. the k-best max-heap a
+//! top-k query keeps) are a legitimate use and are ratcheted in the
+//! baseline with per-site reasons rather than exempted wholesale.
+
+use crate::rules::{record, scope, tok, tok_is, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// Crates whose hot paths must run on the indexed d-ary kernel.
+const SCOPED: [&str; 4] = [
+    "crates/graph/src/",
+    "crates/alt/src/",
+    "crates/nvd/src/",
+    "crates/core/src/",
+];
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    if !SCOPED.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for k in 0..file.code.len() {
+        let t = tok(file, k);
+        if scope(file, k).in_test {
+            continue;
+        }
+        // `BinaryHeap::new(..)` / `BinaryHeap::with_capacity(..)`,
+        // including the turbofish spelling `BinaryHeap::<T>::new(..)` —
+        // the construction sites; a type mention alone (docs, signatures
+        // of reference kernels) does not build a frontier.
+        if t.is_ident("BinaryHeap") && is_construction(file, k + 1) {
+            record(
+                file,
+                t.line,
+                t.col,
+                Rule::NoBinaryHeap,
+                "BinaryHeap constructed in a d-ary-kernel crate (use kspin_graph::DaryHeap)".into(),
+                summary,
+            );
+        }
+    }
+}
+
+/// Whether the tokens at `j` (just past a `BinaryHeap` ident) spell a
+/// construction: `::new`, `::with_capacity`, or a turbofish
+/// `::<..>::new` / `::<..>::with_capacity`.
+fn is_construction(file: &SourceFile, mut j: usize) -> bool {
+    if !tok_is(file, j, |n| n.is_punct("::")) {
+        return false;
+    }
+    j += 1;
+    if tok_is(file, j, |n| n.is_punct("<")) {
+        // Skip the balanced generic segment; the lexer munches `>>` as
+        // one token, so it closes two levels. Bounded walk: a turbofish
+        // longer than 64 tokens is not something this codebase writes.
+        let mut depth = 0i32;
+        let limit = (j + 64).min(file.code.len());
+        while j < limit {
+            let t = tok(file, j);
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct("<<") {
+                depth += 2;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct(">>") {
+                depth -= 2;
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        if depth != 0 || !tok_is(file, j, |n| n.is_punct("::")) {
+            return false;
+        }
+        j += 1;
+    }
+    tok_is(file, j, |n| {
+        n.is_ident("new") || n.is_ident("with_capacity")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{run_rule, Rule};
+
+    #[test]
+    fn k1_triggers_on_construction_in_scoped_crates() {
+        let src = "fn f() { let h = std::collections::BinaryHeap::new(); \
+                   let g: BinaryHeap<u32> = BinaryHeap::with_capacity(8); }\n";
+        for rel in [
+            "crates/graph/src/x.rs",
+            "crates/alt/src/x.rs",
+            "crates/nvd/src/x.rs",
+            "crates/core/src/query/x.rs",
+        ] {
+            assert_eq!(
+                run_rule(rel, src, Rule::NoBinaryHeap).count(Rule::NoBinaryHeap),
+                2,
+                "{rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn k1_sees_through_turbofish_construction() {
+        // `Vec<Vec<u32>>` makes the closer lex as `>>` (two levels).
+        let src = "fn f() { let h = std::collections::BinaryHeap::<Vec<Vec<u32>>>::new(); \
+                   let g = BinaryHeap::<u8>::with_capacity(4); }\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", src, Rule::NoBinaryHeap).count(Rule::NoBinaryHeap),
+            2
+        );
+    }
+
+    #[test]
+    fn k1_ignores_type_mentions_tests_and_unscoped_crates() {
+        // A type in a signature is not a construction.
+        let sig_only = "fn f(h: &BinaryHeap<u32>) -> usize { h.len() }\n";
+        assert_eq!(
+            run_rule("crates/core/src/x.rs", sig_only, Rule::NoBinaryHeap)
+                .count(Rule::NoBinaryHeap),
+            0
+        );
+        // Tests may build reference kernels freely.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = BinaryHeap::new(); }\n}\n";
+        assert_eq!(
+            run_rule("crates/graph/src/x.rs", test_only, Rule::NoBinaryHeap)
+                .count(Rule::NoBinaryHeap),
+            0
+        );
+        // Crates outside the d-ary port (gtree, ch, benches) are not scoped.
+        let src = "fn f() { let _ = BinaryHeap::new(); }\n";
+        for rel in [
+            "crates/gtree/src/x.rs",
+            "crates/ch/src/x.rs",
+            "crates/bench/benches/x.rs",
+        ] {
+            assert_eq!(
+                run_rule(rel, src, Rule::NoBinaryHeap).count(Rule::NoBinaryHeap),
+                0,
+                "{rel}"
+            );
+        }
+    }
+}

@@ -14,6 +14,7 @@ use crate::scope::{SourceFile, TokenScope};
 pub mod a1_weight_arith;
 pub mod e1_swallowed_result;
 pub mod h1_no_alloc;
+pub mod k1_no_binary_heap;
 pub mod l1_no_unwrap;
 pub mod l2_total_order;
 pub mod l3_concurrency;
@@ -36,11 +37,13 @@ pub enum Rule {
     CheckedWeightArithmetic,
     /// E1: no silently discarded `Result`s.
     NoSwallowedResult,
+    /// K1: no `BinaryHeap` construction in the d-ary-kernel crates.
+    NoBinaryHeap,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoUnwrap,
         Rule::TotalOrderWeights,
         Rule::SanctionedConcurrency,
@@ -48,6 +51,7 @@ impl Rule {
         Rule::NoAllocInHotLoop,
         Rule::CheckedWeightArithmetic,
         Rule::NoSwallowedResult,
+        Rule::NoBinaryHeap,
     ];
 
     /// The name used inside `lint:allow(..)` comments, CLI filters, and
@@ -61,6 +65,7 @@ impl Rule {
             Rule::NoAllocInHotLoop => "no-alloc-in-hot-loop",
             Rule::CheckedWeightArithmetic => "checked-weight-arithmetic",
             Rule::NoSwallowedResult => "no-swallowed-result",
+            Rule::NoBinaryHeap => "no-binary-heap",
         }
     }
 
@@ -74,6 +79,7 @@ impl Rule {
             Rule::NoAllocInHotLoop => "H1 no-alloc-in-hot-loop",
             Rule::CheckedWeightArithmetic => "A1 checked-weight-arithmetic",
             Rule::NoSwallowedResult => "E1 no-swallowed-result",
+            Rule::NoBinaryHeap => "K1 no-binary-heap",
         }
     }
 
@@ -100,6 +106,9 @@ impl Rule {
             }
             Rule::NoSwallowedResult => {
                 "no `let _ =` or bare `.ok();` discarding a Result outside tests"
+            }
+            Rule::NoBinaryHeap => {
+                "no BinaryHeap::new/with_capacity in crates/{graph,alt,nvd,core} (use DaryHeap)"
             }
         }
     }
@@ -171,6 +180,7 @@ pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
             Rule::NoAllocInHotLoop => h1_no_alloc::check(file, summary),
             Rule::CheckedWeightArithmetic => a1_weight_arith::check(file, summary),
             Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
+            Rule::NoBinaryHeap => k1_no_binary_heap::check(file, summary),
         }
     }
 }
