@@ -57,6 +57,7 @@ impl AltAstar {
             // a vertex carries its final g: improvements to an open vertex
             // are decrease-keys, never duplicate (stale) entries.
             debug_assert!(self.closed[v as usize] != self.cur);
+            // PANIC-OK: every heap item is a vertex id < n; arrays sized n at new().
             self.closed[v as usize] = self.cur;
             let g = self.get(v);
             self.settled += 1;
@@ -87,8 +88,9 @@ impl AltAstar {
 
     #[inline]
     fn get(&self, v: VertexId) -> Weight {
+        // PANIC-OK: v is a vertex id < n from the CSR graph; arrays sized n.
         if self.epoch[v as usize] == self.cur {
-            self.dist[v as usize]
+            self.dist[v as usize] // PANIC-OK: same bound as the epoch read.
         } else {
             INFINITY
         }
@@ -96,8 +98,9 @@ impl AltAstar {
 
     #[inline]
     fn set(&mut self, v: VertexId, d: Weight) {
+        // PANIC-OK: v is a vertex id < n from the CSR graph; arrays sized n.
         self.epoch[v as usize] = self.cur;
-        self.dist[v as usize] = d;
+        self.dist[v as usize] = d; // PANIC-OK: same bound as above.
     }
 }
 

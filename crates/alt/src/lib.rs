@@ -8,6 +8,8 @@
 //! landmarks is the reported bound. The paper uses m = 16 landmarks (§5.1),
 //! chosen by farthest selection as in [16].
 
+#![deny(missing_docs)]
+
 pub mod astar;
 
 pub use astar::AltAstar;
@@ -122,6 +124,7 @@ impl AltIndex {
         }
         let mut best: Weight = 0;
         for d in &self.dist {
+            // PANIC-OK: each landmark row is sized n; u, v are vertex ids < n.
             let (du, dv) = (d[u as usize], d[v as usize]);
             // A landmark that cannot reach either endpoint tells us nothing.
             if du >= INFINITY || dv >= INFINITY {

@@ -168,6 +168,7 @@ impl HeapSeedCache {
         let shards = config.shards.max(1);
         HeapSeedCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            // PANIC-OK: shards >= 1 by the max(1) above.
             shard_budget: (config.capacity_bytes / shards).max(ENTRY_OVERHEAD_BYTES),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -179,8 +180,11 @@ impl HeapSeedCache {
         let mix = (t as u64)
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(leaf as u64);
+        // PANIC-OK: new() builds at least one shard, so the modulus is
+        // non-zero and i < shards.len().
         let i = (mix % self.shards.len() as u64) as usize;
-        match self.shards[i].lock() {
+        let shard = &self.shards[i]; // PANIC-OK: i < shards.len() by the modulus.
+        match shard.lock() {
             Ok(g) => g,
             // A worker that panicked mid-insert left the shard in a valid
             // (if partially updated) state: every mutation below keeps

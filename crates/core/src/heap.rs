@@ -245,6 +245,8 @@ impl<'a> InvertedHeap<'a> {
 
     fn is_live(&self, local: u32) -> bool {
         match self.entry {
+            // PANIC-OK: heap items are local object ids < the keyword's
+            // object count; the per-keyword arrays share that length.
             KeywordIndex::Small(s) => s.alive[local as usize],
             KeywordIndex::Nvd(n) => !n.apx.is_deleted(local),
         }
@@ -252,8 +254,10 @@ impl<'a> InvertedHeap<'a> {
 
     fn corpus_id(&self, local: u32) -> ObjectId {
         match self.entry {
+            // PANIC-OK: heap items are local object ids < the keyword's
+            // object count; the per-keyword arrays share that length.
             KeywordIndex::Small(s) => s.objects[local as usize],
-            KeywordIndex::Nvd(n) => n.corpus_ids[local as usize],
+            KeywordIndex::Nvd(n) => n.corpus_ids[local as usize], // PANIC-OK: same bound.
         }
     }
 

@@ -140,7 +140,13 @@ impl LowerBound for ExactLowerBound<'_> {
             }));
             *source = Some(s);
         }
-        cache.dist[t as usize]
+        // Checked: a target outside the cached table (can't happen for ids
+        // the engine mints, but cheap to tolerate) reads as unreachable.
+        cache
+            .dist
+            .get(t as usize)
+            .copied()
+            .unwrap_or(kspin_graph::INFINITY)
     }
 
     fn is_exact(&self) -> bool {

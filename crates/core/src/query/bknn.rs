@@ -87,6 +87,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if min_lb >= d_k {
                 break; // line 5: no unseen object can beat the k-th best
             }
+            // PANIC-OK: i came from enumerate() over this very vec.
             let Some(c) = heaps[i].extract(ctx) else {
                 // Unreachable: heap `i` just reported a finite MINKEY.
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");
@@ -189,6 +190,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 .objects
                 .iter()
                 .position(|&x| x == o)
+                // PANIC-OK: i < objects.len() from position(); alive is parallel.
                 .is_some_and(|i| s.alive[i]),
             Some(KeywordIndex::Nvd(n)) => n.local_of.get(&o).is_some_and(|&l| !n.apx.is_deleted(l)),
         }

@@ -125,6 +125,9 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let Some(driving) = expr.driving_set(self.corpus) else {
             return Vec::new(); // unsatisfiable
         };
+        // PANIC-OK: documented API precondition (see `# Panics`): soundness
+        // needs a driving keyword per conjunct, so a keyword-free query must
+        // not fail silently in release serving either.
         assert!(
             !driving.is_empty(),
             "expression has an empty driving set (keyword-free query)"
@@ -159,6 +162,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if min_lb >= d_k {
                 break;
             }
+            // PANIC-OK: i came from enumerate() over this very vec.
             let Some(c) = heaps[i].extract(&ctx) else {
                 // Unreachable: heap `i` just reported a finite MINKEY.
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");

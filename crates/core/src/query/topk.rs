@@ -140,6 +140,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 break; // Lemma 2: nothing unseen can beat the k-th score.
             }
 
+            // PANIC-OK: i was chosen by the scan over 0..heaps.len() above.
             let Some(c) = heaps[i].as_mut().and_then(|h| h.extract(&ctx)) else {
                 // Unreachable: heap `i` was chosen because MINKEY(H_i) < ∞,
                 // which only live, non-empty heaps report.
@@ -149,6 +150,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // Keep counters before dropping an exhausted heap
             // (`heap_extractions` lives in the heap itself — once per
             // `extract` — and is merged here and at drain-out below).
+            // PANIC-OK: same in-range i as the extract above.
             if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
                 self.stats.absorb_heap(&h);
             }
@@ -190,11 +192,13 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
 /// `TR_p(ψ, H_i) = Σ_j [MINKEY(H_i) ≥ MINKEY(H_j)] · λ_{t_j,ψ} · λ_{t_j,max}`.
 /// Exhausted heaps carry `MINKEY = ∞` and therefore contribute to nobody.
 pub(crate) fn pseudo_relevance(i: usize, min_keys: &[Weight], max_contrib: &[f64]) -> f64 {
+    // PANIC-OK: callers pass a heap index i < min_keys.len(); max_contrib
+    // is built parallel to min_keys (one slot per query keyword).
     let mk = min_keys[i];
     let mut tr_p = 0.0;
     for (j, &other) in min_keys.iter().enumerate() {
         if mk >= other {
-            tr_p += max_contrib[j];
+            tr_p += max_contrib[j]; // PANIC-OK: j < len of the parallel arrays.
         }
     }
     tr_p

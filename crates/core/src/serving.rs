@@ -251,6 +251,8 @@ impl<'a> BatchExecutor<'a> {
         for (shard, worker_stats) in shards {
             stats += worker_stats;
             for (i, r) in shard {
+                // PANIC-OK: workers only emit indexes of `queries`, and
+                // slots was built with one slot per query.
                 slots[i] = Some(r);
             }
         }
@@ -260,7 +262,10 @@ impl<'a> BatchExecutor<'a> {
             .map(|(i, r)| match r {
                 Some(r) => r,
                 // Unreachable: the cursor hands every index to exactly one
-                // worker and all workers were joined.
+                // worker and all workers were joined. Losing a result
+                // silently would corrupt the batch ↔ result pairing, so
+                // this stays a loud panic rather than a default answer.
+                // PANIC-OK: chunk cursor covers 0..n exactly once (see above).
                 None => panic!("query {i} was claimed by no worker"),
             })
             .collect();

@@ -53,11 +53,13 @@ impl BiDijkstra {
             // Pick the side with the smaller frontier key; stop when the
             // frontier sum can no longer improve the best meeting.
             let top = |h: &DaryHeap| h.peek().map(|(d, _)| d).unwrap_or(INFINITY);
+            // PANIC-OK: constant indexes into the [DaryHeap; 2] pair.
             let (f, b) = (top(&self.heaps[0]), top(&self.heaps[1]));
             if f.saturating_add(b) >= best || (f == INFINITY && b == INFINITY) {
                 break;
             }
             let side = if f <= b { 0 } else { 1 };
+            // PANIC-OK: side is 0 or 1 by the line above; heaps is [_; 2].
             let Some((d, v)) = self.heaps[side].pop() else {
                 break;
             };
@@ -81,8 +83,10 @@ impl BiDijkstra {
 
     #[inline]
     fn get(&self, side: usize, v: VertexId) -> Weight {
+        // PANIC-OK: side is 0 or 1 (callers pass literals or 1 - side);
+        // v is a vertex id < n from the CSR graph, inner arrays sized n.
         if self.epoch[side][v as usize] == self.cur {
-            self.dist[side][v as usize]
+            self.dist[side][v as usize] // PANIC-OK: same bounds as the epoch read.
         } else {
             INFINITY
         }
@@ -90,15 +94,17 @@ impl BiDijkstra {
 
     #[inline]
     fn relax(&mut self, side: usize, v: VertexId, d: Weight) {
+        // PANIC-OK: side is 0 or 1; v < n from the CSR graph, arrays sized n.
         self.epoch[side][v as usize] = self.cur;
-        self.dist[side][v as usize] = d;
-        self.heaps[side].insert_or_decrease(d, v);
+        self.dist[side][v as usize] = d; // PANIC-OK: same bounds as above.
+        self.heaps[side].insert_or_decrease(d, v); // PANIC-OK: side is 0 or 1.
     }
 
     /// Cumulative heap-kernel counters summed over both search directions.
     pub fn heap_counters(&self) -> HeapCounters {
+        // PANIC-OK: constant indexes into the [DaryHeap; 2] pair.
         let mut c = self.heaps[0].counters();
-        c += self.heaps[1].counters();
+        c += self.heaps[1].counters(); // PANIC-OK: constant index into [_; 2].
         c
     }
 }

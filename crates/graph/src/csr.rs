@@ -41,12 +41,14 @@ impl Graph {
     /// Iterates `(neighbor, weight)` pairs of `v`.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        // PANIC-OK: offsets has n + 1 slots and v < n for every vertex id the
+        // builder hands out; lo <= hi <= num_arcs by CSR construction.
         let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        self.targets[lo..hi]
+        let hi = self.offsets[v as usize + 1] as usize; // PANIC-OK: v + 1 <= n.
+        self.targets[lo..hi] // PANIC-OK: CSR offsets bound the arc arrays.
             .iter()
             .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+            .zip(self.weights[lo..hi].iter().copied()) // PANIC-OK: same range.
     }
 
     /// Degree of `v`.
@@ -58,6 +60,7 @@ impl Graph {
     /// Coordinate of `v`.
     #[inline]
     pub fn coord(&self, v: VertexId) -> Point {
+        // PANIC-OK: coords is sized n; v < n for every built vertex id.
         self.coords[v as usize]
     }
 

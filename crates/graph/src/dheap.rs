@@ -142,6 +142,8 @@ impl DaryHeap {
     /// Empties the heap and forgets every item's insertion state in O(1)
     /// (epoch bump). Counters are cumulative and survive.
     pub fn clear(&mut self) {
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        self.audit_on_clear();
         self.entries.clear();
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
@@ -178,6 +180,7 @@ impl DaryHeap {
     /// tables of the lazy kernels.
     #[inline]
     pub fn was_inserted(&self, item: u32) -> bool {
+        // PANIC-OK: stamp is sized n at new(); items are 0..n by the kernel contract.
         self.stamp[item as usize] == self.epoch
     }
 
@@ -190,6 +193,7 @@ impl DaryHeap {
             !self.was_inserted(item),
             "push of item {item} already inserted this epoch"
         );
+        // PANIC-OK: stamp is sized n at new(); items are 0..n by the kernel contract.
         self.stamp[item as usize] = self.epoch;
         let slot = self.entries.len();
         self.entries.push(pack(key, item));
@@ -205,18 +209,21 @@ impl DaryHeap {
     #[inline]
     pub fn insert_or_decrease(&mut self, key: Weight, item: u32) {
         let i = item as usize;
+        // PANIC-OK: stamp/pos are sized n at new(); items are 0..n by the kernel contract.
         if self.stamp[i] != self.epoch {
             self.push(key, item);
             return;
         }
-        let p = self.pos[i];
+        let p = self.pos[i]; // PANIC-OK: pos is sized n; i < n as above.
         debug_assert!(
             p != POPPED,
             "decrease-key on item {item} already popped this epoch"
         );
         let p = p as usize;
+        // PANIC-OK: pos[i] is a live slot (< entries.len()) by the position-map
+        // invariant that `validate` audits after every op in the model tests.
         if key < key_of(self.entries[p]) {
-            self.entries[p] = pack(key, item);
+            self.entries[p] = pack(key, item); // PANIC-OK: same slot as the read above.
             self.counters.decrease_keys += 1;
             self.sift_up(p);
         }
@@ -228,12 +235,13 @@ impl DaryHeap {
     pub fn pop(&mut self) -> Option<(Weight, u32)> {
         let top = *self.entries.first()?;
         let item = item_of(top);
+        // PANIC-OK: every buffered item is < n (push stamped it), pos is sized n.
         self.pos[item as usize] = POPPED;
         self.counters.pops += 1;
         let last = self.entries.pop().unwrap_or(top);
         if !self.entries.is_empty() {
-            self.entries[0] = last;
-            self.pos[item_of(last) as usize] = 0;
+            self.entries[0] = last; // PANIC-OK: non-empty checked on the line above.
+            self.pos[item_of(last) as usize] = 0; // PANIC-OK: buffered item < n.
             self.sift_down(0);
         }
         Some((key_of(top), item))
@@ -247,25 +255,27 @@ impl DaryHeap {
     /// Hole-based sift-up: moves ancestors down until slot `i`'s entry is
     /// no longer before its parent. One packed compare per level.
     fn sift_up(&mut self, mut i: usize) {
+        // PANIC-OK: callers pass a live slot (push: just appended; decrease: pos[i]).
         let entry = self.entries[i];
         while i > 0 {
-            let parent = (i - 1) / ARITY;
-            let pe = self.entries[parent];
+            let parent = (i - 1) / ARITY; // PANIC-OK: ARITY is the const 4.
+            let pe = self.entries[parent]; // PANIC-OK: parent < i < len.
             if entry < pe {
-                self.entries[i] = pe;
-                self.pos[item_of(pe) as usize] = i as u32;
+                self.entries[i] = pe; // PANIC-OK: i is a live slot throughout.
+                self.pos[item_of(pe) as usize] = i as u32; // PANIC-OK: buffered item < n.
                 i = parent;
             } else {
                 break;
             }
         }
-        self.entries[i] = entry;
-        self.pos[item_of(entry) as usize] = i as u32;
+        self.entries[i] = entry; // PANIC-OK: i is a live slot throughout.
+        self.pos[item_of(entry) as usize] = i as u32; // PANIC-OK: buffered item < n.
     }
 
     /// Hole-based sift-down: moves the smallest child up until slot `i`'s
     /// entry is no larger than all of its (at most [`ARITY`]) children.
     fn sift_down(&mut self, mut i: usize) {
+        // PANIC-OK: the only caller (pop) passes slot 0 of a non-empty heap.
         let entry = self.entries[i];
         let len = self.entries.len();
         loop {
@@ -275,24 +285,24 @@ impl DaryHeap {
             }
             let last = (first + ARITY).min(len);
             let mut best = first;
-            let mut be = self.entries[first];
+            let mut be = self.entries[first]; // PANIC-OK: first < len checked above.
             for c in first + 1..last {
-                let ce = self.entries[c];
+                let ce = self.entries[c]; // PANIC-OK: c < last <= len.
                 if ce < be {
                     best = c;
                     be = ce;
                 }
             }
             if be < entry {
-                self.entries[i] = be;
-                self.pos[item_of(be) as usize] = i as u32;
+                self.entries[i] = be; // PANIC-OK: i is a live slot throughout.
+                self.pos[item_of(be) as usize] = i as u32; // PANIC-OK: buffered item < n.
                 i = best;
             } else {
                 break;
             }
         }
-        self.entries[i] = entry;
-        self.pos[item_of(entry) as usize] = i as u32;
+        self.entries[i] = entry; // PANIC-OK: i is a live slot throughout.
+        self.pos[item_of(entry) as usize] = i as u32; // PANIC-OK: buffered item < n.
     }
 
     /// The structural auditor (exercised by the invariant test suite):
@@ -323,7 +333,37 @@ impl DaryHeap {
                 ));
             }
         }
+        // Reverse direction: every item the position map claims is buffered
+        // must actually occupy that slot. Catches a slot overwritten without
+        // its evicted item being marked POPPED — invisible to the slot→pos
+        // sweep above because the evicted item no longer appears in
+        // `entries`.
+        for (item, (&p, &s)) in self.pos.iter().zip(&self.stamp).enumerate() {
+            if s != self.epoch || p == POPPED {
+                continue;
+            }
+            let holds = self
+                .entries
+                .get(p as usize)
+                .is_some_and(|&e| item_of(e) as usize == item);
+            if !holds {
+                return Err(format!(
+                    "position map dangles: item {item} claims slot {p} but the slot holds another item"
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Audit hook: re-validates the full structure before the epoch bump
+    /// discards it. Armed by the `audit` feature (and always in debug
+    /// builds); compiled out of release serving binaries, so the
+    /// panic-reachability certificate never sees it.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    fn audit_on_clear(&self) {
+        if let Err(violation) = self.validate() {
+            panic!("DaryHeap invariant violated at clear: {violation}");
+        }
     }
 }
 
@@ -392,6 +432,26 @@ mod tests {
         assert_eq!(h.pop(), Some((1, 3)));
         assert!(h.was_inserted(3));
         assert!(!h.in_heap(3));
+    }
+
+    #[test]
+    fn validate_catches_a_dangling_position_map() {
+        // An item whose pos points at a slot another item occupies is
+        // invisible to the slot→pos sweep (the item is gone from `entries`)
+        // — only the reverse item→slot direction can see it.
+        let mut h = DaryHeap::new(4);
+        h.push(1, 0);
+        h.push(2, 1);
+        h.entries.truncate(1); // evict item 1 without marking it POPPED
+        let err = h.validate().expect_err("dangling pos must fail the audit");
+        assert!(err.contains("dangles"), "wrong violation: {err}");
+
+        // The forward direction still fires on a desynced live slot.
+        let mut h = DaryHeap::new(4);
+        h.push(1, 0);
+        h.push(2, 1);
+        h.pos.swap(0, 1);
+        assert!(h.validate().is_err(), "desynced map must fail the audit");
     }
 
     #[test]

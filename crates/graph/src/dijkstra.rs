@@ -79,6 +79,7 @@ impl Dijkstra {
             // The indexed heap holds each vertex once, at its best key:
             // every pop settles (no stale entries to skip).
             debug_assert!(!self.settled[v as usize] && d == self.dist[v as usize]);
+            // PANIC-OK: every heap item is a vertex id < n; arrays sized n at new().
             self.settled[v as usize] = true;
             self.settled_order.push(v);
             match on_settle(v, d) {
@@ -222,8 +223,9 @@ impl Dijkstra {
 
     #[inline]
     fn tentative(&self, v: VertexId) -> Weight {
+        // PANIC-OK: v is a vertex id < n from the CSR graph; arrays sized n.
         if self.epoch[v as usize] == self.cur_epoch {
-            self.dist[v as usize]
+            self.dist[v as usize] // PANIC-OK: same bound as the epoch read.
         } else {
             INFINITY
         }
@@ -232,12 +234,13 @@ impl Dijkstra {
     #[inline]
     fn relax(&mut self, v: VertexId, d: Weight, from: VertexId) {
         let i = v as usize;
+        // PANIC-OK: v is a vertex id < n from the CSR graph; arrays sized n.
         if self.epoch[i] != self.cur_epoch {
-            self.epoch[i] = self.cur_epoch;
-            self.settled[i] = false;
+            self.epoch[i] = self.cur_epoch; // PANIC-OK: i < n as above.
+            self.settled[i] = false; // PANIC-OK: i < n as above.
         }
-        self.dist[i] = d;
-        self.parent[i] = from;
+        self.dist[i] = d; // PANIC-OK: i < n as above.
+        self.parent[i] = from; // PANIC-OK: i < n as above.
         self.heap.insert_or_decrease(d, v);
     }
 }
@@ -251,8 +254,9 @@ impl SearchSpace<'_> {
     /// Final distance of `v` if it was settled by the last search.
     pub fn distance(&self, v: VertexId) -> Option<Weight> {
         let i = v as usize;
+        // PANIC-OK: v is a vertex id < n from the CSR graph; arrays sized n.
         if self.d.epoch[i] == self.d.cur_epoch && self.d.settled[i] {
-            Some(self.d.dist[i])
+            Some(self.d.dist[i]) // PANIC-OK: same bound as the epoch read.
         } else {
             None
         }

@@ -51,6 +51,8 @@ impl AdjacencyGraph {
     /// Generators adjacent to `a`.
     #[inline]
     pub fn adjacent(&self, a: u32) -> &[u32] {
+        // PANIC-OK: a is a generator id < lists.len() — ids are only minted
+        // by the builder and push_node, both of which size the list first.
         &self.lists[a as usize]
     }
 

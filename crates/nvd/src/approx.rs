@@ -106,8 +106,9 @@ impl ApproxNvd {
     pub fn object_vertex(&self, id: u32) -> VertexId {
         let i = id as usize;
         if i < self.objects.len() {
-            self.objects[i]
+            self.objects[i] // PANIC-OK: bound checked on the line above.
         } else {
+            // PANIC-OK: object ids are < num_total = objects + inserted.
             self.inserted_vertices[i - self.objects.len()]
         }
     }
@@ -115,6 +116,7 @@ impl ApproxNvd {
     /// Whether object `id` is marked deleted.
     #[inline]
     pub fn is_deleted(&self, id: u32) -> bool {
+        // PANIC-OK: deleted is kept sized num_total by insert/delete.
         self.deleted[id as usize]
     }
 
@@ -152,9 +154,12 @@ impl ApproxNvd {
     /// Candidate original generators of leaf `leaf` (see
     /// [`ApproxNvd::leaf_index`] / [`ApproxNvd::leaf_candidates`]).
     pub fn leaf_candidates_of(&self, leaf: u32) -> &[u32] {
+        // PANIC-OK: leaf ids come from leaf_index, which partition-points
+        // into starts (same length as the leaf count); cand_offsets has
+        // leaves + 1 slots and bounds cands by construction.
         let lo = self.cand_offsets[leaf as usize] as usize;
-        let hi = self.cand_offsets[leaf as usize + 1] as usize;
-        &self.cands[lo..hi]
+        let hi = self.cand_offsets[leaf as usize + 1] as usize; // PANIC-OK: leaf + 1 <= leaves.
+        &self.cands[lo..hi] // PANIC-OK: offsets bound cands by construction.
     }
 
     /// Heap-initialization candidates at `p`: the leaf's original
@@ -175,6 +180,8 @@ impl ApproxNvd {
         let base = self.leaf_candidates_of(leaf);
         let mut out: Vec<u32> = base.to_vec();
         for &c in base {
+            // PANIC-OK: candidates are original generator ids; attached is
+            // sized objects.len().
             out.extend_from_slice(&self.attached[c as usize]);
         }
         out.sort_unstable();

@@ -19,6 +19,8 @@
 //! exact NVD's `O(|V|)` owner array is discarded after construction, which
 //! is where the order-of-magnitude space saving comes from.
 
+#![deny(missing_docs)]
+
 pub mod adjacency;
 pub mod approx;
 pub mod exact;

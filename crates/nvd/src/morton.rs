@@ -32,8 +32,9 @@ impl MortonSpace {
         let grid = ((1u64 << BITS) - 1) as f64;
         MortonSpace {
             min,
+            // PANIC-OK: float division — grid and extent(..) are both f64.
             scale_x: grid / extent(min.x, max.x),
-            scale_y: grid / extent(min.y, max.y),
+            scale_y: grid / extent(min.y, max.y), // PANIC-OK: float division.
         }
     }
 

@@ -16,9 +16,13 @@ use crate::exact::ExactNvd;
 /// Axis-aligned rectangle (inclusive bounds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mbr {
+    /// Smallest covered x coordinate.
     pub min_x: i32,
+    /// Smallest covered y coordinate.
     pub min_y: i32,
+    /// Largest covered x coordinate.
     pub max_x: i32,
+    /// Largest covered y coordinate.
     pub max_y: i32,
 }
 

@@ -321,7 +321,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             }
             _ => println!("  unrecognized command (try `help`)"),
         }
-        out.flush().ok();
+        out.flush().map_err(|e| format!("write stdout: {e}"))?;
     }
     Ok(())
 }

@@ -150,6 +150,16 @@ proptest! {
             prop_assert!(audit.is_ok(), "structural audit failed: {:?}", audit);
             prop_assert_eq!(dary.len(), model.live_len());
             prop_assert_eq!(dary.peek().is_none(), model.live_len() == 0);
+            // The position map must agree with the model item-by-item, not
+            // just in aggregate: `in_heap` is live-buffered, `was_inserted`
+            // is live-or-popped (the lazy model's `inserted` side table).
+            for item in 0..N as u32 {
+                let live = model.best[item as usize] != Weight::MAX
+                    && !model.popped[item as usize];
+                prop_assert_eq!(dary.in_heap(item), live, "in_heap({}) diverged", item);
+                let seen = model.best[item as usize] != Weight::MAX;
+                prop_assert_eq!(dary.was_inserted(item), seen, "was_inserted({}) diverged", item);
+            }
         }
         // Drain both to the end: the full pop sequences must agree.
         loop {

@@ -68,7 +68,7 @@ fn collect_sources(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
@@ -97,7 +97,7 @@ pub fn lint_workspace_rules(root: &Path, rules: &[Rule]) -> Summary {
 
 /// Report format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Format {
+pub(crate) enum Format {
     Human,
     Json,
 }
@@ -155,7 +155,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn parse_format(value: &str) -> Result<Format, String> {
+pub(crate) fn parse_format(value: &str) -> Result<Format, String> {
     match value {
         "human" => Ok(Format::Human),
         "json" => Ok(Format::Json),
@@ -194,14 +194,23 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
     // With a rule filter active, entries of unselected rules must not be
-    // reported stale — those rules simply didn't run.
+    // reported stale — those rules simply didn't run. (`panic-reachability`
+    // entries belong to `cargo xtask panics` and are always inactive here.)
     let active: Vec<&str> = opts.rules.iter().map(|r| r.key()).collect();
+    let inactive: Vec<_> = baseline
+        .entries
+        .iter()
+        .filter(|e| !active.contains(&e.rule.as_str()))
+        .cloned()
+        .collect();
     baseline
         .entries
         .retain(|e| active.contains(&e.rule.as_str()));
 
     if opts.update_baseline {
-        let updated = baseline.updated(&summary.findings);
+        let mut updated = baseline.updated(&summary.findings);
+        // Entries of rules this run didn't evaluate survive untouched.
+        updated.entries.extend(inactive);
         if let Err(e) = fs::write(&baseline_path, updated.render()) {
             eprintln!("error: cannot write {}: {e}", baseline_path.display());
             return ExitCode::FAILURE;
@@ -222,7 +231,10 @@ pub fn run(args: &[String]) -> ExitCode {
     let ratchet = baseline.apply(&summary.findings);
     match opts.format {
         Format::Human => print_human(&opts.rules, &summary, &ratchet),
-        Format::Json => print!("{}", render_json(&summary, &ratchet).render()),
+        Format::Json => print!(
+            "{}",
+            render_json("cargo-xtask-lint", &summary, &ratchet).render()
+        ),
     }
     if ratchet.new.is_empty() && (ratchet.stale.is_empty() || !opts.deny_stale) {
         ExitCode::SUCCESS
@@ -268,8 +280,9 @@ fn print_human(rules: &[Rule], summary: &Summary, ratchet: &Ratchet) {
 }
 
 /// SARIF-lite report: rule id, message, file, line, col, snippet per
-/// finding, plus the ratchet's verdict.
-fn render_json(summary: &Summary, ratchet: &Ratchet) -> Json {
+/// finding, plus the ratchet's verdict. Shared with `cargo xtask panics`,
+/// which emits the same shape under its own tool id.
+pub(crate) fn render_json(tool: &str, summary: &Summary, ratchet: &Ratchet) -> Json {
     let finding = |f: &Finding, baselined: bool| {
         Json::Obj(vec![
             ("rule".into(), Json::Str(f.rule.key().to_string())),
@@ -301,7 +314,7 @@ fn render_json(summary: &Summary, ratchet: &Ratchet) -> Json {
         .map(|(&k, &n)| (k.to_string(), Json::Num(to_f64(n))))
         .collect();
     Json::Obj(vec![
-        ("tool".into(), Json::Str("cargo-xtask-lint".into())),
+        ("tool".into(), Json::Str(tool.to_string())),
         ("schema".into(), Json::Str("sarif-lite/2".into())),
         (
             "files_scanned".into(),
@@ -401,7 +414,7 @@ fn hot(xs: &[u32], d: Weight, w: Weight) -> Weight {
         scan_file(&file, &Rule::ALL, &mut summary);
         let ratchet = Baseline::default().apply(&summary.findings);
 
-        let text = render_json(&summary, &ratchet).render();
+        let text = render_json("cargo-xtask-lint", &summary, &ratchet).render();
         let doc = json::parse(&text).expect("report must be valid JSON");
         assert_eq!(
             doc.get("tool").and_then(Json::as_str),

@@ -1,9 +1,12 @@
 //! `cargo xtask` — repo automation entry point.
 
 mod baseline;
+mod callgraph;
+mod items;
 mod json;
 mod lex;
 mod lint;
+mod panics;
 mod rules;
 mod scope;
 
@@ -13,7 +16,8 @@ const USAGE: &str = "\
 usage: cargo xtask <task> [options]
 
 tasks:
-  lint    run the K-SPIN lint wall (see `cargo xtask lint --help`)
+  lint     run the K-SPIN lint wall (see `cargo xtask lint --help`)
+  panics   certify serving hot paths panic-free (see `cargo xtask panics --help`)
 
 Run `cargo xtask lint --list-rules` for the rule catalog.";
 
@@ -21,6 +25,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
+        Some("panics") => panics::run(&args[1..]),
         Some("-h" | "--help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

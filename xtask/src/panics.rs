@@ -1,0 +1,676 @@
+//! `cargo xtask panics` — the call-graph panic-reachability certifier.
+//!
+//! Proves (conservatively) that no panic source is reachable from the
+//! declared serving entry points of the release binary. The pipeline:
+//!
+//! 1. [`crate::items`] parses every `fn` in the certified perimeter —
+//!    `crates/{graph,alt,nvd,core}/src`, the set that is closed under the
+//!    `kspin-core::modules` trait dispatch (every `NetworkDistance` /
+//!    `LowerBound` implementation lives inside it; the CH/HL/G-tree/…
+//!    crates are offline baselines no serving path calls into).
+//! 2. [`crate::callgraph`] builds a conservative call graph (trait-object
+//!    calls fan out to every same-named method) and runs BFS from the
+//!    entry points, keeping shortest-chain parents.
+//! 3. This module classifies panic *sources* in each reachable body:
+//!    `unwrap`/`expect`, the panicking macros, `[i]` index expressions,
+//!    integer `/` and `%` with a non-constant divisor, and the panicking
+//!    slice methods (`split_at`, `copy_from_slice`, …). Sites inside
+//!    `debug_assert*!` or under a debug/test `cfg` are release-invisible
+//!    and skipped.
+//!
+//! A site that is provably fine carries an inline justification — a
+//! `// PANIC-OK: reason` comment on the line or the contiguous comment
+//! block above — and is counted but not reported. Everything else is a
+//! finding, gated through the same committed `lint-baseline.json` ratchet
+//! as `cargo xtask lint` (rule key `panic-reachability`), so the
+//! certificate can only tighten over time.
+
+use std::fs;
+use std::process::ExitCode;
+
+use crate::baseline::{Baseline, Ratchet};
+use crate::callgraph::{body_tokens, CallGraph, Reach};
+use crate::lex::TokenKind;
+use crate::lint::{parse_format, render_json, walk_rs, workspace_root, Format, BASELINE_FILE};
+use crate::rules::{statement_around, Finding, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// The certified perimeter, relative to the workspace root.
+const CERT_DIRS: [&str; 4] = [
+    "crates/graph/src",
+    "crates/alt/src",
+    "crates/nvd/src",
+    "crates/core/src",
+];
+
+/// The serving entry points the certificate quantifies over: every query
+/// processor the engine exposes (§4 of the paper), the batch executor,
+/// the d-ary heap kernel API, and both Heap Generator constructors.
+pub const DEFAULT_ENTRIES: [&str; 12] = [
+    "QueryEngine::bknn",
+    "QueryEngine::bknn_disjunctive",
+    "QueryEngine::bknn_conjunctive",
+    "QueryEngine::top_k",
+    "QueryEngine::top_k_with",
+    "QueryEngine::bknn_expr",
+    "BatchExecutor::execute",
+    "DaryHeap::push",
+    "DaryHeap::pop",
+    "DaryHeap::insert_or_decrease",
+    "InvertedHeap::create",
+    "InvertedHeap::create_seeded",
+];
+
+/// CLI usage.
+pub const USAGE: &str = "\
+usage: cargo xtask panics [options]
+
+Certifies that no unjustified panic source is reachable from the serving
+entry points (see --list-entries). Sites are exempted by an inline
+`// PANIC-OK: reason` comment; remaining findings pass through the
+lint-baseline.json ratchet under the `panic-reachability` rule.
+
+options:
+  --format <human|json>   report format (json is SARIF-lite; default human)
+  --entry <Type::method>  add an entry point (repeatable; replaces defaults)
+  --list-entries          print the default entry points
+  --update-baseline       rewrite lint-baseline.json from current findings
+  --deny-stale            fail when baseline entries no longer fire (CI)
+  -h, --help              show this help";
+
+/// One classified panic source inside an item body.
+#[derive(Debug)]
+pub struct Site {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Human description of the panic class.
+    pub what: &'static str,
+}
+
+/// Classifies every panic source in the certified body of `items[idx]`.
+///
+/// The scan walks the release-visible body tokens only (the call-graph
+/// layer's skip rules for `debug_assert*!`, attributes, gated statements,
+/// and nested fns apply here too).
+pub fn panic_sites(file: &SourceFile, graph: &CallGraph, idx: usize) -> Vec<Site> {
+    let mut out = Vec::new();
+    for k in body_tokens(file, &graph.items, idx) {
+        let t = &file.tokens[file.code[k]];
+        let prev = |n: usize| (k >= n).then(|| &file.tokens[file.code[k - n]]);
+        let next = |n: usize| file.code.get(k + n).map(|&i| &file.tokens[i]);
+        let site = |what: &'static str| Site {
+            line: t.line,
+            col: t.col,
+            what,
+        };
+        match t.kind {
+            TokenKind::Ident => {
+                let dot_call = prev(1).is_some_and(|p| p.is_punct("."))
+                    && next(1).is_some_and(|n| n.is_punct("("));
+                if dot_call {
+                    match t.text.as_str() {
+                        "unwrap" => out.push(site(".unwrap() on None/Err")),
+                        "expect" => out.push(site(".expect() on None/Err")),
+                        "split_at" | "split_at_mut" => {
+                            out.push(site("split_at past the slice length"));
+                        }
+                        "copy_from_slice" | "clone_from_slice" => {
+                            out.push(site("copy_from_slice length mismatch"));
+                        }
+                        _ => {}
+                    }
+                } else if next(1).is_some_and(|n| n.is_punct("!")) {
+                    match t.text.as_str() {
+                        "panic" => out.push(site("panic! macro")),
+                        "unreachable" => out.push(site("unreachable! macro")),
+                        "todo" | "unimplemented" => out.push(site("todo!/unimplemented! macro")),
+                        "assert" | "assert_eq" | "assert_ne" => {
+                            out.push(site("assert! macro (release-armed)"));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            TokenKind::Punct if t.text == "[" => {
+                // An index/slice *expression*: `expr[` — the previous token
+                // ends an expression. Types (`&[u32]`), array literals
+                // (`= [0; n]`), attributes (`#[`), and macros (`vec![`)
+                // all have non-expression predecessors.
+                let indexes = prev(1).is_some_and(|p| {
+                    matches!(p.kind, TokenKind::Ident | TokenKind::NumLit)
+                        && !KEYWORDS_BEFORE_BRACKET.contains(&p.text.as_str())
+                        || p.is_punct(")")
+                        || p.is_punct("]")
+                });
+                if indexes {
+                    out.push(site("index expression out of bounds"));
+                }
+            }
+            TokenKind::Punct
+                if matches!(t.text.as_str(), "/" | "%" | "/=" | "%=")
+                    && int_division_panics(file, k) =>
+            {
+                out.push(site("integer division/remainder by zero"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifiers that may directly precede a `[` without ending an
+/// expression (`return [a, b]`, `in [0, 1]`, …).
+const KEYWORDS_BEFORE_BRACKET: [&str; 6] = ["return", "in", "else", "match", "mut", "dyn"];
+
+/// Whether the `/`, `%`, `/=` or `%=` at code index `k` can panic:
+/// integer operands with a divisor that is not a non-zero literal.
+/// Float evidence anywhere in the statement (an `f32`/`f64` token or a
+/// float literal) clears the site — float division never panics.
+fn int_division_panics(file: &SourceFile, k: usize) -> bool {
+    let (start, end) = statement_around(file, k);
+    for j in start..end {
+        let t = &file.tokens[file.code[j]];
+        match t.kind {
+            TokenKind::Ident if t.text == "f64" || t.text == "f32" => return false,
+            TokenKind::NumLit
+                if t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32") =>
+            {
+                return false;
+            }
+            _ => {}
+        }
+    }
+    // Divisor is the next code token; a non-zero integer literal cannot
+    // raise the div-by-zero panic (and `MIN / -1` needs a negative
+    // divisor, so a positive literal clears overflow too).
+    if let Some(&i) = file.code.get(k + 1) {
+        let t = &file.tokens[i];
+        if t.kind == TokenKind::NumLit {
+            return literal_value(&t.text) == Some(0);
+        }
+    }
+    true
+}
+
+/// Parses an integer literal's value, tolerating `_` separators, radix
+/// prefixes, and type suffixes. `None` for unparseable forms (treated as
+/// potentially zero by the caller's logic — conservative).
+fn literal_value(text: &str) -> Option<u128> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, digits) = match clean.get(..2) {
+        Some("0x") => (16, &clean[2..]),
+        Some("0o") => (8, &clean[2..]),
+        Some("0b") => (2, &clean[2..]),
+        _ => (10, clean.as_str()),
+    };
+    let digits = digits
+        .find(|c: char| !c.is_digit(radix))
+        .map_or(digits, |p| &digits[..p]);
+    u128::from_str_radix(digits, radix).ok()
+}
+
+/// The full analysis result, kept for reporting and the self-tests.
+pub struct Certificate {
+    pub graph: CallGraph,
+    pub reach: Reach,
+    /// Resolved entry items per spec; an empty list is a spec error.
+    pub entries: Vec<(String, Vec<usize>)>,
+    /// Unjustified findings (rule `panic-reachability`).
+    pub summary: Summary,
+}
+
+/// Runs the analysis over `files` from the given entry specs.
+pub fn certify(files: Vec<SourceFile>, entry_specs: &[String]) -> Result<Certificate, String> {
+    let graph = CallGraph::build(&files);
+    let mut entries = Vec::new();
+    let mut roots = Vec::new();
+    let mut missing = Vec::new();
+    for spec in entry_specs {
+        let resolved = graph.resolve_entry(spec);
+        if resolved.is_empty() {
+            missing.push(spec.clone());
+        }
+        roots.extend(resolved.iter().copied());
+        entries.push((spec.clone(), resolved));
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "entry point(s) resolved to no certified fn — renamed or removed? {}",
+            missing.join(", ")
+        ));
+    }
+    let reach = graph.reach(&roots);
+    let mut summary = Summary {
+        files_scanned: files.len(),
+        ..Summary::default()
+    };
+    for idx in 0..graph.items.len() {
+        if !graph.items[idx].certified() || !reach.reached(idx) {
+            continue;
+        }
+        let file = &files[graph.items[idx].file_idx];
+        for site in panic_sites(file, &graph, idx) {
+            if file.panic_justified(site.line) {
+                *summary
+                    .justified
+                    .entry(Rule::PanicReachability.key())
+                    .or_insert(0) += 1;
+                continue;
+            }
+            let chain: Vec<String> = reach
+                .chain(idx)
+                .into_iter()
+                .map(|i| graph.items[i].qualified())
+                .collect();
+            summary.findings.push(Finding {
+                rule: Rule::PanicReachability,
+                file: file.rel.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!("{}; via {}", site.what, chain.join(" → ")),
+                snippet: file.snippet(site.line).to_string(),
+            });
+        }
+    }
+    summary.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col)
+            .cmp(&(&b.file, b.line, b.col))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(Certificate {
+        graph,
+        reach,
+        entries,
+        summary,
+    })
+}
+
+/// Loads the certified perimeter from disk.
+fn load_perimeter() -> Vec<SourceFile> {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    for dir in CERT_DIRS {
+        walk_rs(&root.join(dir), &mut paths);
+    }
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| SourceFile::load(&root, p))
+        .collect()
+}
+
+#[derive(Debug)]
+struct Options {
+    format: Format,
+    entries: Vec<String>,
+    list_entries: bool,
+    update_baseline: bool,
+    deny_stale: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        entries: Vec::new(),
+        list_entries: false,
+        update_baseline: false,
+        deny_stale: false,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value: human or json")?;
+                opts.format = parse_format(value)?;
+            }
+            "--entry" => {
+                let value = it.next().ok_or("--entry needs a Type::method value")?;
+                opts.entries.push(value.clone());
+            }
+            "--list-entries" => opts.list_entries = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--deny-stale" => opts.deny_stale = true,
+            "-h" | "--help" => opts.help = true,
+            other => {
+                if let Some(value) = other.strip_prefix("--format=") {
+                    opts.format = parse_format(value)?;
+                } else if let Some(value) = other.strip_prefix("--entry=") {
+                    opts.entries.push(value.to_string());
+                } else {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    if opts.entries.is_empty() {
+        opts.entries.extend(DEFAULT_ENTRIES.map(str::to_string));
+    }
+    Ok(opts)
+}
+
+/// CLI entry: `cargo xtask panics [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if opts.list_entries {
+        for e in DEFAULT_ENTRIES {
+            println!("{e}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cert = match certify(load_perimeter(), &opts.entries) {
+        Ok(cert) => cert,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let root = workspace_root();
+    let baseline_path = root.join(BASELINE_FILE);
+    let mut baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Only this tool's rule participates; lint-rule entries stay untouched.
+    let key = Rule::PanicReachability.key();
+    let inactive: Vec<_> = baseline
+        .entries
+        .iter()
+        .filter(|e| e.rule != key)
+        .cloned()
+        .collect();
+    baseline.entries.retain(|e| e.rule == key);
+
+    if opts.update_baseline {
+        let mut updated = baseline.updated(&cert.summary.findings);
+        updated.entries.extend(inactive);
+        if let Err(e) = fs::write(&baseline_path, updated.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("{BASELINE_FILE} rewritten");
+        return ExitCode::SUCCESS;
+    }
+
+    let ratchet = baseline.apply(&cert.summary.findings);
+    match opts.format {
+        Format::Human => print_human(&cert, &ratchet),
+        Format::Json => print!(
+            "{}",
+            render_json("cargo-xtask-panics", &cert.summary, &ratchet).render()
+        ),
+    }
+    if ratchet.new.is_empty() && (ratchet.stale.is_empty() || !opts.deny_stale) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_human(cert: &Certificate, ratchet: &Ratchet) {
+    let certified = cert.graph.items.iter().filter(|i| i.certified()).count();
+    let reachable = (0..cert.graph.items.len())
+        .filter(|&i| cert.graph.items[i].certified() && cert.reach.reached(i))
+        .count();
+    println!(
+        "cargo xtask panics — {} files, {} certified fns, {} reachable from {} entry points",
+        cert.summary.files_scanned,
+        certified,
+        reachable,
+        cert.entries.len()
+    );
+    for (spec, resolved) in &cert.entries {
+        let defs: Vec<String> = resolved
+            .iter()
+            .map(|&i| {
+                let item = &cert.graph.items[i];
+                format!("{}:{}", item.file, item.line)
+            })
+            .collect();
+        println!("  entry {:<36} → {}", spec, defs.join(", "));
+    }
+    let justified = cert
+        .summary
+        .justified
+        .get(Rule::PanicReachability.key())
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "  {} new finding(s), {} baselined, {} justified via PANIC-OK",
+        ratchet.new.len(),
+        ratchet.baselined.len(),
+        justified
+    );
+    if !ratchet.new.is_empty() {
+        println!();
+        for f in &ratchet.new {
+            println!("{f}");
+            if !f.snippet.is_empty() {
+                println!("    {}", f.snippet);
+            }
+        }
+        println!(
+            "\n{} unjustified panic-reachable site(s)",
+            ratchet.new.len()
+        );
+    }
+    if !ratchet.stale.is_empty() {
+        println!();
+        for e in &ratchet.stale {
+            println!(
+                "stale baseline entry: {}:{} [{}] no longer fires — remove it from {}",
+                e.file, e.line, e.rule, BASELINE_FILE
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: the classifier on planted fixtures, caught and justified
+// chains end-to-end, and the live workspace certificate.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(src: &str, entries: &[&str]) -> Certificate {
+        let specs: Vec<String> = entries.iter().map(|s| s.to_string()).collect();
+        certify(vec![SourceFile::from_source("fixture.rs", src)], &specs)
+            .expect("fixture entries resolve")
+    }
+
+    #[test]
+    fn classifier_finds_each_panic_class_with_exact_spans() {
+        let src = "\
+fn entry(xs: &[u32], n: usize, d: u32) -> u32 {
+    let a = xs.first().unwrap();
+    let b = xs.get(1).expect(\"two\");
+    let c = xs[n];
+    let (_lo, _hi) = xs.split_at(n);
+    let q = d / n as u32;
+    let r = d % n as u32;
+    panic!(\"boom {a} {b} {c} {q} {r}\");
+}
+";
+        let c = cert(src, &["entry"]);
+        let kinds: Vec<(&str, usize)> = c
+            .summary
+            .findings
+            .iter()
+            .map(|f| (f.message.split(';').next().expect("kind"), f.line))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (".unwrap() on None/Err", 2),
+                (".expect() on None/Err", 3),
+                ("index expression out of bounds", 4),
+                ("split_at past the slice length", 5),
+                ("integer division/remainder by zero", 6),
+                ("integer division/remainder by zero", 7),
+                ("panic! macro", 8),
+            ]
+        );
+        let unwrap = &c.summary.findings[0];
+        assert_eq!(
+            unwrap.col,
+            src.lines().nth(1).expect("l2").find("unwrap").expect("pos") + 1
+        );
+    }
+
+    #[test]
+    fn checked_and_release_invisible_forms_are_clean() {
+        let src = "\
+fn entry(xs: &[u32], n: usize) -> u32 {
+    debug_assert!(xs[n] > 0);
+    let a = xs.get(n).copied().unwrap_or(0);
+    let b = n / 2 + n % 4;
+    let c = (n as f64 / xs.len() as f64) as u32;
+    let d = [0u32; 4];
+    #[cfg(debug_assertions)]
+    audit(xs);
+    a + b as u32 + c + d[0]
+}
+#[cfg(any(debug_assertions, feature = \"audit\"))]
+fn audit(xs: &[u32]) { assert!(xs[0] > 0); }
+";
+        let c = cert(src, &["entry"]);
+        let msgs: Vec<&str> = c
+            .summary
+            .findings
+            .iter()
+            .map(|f| f.snippet.as_str())
+            .collect();
+        assert_eq!(
+            c.summary.findings.len(),
+            1,
+            "only the constant-index d[0] may fire: {msgs:?}"
+        );
+        assert!(c.summary.findings[0].snippet.contains("d[0]"));
+    }
+
+    #[test]
+    fn unreachable_panics_do_not_fire_and_chains_are_shortest() {
+        let src = "\
+impl Engine {
+    pub fn serve(&self) { self.step(); }
+    fn step(&self) { kernel(); }
+}
+fn kernel() { deep.unwrap(); }
+fn offline() { other[9]; }
+";
+        let c = cert(src, &["Engine::serve"]);
+        assert_eq!(c.summary.findings.len(), 1);
+        let f = &c.summary.findings[0];
+        assert!(
+            f.message.contains("Engine::serve → Engine::step → kernel"),
+            "chain missing: {}",
+            f.message
+        );
+        assert!(
+            !c.summary.findings.iter().any(|f| f.line == 6),
+            "offline fn fired"
+        );
+    }
+
+    #[test]
+    fn panic_ok_justifications_silence_but_count() {
+        let src = "\
+fn entry(xs: &[u32], i: usize) -> u32 {
+    // PANIC-OK: i < xs.len() — caller-validated by construction
+    let a = xs[i];
+    let b = xs[i + 1];
+    a + b
+}
+";
+        let c = cert(src, &["entry"]);
+        assert_eq!(
+            c.summary.findings.len(),
+            1,
+            "only the unjustified line fires"
+        );
+        assert_eq!(c.summary.findings[0].line, 4);
+        assert_eq!(
+            c.summary.justified.get(Rule::PanicReachability.key()),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn missing_entry_points_are_a_hard_error() {
+        let err = match certify(
+            vec![SourceFile::from_source("fixture.rs", "fn real() {}\n")],
+            &["Engine::renamed_away".to_string()],
+        ) {
+            Err(msg) => msg,
+            Ok(_) => panic!("stale entry spec must be a hard error"),
+        };
+        assert!(err.contains("renamed_away"));
+    }
+
+    #[test]
+    fn division_literal_values_parse() {
+        assert_eq!(literal_value("0"), Some(0));
+        assert_eq!(literal_value("2"), Some(2));
+        assert_eq!(literal_value("0x10"), Some(16));
+        assert_eq!(literal_value("1_000u64"), Some(1000));
+        assert_eq!(literal_value("0b0"), Some(0));
+    }
+
+    // ---- the live workspace ------------------------------------------------
+
+    #[test]
+    fn live_workspace_certificate_holds() {
+        let specs: Vec<String> = DEFAULT_ENTRIES.map(str::to_string).to_vec();
+        let cert = certify(load_perimeter(), &specs).expect("all entry points resolve");
+        assert!(
+            cert.summary.files_scanned > 20,
+            "suspiciously small perimeter"
+        );
+        for (spec, resolved) in &cert.entries {
+            assert!(!resolved.is_empty(), "entry {spec} resolved to nothing");
+        }
+        let baseline =
+            Baseline::load(&workspace_root().join(BASELINE_FILE)).expect("baseline parses");
+        let key = Rule::PanicReachability.key();
+        let panic_entries: Vec<_> = baseline
+            .entries
+            .into_iter()
+            .filter(|e| e.rule == key)
+            .collect();
+        let ratchet = Baseline {
+            note: String::new(),
+            entries: panic_entries,
+        }
+        .apply(&cert.summary.findings);
+        let report: Vec<String> = ratchet.new.iter().map(ToString::to_string).collect();
+        assert!(
+            ratchet.new.is_empty(),
+            "unjustified panic-reachable sites:\n{}",
+            report.join("\n")
+        );
+        assert!(
+            ratchet.stale.is_empty(),
+            "stale panic-reachability baseline entries"
+        );
+    }
+}

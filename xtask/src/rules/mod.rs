@@ -39,6 +39,11 @@ pub enum Rule {
     NoSwallowedResult,
     /// K1: no `BinaryHeap` construction in the d-ary-kernel crates.
     NoBinaryHeap,
+    /// P1: no unjustified panic source reachable from a serving entry
+    /// point. Not a token-local pass — produced by `cargo xtask panics`
+    /// (see `crate::panics`), listed here so its findings share the
+    /// baseline ratchet and report plumbing.
+    PanicReachability,
 }
 
 impl Rule {
@@ -66,6 +71,7 @@ impl Rule {
             Rule::CheckedWeightArithmetic => "checked-weight-arithmetic",
             Rule::NoSwallowedResult => "no-swallowed-result",
             Rule::NoBinaryHeap => "no-binary-heap",
+            Rule::PanicReachability => "panic-reachability",
         }
     }
 
@@ -80,6 +86,7 @@ impl Rule {
             Rule::CheckedWeightArithmetic => "A1 checked-weight-arithmetic",
             Rule::NoSwallowedResult => "E1 no-swallowed-result",
             Rule::NoBinaryHeap => "K1 no-binary-heap",
+            Rule::PanicReachability => "P1 panic-reachability",
         }
     }
 
@@ -109,6 +116,9 @@ impl Rule {
             }
             Rule::NoBinaryHeap => {
                 "no BinaryHeap::new/with_capacity in crates/{graph,alt,nvd,core} (use DaryHeap)"
+            }
+            Rule::PanicReachability => {
+                "no unjustified panic source reachable from a serving entry point (cargo xtask panics)"
             }
         }
     }
@@ -181,6 +191,9 @@ pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
             Rule::CheckedWeightArithmetic => a1_weight_arith::check(file, summary),
             Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
             Rule::NoBinaryHeap => k1_no_binary_heap::check(file, summary),
+            // Whole-workspace reachability, not a per-file pass: runs via
+            // `cargo xtask panics`, never through `scan_file`.
+            Rule::PanicReachability => {}
         }
     }
 }

@@ -364,11 +364,20 @@ impl SourceFile {
     /// `lint:allow(rule) — reason` comment on the line itself or in the
     /// contiguous comment-only block directly above.
     pub fn justified(&self, line: usize, rule_key: &str) -> bool {
-        if self
-            .comment_on_line
-            .get(&line)
-            .is_some_and(|c| allows(c, rule_key))
-        {
+        self.covered_by(line, &|c| allows(c, rule_key))
+    }
+
+    /// Whether a `PANIC-OK: reason` justification covers 1-based `line`
+    /// (same placement grammar as `lint:allow`) — the panic-reachability
+    /// certifier's exemption marker.
+    pub fn panic_justified(&self, line: usize) -> bool {
+        self.covered_by(line, &panic_ok)
+    }
+
+    /// The shared placement walk: a marker comment on the line itself or
+    /// in the contiguous comment-only block directly above it.
+    fn covered_by(&self, line: usize, pred: &dyn Fn(&str) -> bool) -> bool {
+        if self.comment_on_line.get(&line).is_some_and(|c| pred(c)) {
             return true;
         }
         let mut j = line;
@@ -380,7 +389,7 @@ impl SourceFile {
             if self.code_on_line.contains(&j) {
                 break;
             }
-            if allows(comment, rule_key) {
+            if pred(comment) {
                 return true;
             }
         }
@@ -411,6 +420,14 @@ impl SourceFile {
         }
         doc
     }
+}
+
+/// Parses one `PANIC-OK:` justification comment: the marker must be
+/// followed by a non-trivial reason (≥ 3 characters).
+pub fn panic_ok(comment: &str) -> bool {
+    comment
+        .find("PANIC-OK:")
+        .is_some_and(|p| comment[p + "PANIC-OK:".len()..].trim().len() >= 3)
 }
 
 /// Parses one `lint:allow(..)` comment: the rule list must contain
@@ -633,6 +650,24 @@ fn f() {
             "no-unwrap"
         ));
         assert!(!allows("// nothing here", "no-unwrap"));
+    }
+
+    #[test]
+    fn panic_ok_marker_needs_a_reason_and_follows_the_block_grammar() {
+        assert!(panic_ok("// PANIC-OK: index < n by construction"));
+        assert!(!panic_ok("// PANIC-OK:"));
+        assert!(!panic_ok("// PANIC-OK: x"));
+        assert!(!panic_ok("// panics here"));
+        let src = "\
+fn f() {
+    // PANIC-OK: slot always in bounds (validated on push)
+    a[i] = 0;
+    b[j] = 0;
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.panic_justified(3));
+        assert!(!f.panic_justified(4), "code line breaks the block");
     }
 
     #[test]
