@@ -131,6 +131,7 @@ fn main() {
                  \"cache_hits\": {}, \"cache_misses\": {}, \"seed_reuse\": {}, \
                  \"heap_pushes\": {}, \"heap_pops\": {}, \
                  \"heap_decrease_keys\": {}, \"heap_stale_skipped\": {}, \
+                 \"heap_grows\": {}, \"grows_per_query\": {:.4}, \
                  \"speedup_vs_1t\": {:.3}}}",
                 out.stats.cache_hit_rate(),
                 out.stats.cache_hits,
@@ -140,6 +141,8 @@ fn main() {
                 out.stats.heap_pops,
                 out.stats.heap_decrease_keys,
                 out.stats.heap_stale_skipped,
+                out.stats.heap_grows,
+                out.stats.heap_grows as f64 / queries.len() as f64,
                 qps / baseline_qps[ci],
             )
             .expect("write to String cannot fail");

@@ -49,6 +49,11 @@ pub struct QueryStats {
     /// indexed d-ary kernel (asserted by the tier-1 suite); carried so the
     /// lazy-deletion bench baselines report on the same schema.
     pub heap_stale_skipped: usize,
+    /// Heap-kernel pushes that forced the entry array to grow. Zero in the
+    /// steady state (`DaryHeap::new` pre-sizes to the item count) — the
+    /// dynamic face of `cargo xtask allocs`'s static certificate, surfaced
+    /// per query in the `table_serving` rows.
+    pub heap_grows: usize,
 }
 
 impl QueryStats {
@@ -70,6 +75,7 @@ impl QueryStats {
         self.heap_pops += c.pops as usize;
         self.heap_decrease_keys += c.decrease_keys as usize;
         self.heap_stale_skipped += c.stale_skipped as usize;
+        self.heap_grows += c.grows as usize;
     }
 
     /// Cache hit rate in `[0, 1]` (0 when the cache never engaged).
@@ -98,6 +104,7 @@ impl AddAssign for QueryStats {
         self.heap_pops += rhs.heap_pops;
         self.heap_decrease_keys += rhs.heap_decrease_keys;
         self.heap_stale_skipped += rhs.heap_stale_skipped;
+        self.heap_grows += rhs.heap_grows;
     }
 }
 
@@ -107,7 +114,7 @@ impl fmt::Display for QueryStats {
         write!(
             f,
             "dist={} extract={} lb={} pruned={} cache={}h/{}m ({:.1}%) reuse={} \
-             heap={}push/{}pop/{}dec/{}stale",
+             heap={}push/{}pop/{}dec/{}stale alloc={}grow",
             self.dist_computations,
             self.heap_extractions,
             self.lb_computations,
@@ -119,7 +126,8 @@ impl fmt::Display for QueryStats {
             self.heap_pushes,
             self.heap_pops,
             self.heap_decrease_keys,
-            self.heap_stale_skipped
+            self.heap_stale_skipped,
+            self.heap_grows
         )
     }
 }

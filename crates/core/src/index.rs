@@ -58,8 +58,12 @@ pub struct SmallIndex {
 
 impl SmallIndex {
     fn push(&mut self, o: ObjectId, v: VertexId) {
+        // ALLOC-OK: index construction/update path, amortized over corpus
+        // size; only conservative name-match edges reach it from serving.
         self.objects.push(o);
+        // ALLOC-OK: same update-path invariant as above.
         self.vertices.push(v);
+        // ALLOC-OK: same update-path invariant as above.
         self.alive.push(true);
     }
 

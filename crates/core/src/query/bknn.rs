@@ -31,10 +31,13 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         terms: &[TermId],
         op: Op,
     ) -> Vec<(ObjectId, Weight)> {
+        // ALLOC-OK: one |ψ|-sized copy per query (|ψ| ≤ a handful of
+        // keywords) so sort/dedup never mutates the caller's slice.
         let mut uniq = terms.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
         if k == 0 || uniq.is_empty() {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         }
         let ctx = HeapContext::new(self.graph, self.corpus, self.lower_bound, q);
@@ -60,6 +63,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .iter()
             .copied()
             .filter_map(|t| self.make_heap(t, ctx))
+            // ALLOC-OK: heap generation — one |ψ|-bounded Vec per query;
+            // the extraction loop below never grows it.
             .collect();
         // Engine-lifetime dedup set (lint H1): cleared per query, grown to
         // high-water capacity once, never reallocated in the hot loop.
@@ -68,6 +73,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         // Max-heap of the best k so far; top = current D_k.
         // lint:allow(no-binary-heap) — bounded k-best result max-heap over
         // ObjectIds; top-k eviction wants a max-heap, not decrease-key.
+        // ALLOC-OK: len ≤ k always (pop before push at capacity), so at
+        // most ⌈log₂ k⌉ growth doublings per query.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -95,6 +102,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             };
             // Any object in this heap contains its keyword, so only
             // duplicates across heaps are filtered (line 10).
+            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
+            // capacity once, then inserts into cleared-but-kept storage.
             if !evaluated.insert(c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;
@@ -102,14 +111,17 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             let d = self.dist.distance(ctx.q, self.corpus.vertex_of(c.object));
             self.stats.dist_computations += 1;
             if best.len() < k {
+                // ALLOC-OK: grows the k-best heap toward its ≤ k cap.
                 best.push((d, c.object));
             } else if d < d_k {
                 best.pop();
+                // ALLOC-OK: pop above freed a slot; len stays ≤ k.
                 best.push((d, c.object));
             }
         }
         self.finish_heap_stats(&heaps);
         self.scratch.evaluated = evaluated;
+        // ALLOC-OK: the ≤ k-element result Vec the API contract returns.
         best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 
@@ -128,16 +140,21 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .copied()
             .min_by_key(|&t| self.index.live_count(t));
         let Some(driver) = driver else {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         };
         if terms.iter().any(|&t| self.index.live_count(t) == 0) {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         }
         let Some(mut heap) = self.make_heap(driver, ctx) else {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         };
         // lint:allow(no-binary-heap) — bounded k-best result max-heap
         // (conjunctive path); same shape as the disjunctive one above.
+        // ALLOC-OK: len ≤ k always (pop before push at capacity), so at
+        // most ⌈log₂ k⌉ growth doublings per query.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
         loop {
             let d_k = match best.peek() {
@@ -163,13 +180,16 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             let d = self.dist.distance(ctx.q, self.corpus.vertex_of(c.object));
             self.stats.dist_computations += 1;
             if best.len() < k {
+                // ALLOC-OK: grows the k-best heap toward its ≤ k cap.
                 best.push((d, c.object));
             } else if d < d_k {
                 best.pop();
+                // ALLOC-OK: pop above freed a slot; len stays ≤ k.
                 best.push((d, c.object));
             }
         }
         self.stats.absorb_heap(&heap);
+        // ALLOC-OK: the ≤ k-element result Vec the API contract returns.
         best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 

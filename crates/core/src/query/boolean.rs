@@ -36,12 +36,14 @@ impl BoolExpr {
     /// Convenience: conjunction of plain keywords (§2's conjunctive BkNN
     /// criterion as an expression tree).
     pub fn all(terms: &[TermId]) -> Self {
+        // ALLOC-OK: |ψ|-bounded expression-tree construction, once per query.
         BoolExpr::And(terms.iter().map(|&t| BoolExpr::Term(t)).collect())
     }
 
     /// Convenience: disjunction of plain keywords (§2's disjunctive BkNN
     /// criterion as an expression tree).
     pub fn any(terms: &[TermId]) -> Self {
+        // ALLOC-OK: |ψ|-bounded expression-tree construction, once per query.
         BoolExpr::Or(terms.iter().map(|&t| BoolExpr::Term(t)).collect())
     }
 
@@ -60,6 +62,8 @@ impl BoolExpr {
     /// All keywords mentioned anywhere in the expression — the query's
     /// keyword set ψ in §2's notation.
     pub fn terms(&self) -> Vec<TermId> {
+        // ALLOC-OK: grows to the expression's keyword count |ψ|, once per
+        // query — expression trees are a handful of terms by construction.
         let mut out = Vec::new();
         self.collect_terms(&mut out);
         out.sort_unstable();
@@ -69,6 +73,7 @@ impl BoolExpr {
 
     fn collect_terms(&self, out: &mut Vec<TermId>) {
         match self {
+            // ALLOC-OK: appends into the |ψ|-bounded buffer `terms` owns.
             BoolExpr::Term(t) => out.push(*t),
             BoolExpr::And(children) | BoolExpr::Or(children) => {
                 for c in children {
@@ -84,13 +89,16 @@ impl BoolExpr {
     /// length, generalizing §4.1.2's least-frequent-keyword choice.
     pub fn driving_set(&self, corpus: &Corpus) -> Option<Vec<TermId>> {
         match self {
+            // ALLOC-OK: one-element driving set, once per query planning.
             BoolExpr::Term(t) => Some(vec![*t]),
             BoolExpr::Or(children) => {
                 if children.is_empty() {
                     return None;
                 }
+                // ALLOC-OK: |ψ|-bounded union built once per query planning.
                 let mut union = Vec::new();
                 for c in children {
+                    // ALLOC-OK: still the |ψ|-bounded planning union above.
                     union.extend(c.driving_set(corpus)?);
                 }
                 union.sort_unstable();
@@ -120,9 +128,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
     /// If the expression has no driving set (an empty `And`).
     pub fn bknn_expr(&mut self, q: VertexId, k: usize, expr: &BoolExpr) -> Vec<(ObjectId, Weight)> {
         if k == 0 {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         }
         let Some(driving) = expr.driving_set(self.corpus) else {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new(); // unsatisfiable
         };
         // PANIC-OK: documented API precondition (see `# Panics`): soundness
@@ -137,6 +147,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .iter()
             .copied()
             .filter_map(|t| self.make_heap(t, &ctx))
+            // ALLOC-OK: heap generation — one |ψ|-bounded Vec per query;
+            // the extraction loop below never grows it.
             .collect();
         // Engine-lifetime dedup set (lint H1): cleared per query, never
         // reallocated in the extraction loop.
@@ -144,6 +156,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         evaluated.clear();
         // lint:allow(no-binary-heap) — bounded k-best result max-heap for
         // boolean-expression answers; not a search frontier.
+        // ALLOC-OK: len ≤ k always (pop before push at capacity), so at
+        // most ⌈log₂ k⌉ growth doublings per query.
         let mut best: BinaryHeap<(Weight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -168,6 +182,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");
                 break;
             };
+            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
+            // capacity once, then inserts into cleared-but-kept storage.
             if !evaluated.insert(c.object) || !expr.matches(self.corpus, c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;
@@ -175,14 +191,17 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             let d = self.dist.distance(q, self.corpus.vertex_of(c.object));
             self.stats.dist_computations += 1;
             if best.len() < k {
+                // ALLOC-OK: grows the k-best heap toward its ≤ k cap.
                 best.push((d, c.object));
             } else if d < d_k {
                 best.pop();
+                // ALLOC-OK: pop above freed a slot; len stays ≤ k.
                 best.push((d, c.object));
             }
         }
         self.finish_heap_stats(&heaps);
         self.scratch.evaluated = evaluated;
+        // ALLOC-OK: the ≤ k-element result Vec the API contract returns.
         let mut out: Vec<(ObjectId, Weight)> = best.into_iter().map(|(d, o)| (o, d)).collect();
         out.sort_unstable_by_key(|&(o, d)| (d, o));
         out

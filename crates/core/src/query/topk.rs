@@ -83,6 +83,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
     ) -> Vec<(ObjectId, f64)> {
         let query = QueryTerms::with_model(self.corpus, terms, text);
         if k == 0 || query.is_empty() {
+            // ALLOC-OK: an empty Vec::new never touches the allocator.
             return Vec::new();
         }
         let ctx = HeapContext::new(self.graph, self.corpus, self.lower_bound, q);
@@ -92,11 +93,14 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             .terms()
             .iter()
             .map(|&t| self.make_heap(t, &ctx))
+            // ALLOC-OK: heap generation — one |ψ|-bounded Vec per query;
+            // the extraction loop below never grows it.
             .collect();
         // λ_{t_j,ψ} · λ_{t_j,max} per keyword — Algorithm 2's summands,
         // generalized per text model by QueryTerms.
         let max_contrib: Vec<f64> = (0..query.len())
             .map(|j| query.max_term_contribution(j))
+            // ALLOC-OK: |ψ|-bounded per-query summand table, built once.
             .collect();
 
         // Engine-lifetime scratch (lint H1): the dedup set and the MINKEY
@@ -107,6 +111,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         let mut min_keys = std::mem::take(&mut self.scratch.min_keys);
         // lint:allow(no-binary-heap) — bounded k-best result max-heap over
         // OrderedWeight scores; top-k eviction, not a vertex frontier.
+        // ALLOC-OK: len ≤ k always (pop before push at capacity), so at
+        // most ⌈log₂ k⌉ growth doublings per query.
         let mut best: BinaryHeap<(OrderedWeight, ObjectId)> = BinaryHeap::new();
 
         loop {
@@ -120,6 +126,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // round (O(|ψ|²), |ψ| ≤ 6) keeps the bound tight even when other
             // heaps' MINKEYs move, and performs the identical selection.
             min_keys.clear();
+            // ALLOC-OK: engine-lifetime scratch refilled to |ψ| entries
+            // after the clear above — at high-water capacity, no realloc.
             min_keys.extend(heaps.iter().map(|h| {
                 h.as_ref()
                     .and_then(InvertedHeap::min_key)
@@ -154,6 +162,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
                 self.stats.absorb_heap(&h);
             }
+            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
+            // capacity once, then inserts into cleared-but-kept storage.
             if !processed.insert(c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;
@@ -171,9 +181,11 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             self.stats.dist_computations += 1;
             let st = score_model.combine(d, tr);
             if best.len() < k {
+                // ALLOC-OK: grows the k-best heap toward its ≤ k cap.
                 best.push((OrderedWeight::new(st), c.object));
             } else if st < d_k {
                 best.pop();
+                // ALLOC-OK: pop above freed a slot; len stays ≤ k.
                 best.push((OrderedWeight::new(st), c.object));
             }
         }
@@ -182,6 +194,7 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
         }
         self.scratch.min_keys = min_keys;
         self.scratch.evaluated = processed;
+        // ALLOC-OK: the ≤ k-element result Vec the API contract returns.
         let mut out: Vec<(ObjectId, f64)> = best.into_iter().map(|(s, o)| (o, s.get())).collect();
         out.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out

@@ -201,12 +201,16 @@ impl<'a> BatchExecutor<'a> {
     {
         let n = queries.len();
         let next = AtomicUsize::new(0);
+        // ALLOC-OK: per-batch bookkeeping — O(num_threads) slots filled
+        // once per execute() call, amortized over the whole batch.
         let mut shards: Vec<(Vec<(usize, ServingResult)>, QueryStats)> = Vec::new();
         let scope_result = crossbeam::thread::scope(|scope| {
+            // ALLOC-OK: per-batch handle list, ≤ num_threads entries.
             let mut handles = Vec::new();
             for _ in 0..self.num_threads {
                 let next = &next;
                 let make_dist = &make_dist;
+                // ALLOC-OK: ≤ num_threads pushes per batch (spawn loop).
                 handles.push(scope.spawn(move |_| {
                     let mut engine = QueryEngine::new(
                         self.graph,
@@ -216,6 +220,10 @@ impl<'a> BatchExecutor<'a> {
                         make_dist(),
                     );
                     engine.set_seed_cache(self.use_cache);
+                    // lint:allow(no-alloc-in-hot-loop) — per-worker result
+                    // buffer created once per batch (the enclosing loop is
+                    // the spawn loop, not a query loop); grows to this
+                    // worker's share of the batch, amortized over it.
                     let mut out = Vec::new();
                     loop {
                         let base = next.fetch_add(CHUNK, Ordering::Relaxed);
@@ -224,6 +232,8 @@ impl<'a> BatchExecutor<'a> {
                         }
                         let end = (base + CHUNK).min(n);
                         for (i, q) in queries.iter().enumerate().skip(base).take(end - base) {
+                            // ALLOC-OK: amortized — out grows to this
+                            // worker's batch share, one slot per query.
                             out.push((i, q.run(&mut engine)));
                         }
                     }
@@ -238,6 +248,7 @@ impl<'a> BatchExecutor<'a> {
                     // pattern as index construction).
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
+                // ALLOC-OK: O(num_threads) shard list, once per batch.
                 .collect();
         });
         if let Err(payload) = scope_result {
@@ -246,6 +257,7 @@ impl<'a> BatchExecutor<'a> {
             std::panic::resume_unwind(payload);
         }
 
+        // ALLOC-OK: the batch's n result slots, allocated once per batch.
         let mut slots: Vec<Option<ServingResult>> = (0..n).map(|_| None).collect();
         let mut stats = QueryStats::default();
         for (shard, worker_stats) in shards {
@@ -268,6 +280,7 @@ impl<'a> BatchExecutor<'a> {
                 // PANIC-OK: chunk cursor covers 0..n exactly once (see above).
                 None => panic!("query {i} was claimed by no worker"),
             })
+            // ALLOC-OK: the n-element output the batch API returns.
             .collect();
         BatchOutput { results, stats }
     }

@@ -64,6 +64,13 @@ pub struct HeapCounters {
     /// kernels in benches and tests report their skips through the same
     /// field so the two kernels share one schema.
     pub stale_skipped: u64,
+    /// Pushes that landed with the entry array already at capacity —
+    /// i.e. pushes that made the allocator grow the heap. **Structurally
+    /// zero** after [`DaryHeap::new`] pre-sizes `entries` to `n` (an item
+    /// occupies at most one slot per epoch, so `len ≤ n` always); the
+    /// counter exists so the steady-state allocation certificate is
+    /// checkable dynamically per query, not just statically.
+    pub grows: u64,
 }
 
 impl HeapCounters {
@@ -75,6 +82,7 @@ impl HeapCounters {
             pops: self.pops.saturating_sub(base.pops),
             decrease_keys: self.decrease_keys.saturating_sub(base.decrease_keys),
             stale_skipped: self.stale_skipped.saturating_sub(base.stale_skipped),
+            grows: self.grows.saturating_sub(base.grows),
         }
     }
 }
@@ -85,6 +93,7 @@ impl std::ops::AddAssign for HeapCounters {
         self.pops += rhs.pops;
         self.decrease_keys += rhs.decrease_keys;
         self.stale_skipped += rhs.stale_skipped;
+        self.grows += rhs.grows;
     }
 }
 
@@ -131,7 +140,10 @@ impl DaryHeap {
     /// Creates a heap for items `0..n`.
     pub fn new(n: usize) -> Self {
         DaryHeap {
-            entries: Vec::new(),
+            // Pre-sized to the capacity invariant push relies on: each
+            // item occupies at most one slot per epoch, so len ≤ n and
+            // the entry array never reallocates after construction.
+            entries: Vec::with_capacity(n),
             pos: vec![0; n],
             stamp: vec![0; n],
             epoch: 1,
@@ -196,6 +208,14 @@ impl DaryHeap {
         // PANIC-OK: stamp is sized n at new(); items are 0..n by the kernel contract.
         self.stamp[item as usize] = self.epoch;
         let slot = self.entries.len();
+        if slot == self.entries.capacity() {
+            // Only reachable by pushing an item ≥ n (a kernel-contract
+            // violation the indexing above would have caught first).
+            self.counters.grows += 1;
+        }
+        // ALLOC-OK: new() pre-sizes entries to n and each item occupies at
+        // most one slot per epoch, so len ≤ n and this never reallocates;
+        // the grows counter above proves it dynamically per query.
         self.entries.push(pack(key, item));
         self.counters.pushes += 1;
         self.sift_up(slot);
@@ -312,6 +332,8 @@ impl DaryHeap {
         for i in 1..self.entries.len() {
             let parent = (i - 1) / ARITY;
             if self.entries[i] < self.entries[parent] {
+                // lint:allow(no-alloc-in-hot-loop) — cold path: the audit
+                // only formats when an invariant is already violated.
                 return Err(format!(
                     "heap order violated: slot {i} ({}, {}) before parent {parent} ({}, {})",
                     key_of(self.entries[i]),
@@ -324,9 +346,11 @@ impl DaryHeap {
         for (slot, &entry) in self.entries.iter().enumerate() {
             let item = item_of(entry);
             if self.stamp[item as usize] != self.epoch {
+                // lint:allow(no-alloc-in-hot-loop) — cold audit-failure path.
                 return Err(format!("slot {slot}: item {item} has a stale stamp"));
             }
             if self.pos[item as usize] != slot as u32 {
+                // lint:allow(no-alloc-in-hot-loop) — cold audit-failure path.
                 return Err(format!(
                     "position map desynced: item {item} at slot {slot} but pos says {}",
                     self.pos[item as usize]
@@ -347,6 +371,7 @@ impl DaryHeap {
                 .get(p as usize)
                 .is_some_and(|&e| item_of(e) as usize == item);
             if !holds {
+                // lint:allow(no-alloc-in-hot-loop) — cold audit-failure path.
                 return Err(format!(
                     "position map dangles: item {item} claims slot {p} but the slot holds another item"
                 ));

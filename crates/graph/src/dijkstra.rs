@@ -55,7 +55,9 @@ impl Dijkstra {
             settled: vec![false; n],
             cur_epoch: 0,
             heap: DaryHeap::new(n),
-            settled_order: Vec::new(),
+            // Pre-sized: each vertex settles at most once per search, so
+            // len ≤ n and the push below never reallocates.
+            settled_order: Vec::with_capacity(n),
             tgt_epoch: vec![0; n],
             tgt_head: vec![NO_SLOT; n],
             tgt_next: Vec::new(),
@@ -81,6 +83,8 @@ impl Dijkstra {
             debug_assert!(!self.settled[v as usize] && d == self.dist[v as usize]);
             // PANIC-OK: every heap item is a vertex id < n; arrays sized n at new().
             self.settled[v as usize] = true;
+            // ALLOC-OK: new() pre-sizes settled_order to n; each vertex
+            // settles at most once per search, so len ≤ n — no realloc.
             self.settled_order.push(v);
             match on_settle(v, d) {
                 Control::Continue => {

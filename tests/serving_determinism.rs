@@ -125,6 +125,12 @@ fn assert_batches_match(f: &Fixture, reference: &[ServingResult]) {
                 out.stats.heap_stale_skipped, 0,
                 "indexed kernel popped a stale entry"
             );
+            // Allocation-freedom certificate, dynamic face: pre-sized
+            // kernels never grow their entry arrays while serving.
+            assert_eq!(
+                out.stats.heap_grows, 0,
+                "a heap kernel reallocated while serving"
+            );
         }
     }
 }

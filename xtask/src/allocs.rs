@@ -1,0 +1,693 @@
+//! `cargo xtask allocs` — the call-graph allocation-freedom certifier.
+//!
+//! Sibling of [`crate::panics`]: proves (conservatively) that the
+//! serving *steady state* performs no unjustified heap allocation after
+//! warm-up. The pipeline shares the panic certifier's symbol layers —
+//! [`crate::items`] parses the `crates/{graph,alt,nvd,core}` perimeter,
+//! [`crate::callgraph`] builds the conservative call graph — and differs
+//! in two ways:
+//!
+//! 1. **Reachability is phase-split.** The sweep starts from the
+//!    steady-state entry points ([`crate::entrypoints::STEADY_ENTRIES`])
+//!    but never crosses into the warm-up boundary
+//!    ([`crate::entrypoints::WARM_UP`]): constructors, index builds, the
+//!    Heap Generator's `create`/`create_seeded` first-fill and seed-cache
+//!    admission are *allowed* to allocate, mirroring the paper's
+//!    generation-then-extraction phase structure. The dynamic twin
+//!    (`tests/alloc_steady_state.rs`) pins what the carve-out actually
+//!    costs per query.
+//! 2. **The classifier enumerates allocation sources**, not panic
+//!    sources: allocating constructors (`Vec::new`, `Box::new`,
+//!    `HashMap::with_capacity`, …), the `vec!`/`format!` macros,
+//!    always-allocating methods (`.to_vec()`, `.to_owned()`,
+//!    `.to_string()`, `.collect()`, and — conservatively — any
+//!    `.clone()`), and container *growth* methods (`.push()`,
+//!    `.insert()`, `.extend()`, `.resize()`, …). Growth calls are
+//!    receiver-typed: a call on a workspace type with a certified method
+//!    of that name is charged to the callee body through the call-graph
+//!    edge instead of the call site; every other receiver — std
+//!    container, field, or untyped — is a site.
+//!
+//! A site that is provably amortized-free carries an inline
+//! `// ALLOC-OK: <capacity invariant>` justification (same placement
+//! grammar as `PANIC-OK`) and is counted but not reported. Sites the
+//! token-level H1 hot-loop lint already polices are deduplicated out of
+//! this report. Everything else is a finding under the
+//! `alloc-reachability` rule of the shared `lint-baseline.json` ratchet.
+
+use std::process::ExitCode;
+
+use crate::baseline::Ratchet;
+use crate::callgraph::{body_tokens, CallGraph, Reach};
+use crate::entrypoints::{STEADY_ENTRIES, WARM_UP};
+use crate::json::Json;
+use crate::lex::TokenKind;
+use crate::panics::load_perimeter;
+use crate::report::{self, parse_format, to_f64, Format};
+use crate::rules::{h1_no_alloc, Finding, Rule, Summary};
+use crate::scope::SourceFile;
+
+/// CLI usage.
+pub const USAGE: &str = "\
+usage: cargo xtask allocs [options]
+
+Certifies that no unjustified allocation source is reachable from the
+steady-state serving entry points (see --list-entries) without crossing
+the warm-up boundary (constructors, index builds, heap generation).
+Sites are exempted by an inline `// ALLOC-OK: capacity invariant`
+comment; remaining findings pass through the lint-baseline.json ratchet
+under the `alloc-reachability` rule.
+
+options:
+  --format <human|json>   report format (json is SARIF-lite; default human)
+  --entry <Type::method>  add an entry point (repeatable; replaces defaults)
+  --list-entries          print the default entry points and warm-up set
+  --update-baseline       rewrite lint-baseline.json from current findings
+  --deny-stale            fail when baseline entries no longer fire (CI)
+  -h, --help              show this help";
+
+/// Allocating `Type::ctor(…)` qualifiers.
+const ALLOC_TYPES: [&str; 11] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Box",
+    "Rc",
+    "Arc",
+];
+
+/// Constructor methods that allocate when qualified by an
+/// [`ALLOC_TYPES`] name. `Arc::clone`/`Rc::clone` are deliberately not
+/// here: they bump a refcount, and the workspace's qualified-call idiom
+/// exists precisely to keep them distinguishable from deep clones.
+const CTOR_METHODS: [&str; 6] = [
+    "new",
+    "with_capacity",
+    "with_capacity_and_hasher",
+    "from",
+    "from_iter",
+    "default",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Dot methods that allocate on every receiver that compiles (`.clone()`
+/// is conservative: a `Copy` receiver's clone is free, but proving
+/// `Copy` is beyond this scan — justify or restructure).
+const ALWAYS_ALLOC_METHODS: [&str; 7] = [
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "clone",
+    "concat",
+    "repeat",
+];
+
+/// Container growth methods — allocation depends on spare capacity, so
+/// the receiver decides: certified workspace receivers are charged via
+/// the call edge, everything else is a site.
+const GROWTH_METHODS: [&str; 9] = [
+    "push",
+    "push_str",
+    "push_back",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "reserve",
+    "append",
+];
+
+/// One classified allocation source inside an item body.
+#[derive(Debug)]
+pub struct Site {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Human description of the allocation class.
+    pub what: String,
+}
+
+/// Classifies every allocation source in the certified body of
+/// `items[idx]`, walking release-visible tokens only (the call-graph
+/// layer's skip rules for `debug_assert*!`, attributes, gated
+/// statements, and nested fns apply here too).
+pub fn alloc_sites(file: &SourceFile, graph: &CallGraph, idx: usize) -> Vec<Site> {
+    let locals = graph.local_types(file, idx);
+    let mut out = Vec::new();
+    for k in body_tokens(file, &graph.items, idx) {
+        let t = &file.tokens[file.code[k]];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = |n: usize| (k >= n).then(|| &file.tokens[file.code[k - n]]);
+        let next = |n: usize| file.code.get(k + n).map(|&i| &file.tokens[i]);
+        let site = |what: String| Site {
+            line: t.line,
+            col: t.col,
+            what,
+        };
+        let name = t.text.as_str();
+        if next(1).is_some_and(|n| n.is_punct("!")) {
+            if ALLOC_MACROS.contains(&name) {
+                out.push(site(format!("{name}! allocates")));
+            }
+            continue;
+        }
+        // `.method(…)` (optionally through a `::<…>` turbofish).
+        let dot_call = prev(1).is_some_and(|p| p.is_punct("."))
+            && next(1).is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+        if dot_call {
+            if ALWAYS_ALLOC_METHODS.contains(&name) {
+                let note = if name == "clone" {
+                    " (conservative: receiver may be non-Copy)"
+                } else {
+                    ""
+                };
+                out.push(site(format!(".{name}() allocates{note}")));
+            } else if GROWTH_METHODS.contains(&name) {
+                match graph.receiver_type(file, idx, k, &locals) {
+                    Some(ty)
+                        if graph
+                            .certified_methods
+                            .contains(&(ty.clone(), t.text.clone())) =>
+                    {
+                        // Charged to the certified callee body, which the
+                        // reachability sweep scans through the call edge.
+                    }
+                    Some(ty) => out.push(site(format!(
+                        ".{name}() on `{ty}` may grow past capacity and reallocate"
+                    ))),
+                    None => out.push(site(format!(
+                        ".{name}() on untyped receiver may grow and reallocate"
+                    ))),
+                }
+            }
+            continue;
+        }
+        // `Type::ctor(…)`.
+        if prev(1).is_some_and(|p| p.is_punct("::"))
+            && next(1).is_some_and(|n| n.is_punct("(") || n.is_punct("::"))
+            && CTOR_METHODS.contains(&name)
+        {
+            if let Some(q) = prev(2).filter(|q| q.kind == TokenKind::Ident) {
+                if ALLOC_TYPES.contains(&q.text.as_str()) {
+                    out.push(site(format!("{}::{name}() allocates", q.text)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The full analysis result, kept for reporting and the self-tests.
+pub struct Certificate {
+    pub graph: CallGraph,
+    pub reach: Reach,
+    /// Resolved steady-state entry items per spec.
+    pub entries: Vec<(String, Vec<usize>)>,
+    /// Resolved warm-up boundary items per spec.
+    pub warm_up: Vec<(String, Vec<usize>)>,
+    /// Unjustified findings (rule `alloc-reachability`).
+    pub summary: Summary,
+    /// Sites dropped because the token-level H1 hot-loop lint already
+    /// reports the same (file, line, col).
+    pub deduplicated: usize,
+}
+
+/// Runs the analysis over `files` from the given steady-state entry
+/// specs, never crossing the warm-up boundary specs. Both spec lists
+/// must resolve in full: a renamed entry silently narrows the
+/// certificate, a renamed warm-up fence silently *widens* it — each is
+/// a hard error.
+pub fn certify(
+    files: Vec<SourceFile>,
+    entry_specs: &[String],
+    warm_up_specs: &[String],
+) -> Result<Certificate, String> {
+    let graph = CallGraph::build(&files);
+    let resolve_all = |specs: &[String], kind: &str| -> Result<Vec<(String, Vec<usize>)>, String> {
+        let mut resolved = Vec::new();
+        let mut missing = Vec::new();
+        for spec in specs {
+            let items = graph.resolve_entry(spec);
+            if items.is_empty() {
+                missing.push(spec.clone());
+            }
+            resolved.push((spec.clone(), items));
+        }
+        if missing.is_empty() {
+            Ok(resolved)
+        } else {
+            Err(format!(
+                "{kind} spec(s) resolved to no certified fn — renamed or removed? {}",
+                missing.join(", ")
+            ))
+        }
+    };
+    let entries = resolve_all(entry_specs, "entry point")?;
+    let warm_up = resolve_all(warm_up_specs, "warm-up boundary")?;
+    let roots: Vec<usize> = entries
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    let avoid: Vec<usize> = warm_up
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .collect();
+    let reach = graph.reach_avoiding(&roots, &avoid);
+
+    let mut summary = Summary {
+        files_scanned: files.len(),
+        ..Summary::default()
+    };
+    let mut deduplicated = 0usize;
+    for idx in 0..graph.items.len() {
+        if !graph.items[idx].certified() || !reach.reached(idx) {
+            continue;
+        }
+        let file = &files[graph.items[idx].file_idx];
+        // H1 polices these exact (line, col) sites already — one report.
+        let h1: Vec<(usize, usize)> = h1_no_alloc::matches(file)
+            .into_iter()
+            .map(|(line, col, _)| (line, col))
+            .collect();
+        for site in alloc_sites(file, &graph, idx) {
+            if h1.contains(&(site.line, site.col)) {
+                deduplicated += 1;
+                continue;
+            }
+            if file.alloc_justified(site.line) {
+                *summary
+                    .justified
+                    .entry(Rule::AllocReachability.key())
+                    .or_insert(0) += 1;
+                continue;
+            }
+            let chain: Vec<String> = reach
+                .chain(idx)
+                .into_iter()
+                .map(|i| graph.items[i].qualified())
+                .collect();
+            summary.findings.push(Finding {
+                rule: Rule::AllocReachability,
+                file: file.rel.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!("{}; via {}", site.what, chain.join(" → ")),
+                snippet: file.snippet(site.line).to_string(),
+            });
+        }
+    }
+    summary.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col)
+            .cmp(&(&b.file, b.line, b.col))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(Certificate {
+        graph,
+        reach,
+        entries,
+        warm_up,
+        summary,
+        deduplicated,
+    })
+}
+
+#[derive(Debug)]
+struct Options {
+    format: Format,
+    entries: Vec<String>,
+    list_entries: bool,
+    update_baseline: bool,
+    deny_stale: bool,
+    help: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Human,
+        entries: Vec::new(),
+        list_entries: false,
+        update_baseline: false,
+        deny_stale: false,
+        help: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = it.next().ok_or("--format needs a value: human or json")?;
+                opts.format = parse_format(value)?;
+            }
+            "--entry" => {
+                let value = it.next().ok_or("--entry needs a Type::method value")?;
+                opts.entries.push(value.clone());
+            }
+            "--list-entries" => opts.list_entries = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--deny-stale" => opts.deny_stale = true,
+            "-h" | "--help" => opts.help = true,
+            other => {
+                if let Some(value) = other.strip_prefix("--format=") {
+                    opts.format = parse_format(value)?;
+                } else if let Some(value) = other.strip_prefix("--entry=") {
+                    opts.entries.push(value.to_string());
+                } else {
+                    return Err(format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+    if opts.entries.is_empty() {
+        opts.entries.extend(STEADY_ENTRIES.map(str::to_string));
+    }
+    Ok(opts)
+}
+
+/// CLI entry: `cargo xtask allocs [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if opts.list_entries {
+        for e in STEADY_ENTRIES {
+            println!("{e}");
+        }
+        for w in WARM_UP {
+            println!("warm-up {w}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let warm: Vec<String> = WARM_UP.map(str::to_string).to_vec();
+    let cert = match certify(load_perimeter(), &opts.entries, &warm) {
+        Ok(cert) => cert,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let extras = vec![(
+        "deduplicated_with_h1".to_string(),
+        Json::Num(to_f64(cert.deduplicated)),
+    )];
+    report::finish(
+        "cargo-xtask-allocs",
+        &[Rule::AllocReachability.key()],
+        &cert.summary,
+        opts.update_baseline,
+        opts.deny_stale,
+        opts.format,
+        extras,
+        |ratchet| print_human(&cert, ratchet),
+    )
+}
+
+fn print_human(cert: &Certificate, ratchet: &Ratchet) {
+    let certified = cert.graph.items.iter().filter(|i| i.certified()).count();
+    let reachable = (0..cert.graph.items.len())
+        .filter(|&i| cert.graph.items[i].certified() && cert.reach.reached(i))
+        .count();
+    println!(
+        "cargo xtask allocs — {} files, {} certified fns, {} steady-reachable from {} entry points",
+        cert.summary.files_scanned,
+        certified,
+        reachable,
+        cert.entries.len()
+    );
+    for (spec, resolved) in &cert.entries {
+        let defs: Vec<String> = resolved
+            .iter()
+            .map(|&i| {
+                let item = &cert.graph.items[i];
+                format!("{}:{}", item.file, item.line)
+            })
+            .collect();
+        println!("  entry {:<36} → {}", spec, defs.join(", "));
+    }
+    let fenced: usize = cert.warm_up.iter().map(|(_, v)| v.len()).sum();
+    println!(
+        "  warm-up boundary: {} spec(s) fencing {} fn(s) — allowed to allocate",
+        cert.warm_up.len(),
+        fenced
+    );
+    let justified = cert
+        .summary
+        .justified
+        .get(Rule::AllocReachability.key())
+        .copied()
+        .unwrap_or(0);
+    println!(
+        "  {} new finding(s), {} baselined, {} justified via ALLOC-OK, {} deduplicated with H1",
+        ratchet.new.len(),
+        ratchet.baselined.len(),
+        justified,
+        cert.deduplicated
+    );
+    if !ratchet.new.is_empty() {
+        println!();
+        for f in &ratchet.new {
+            println!("{f}");
+            if !f.snippet.is_empty() {
+                println!("    {}", f.snippet);
+            }
+        }
+        println!(
+            "\n{} unjustified steady-state allocation site(s)",
+            ratchet.new.len()
+        );
+    }
+    report::print_stale(ratchet);
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: the classifier on planted fixtures, the warm-up/steady
+// split, receiver-typed growth dispatch, H1 dedup, and the live
+// workspace certificate.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::lint::workspace_root;
+    use crate::report::BASELINE_FILE;
+
+    fn cert_at(rel: &str, src: &str, entries: &[&str], warm: &[&str]) -> Certificate {
+        let e: Vec<String> = entries.iter().map(|s| s.to_string()).collect();
+        let w: Vec<String> = warm.iter().map(|s| s.to_string()).collect();
+        certify(vec![SourceFile::from_source(rel, src)], &e, &w).expect("fixture specs resolve")
+    }
+
+    fn cert(src: &str, entries: &[&str], warm: &[&str]) -> Certificate {
+        cert_at("fixture.rs", src, entries, warm)
+    }
+
+    #[test]
+    fn classifier_finds_each_allocation_class_with_exact_spans() {
+        let src = "\
+fn entry(xs: &[u32], n: usize) -> u32 {
+    let a: Vec<u32> = Vec::with_capacity(n);
+    let b = Box::new(n);
+    let c = vec![0; n];
+    let d = format!(\"{n}\");
+    let e = xs.to_vec();
+    let f = n.clone();
+    let g: Vec<u32> = xs.iter().copied().collect::<Vec<u32>>();
+    let h = String::from(\"x\");
+    0
+}
+";
+        let c = cert(src, &["entry"], &[]);
+        let kinds: Vec<(&str, usize)> = c
+            .summary
+            .findings
+            .iter()
+            .map(|f| (f.message.split(';').next().expect("kind"), f.line))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("Vec::with_capacity() allocates", 2),
+                ("Box::new() allocates", 3),
+                ("vec! allocates", 4),
+                ("format! allocates", 5),
+                (".to_vec() allocates", 6),
+                (
+                    ".clone() allocates (conservative: receiver may be non-Copy)",
+                    7
+                ),
+                (".collect() allocates", 8),
+                ("String::from() allocates", 9),
+            ]
+        );
+        let ctor = &c.summary.findings[0];
+        assert_eq!(
+            ctor.col,
+            src.lines()
+                .nth(1)
+                .expect("l2")
+                .find("with_capacity")
+                .expect("pos")
+                + 1
+        );
+    }
+
+    #[test]
+    fn growth_calls_dispatch_on_the_receiver_type() {
+        let src = "\
+struct Heap { entries: Vec<u64> }
+impl Heap {
+    pub fn push(&mut self, x: u64) {
+        self.entries.push(x);
+    }
+}
+fn entry(h: &mut Heap, out: &mut Vec<u32>) {
+    h.push(1);
+    out.push(2);
+    mystery.push(3);
+}
+";
+        let c = cert(src, &["entry"], &[]);
+        let lines: Vec<usize> = c.summary.findings.iter().map(|f| f.line).collect();
+        // h.push is charged to the certified Heap::push body (line 4);
+        // out.push (Vec) and mystery.push (untyped) are call-site findings.
+        assert_eq!(lines, vec![4, 9, 10]);
+        assert!(c.summary.findings[0].message.contains("on `Vec`"));
+        assert!(c.summary.findings[0].message.contains("entry → Heap::push"));
+        assert!(c.summary.findings[2].message.contains("untyped receiver"));
+    }
+
+    #[test]
+    fn warm_up_boundary_fences_constructors_and_first_fill() {
+        let src = "\
+impl Engine {
+    pub fn serve(&mut self) {
+        self.step();
+    }
+    fn step(&mut self) { let v = vec![1]; }
+    pub fn new(n: usize) -> Self {
+        let all = vec![0; n];
+        build_index();
+        Engine
+    }
+}
+fn build_index() { let big: Vec<u32> = Vec::with_capacity(9); }
+fn create_seeded() { let s = vec![7]; }
+";
+        let c = cert(src, &["Engine::serve"], &["new", "create_seeded"]);
+        // Only step's vec! is a finding: new, everything behind it, and
+        // create_seeded are fenced off.
+        assert_eq!(c.summary.findings.len(), 1);
+        assert_eq!(c.summary.findings[0].line, 5);
+        let fenced: usize = c.warm_up.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(fenced, 2);
+    }
+
+    #[test]
+    fn alloc_ok_justifications_silence_but_count() {
+        let src = "\
+fn entry(n: usize) -> Vec<u32> {
+    // ALLOC-OK: result buffer, bounded by k ≤ n at every call site
+    let mut out = Vec::with_capacity(n);
+    out.extend(0..3u32);
+    out
+}
+";
+        let c = cert(src, &["entry"], &[]);
+        assert_eq!(c.summary.findings.len(), 1, "only the extend fires");
+        assert_eq!(c.summary.findings[0].line, 4);
+        assert_eq!(
+            c.summary.justified.get(Rule::AllocReachability.key()),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn h1_matched_sites_are_deduplicated_not_double_reported() {
+        let src = "\
+fn entry(xs: &[u32]) {
+    for _ in xs {
+        let v = xs.to_vec();
+    }
+    let w = xs.to_vec();
+}
+";
+        // In H1's hot-loop scope: the in-loop site belongs to H1, the
+        // out-of-loop one to this certifier.
+        let c = cert_at("crates/core/src/query/fx.rs", src, &["entry"], &[]);
+        assert_eq!(c.deduplicated, 1);
+        assert_eq!(c.summary.findings.len(), 1);
+        assert_eq!(c.summary.findings[0].line, 5);
+    }
+
+    #[test]
+    fn missing_entry_and_warm_up_specs_are_hard_errors() {
+        let files = || vec![SourceFile::from_source("fixture.rs", "fn real() {}\n")];
+        let err = certify(files(), &["gone".to_string()], &[])
+            .err()
+            .expect("stale entry spec must be a hard error");
+        assert!(err.contains("gone"));
+        let err = certify(files(), &["real".to_string()], &["fenced_away".to_string()])
+            .err()
+            .expect("stale warm-up spec must be a hard error");
+        assert!(err.contains("fenced_away") && err.contains("warm-up"));
+    }
+
+    // ---- the live workspace ------------------------------------------------
+
+    #[test]
+    fn live_workspace_certificate_holds() {
+        let specs: Vec<String> = STEADY_ENTRIES.map(str::to_string).to_vec();
+        let warm: Vec<String> = WARM_UP.map(str::to_string).to_vec();
+        let cert = certify(load_perimeter(), &specs, &warm).expect("all specs resolve");
+        assert!(
+            cert.summary.files_scanned > 20,
+            "suspiciously small perimeter"
+        );
+        for (spec, resolved) in &cert.entries {
+            assert!(!resolved.is_empty(), "entry {spec} resolved to nothing");
+        }
+        let baseline =
+            Baseline::load(&workspace_root().join(BASELINE_FILE)).expect("baseline parses");
+        let key = Rule::AllocReachability.key();
+        let alloc_entries: Vec<_> = baseline
+            .entries
+            .into_iter()
+            .filter(|e| e.rule == key)
+            .collect();
+        let ratchet = Baseline {
+            note: String::new(),
+            entries: alloc_entries,
+        }
+        .apply(&cert.summary.findings);
+        let report: Vec<String> = ratchet.new.iter().map(ToString::to_string).collect();
+        assert!(
+            ratchet.new.is_empty(),
+            "unjustified steady-state allocation sites:\n{}",
+            report.join("\n")
+        );
+        assert!(
+            ratchet.stale.is_empty(),
+            "stale alloc-reachability baseline entries"
+        );
+    }
+}

@@ -25,7 +25,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use crate::items::{match_brace, Item};
+use crate::items::{match_brace, parse_fields, type_head, Item};
 use crate::lex::{Token, TokenKind};
 use crate::scope::SourceFile;
 
@@ -37,6 +37,13 @@ pub struct CallGraph {
     /// `edges[i]` = indices of items `items[i]` may call (deduplicated,
     /// ascending). Empty for non-certified items.
     pub edges: Vec<Vec<usize>>,
+    /// `(struct, field)` → type head, from every named-struct
+    /// declaration; types `self.field.method(…)` receivers.
+    pub field_types: BTreeMap<(String, String), String>,
+    /// `(self type, method)` pairs with a certified definition — the
+    /// allocation classifier skips growth calls on such receivers
+    /// because the call-graph edge charges the callee body instead.
+    pub certified_methods: BTreeSet<(String, String)>,
 }
 
 /// Result of a breadth-first reachability sweep.
@@ -117,7 +124,26 @@ impl CallGraph {
             targets.remove(&i); // direct recursion adds nothing to reachability
             edges[i] = targets.into_iter().collect();
         }
-        CallGraph { items, edges }
+        let mut field_types = BTreeMap::new();
+        for file in files {
+            for (s, f, ty) in parse_fields(file) {
+                field_types.insert((s, f), ty);
+            }
+        }
+        let mut certified_methods = BTreeSet::new();
+        for item in &items {
+            if item.certified() {
+                if let Some(t) = &item.self_type {
+                    certified_methods.insert((t.clone(), item.name.clone()));
+                }
+            }
+        }
+        CallGraph {
+            items,
+            edges,
+            field_types,
+            certified_methods,
+        }
     }
 
     /// Resolves an entry-point spec (`Type::method` or a bare free-fn
@@ -142,11 +168,23 @@ impl CallGraph {
     /// Breadth-first reachability from `entries`, recording shortest-path
     /// parents for chain reporting.
     pub fn reach(&self, entries: &[usize]) -> Reach {
+        self.reach_avoiding(entries, &[])
+    }
+
+    /// [`Self::reach`] that never enters the `avoid` set — the allocation
+    /// certifier's warm-up boundary. An avoided item is unreachable even
+    /// when listed as an entry (avoid wins), and nothing behind it is
+    /// reached *through* it.
+    pub fn reach_avoiding(&self, entries: &[usize], avoid: &[usize]) -> Reach {
         let mut parent = vec![None; self.items.len()];
         let mut reached = vec![false; self.items.len()];
+        let mut blocked = vec![false; self.items.len()];
+        for &a in avoid {
+            blocked[a] = true;
+        }
         let mut queue = VecDeque::new();
         for &e in entries {
-            if !reached[e] {
+            if !reached[e] && !blocked[e] {
                 reached[e] = true;
                 parent[e] = Some(e);
                 queue.push_back(e);
@@ -154,7 +192,7 @@ impl CallGraph {
         }
         while let Some(i) = queue.pop_front() {
             for &j in &self.edges[i] {
-                if !reached[j] {
+                if !reached[j] && !blocked[j] {
                     reached[j] = true;
                     parent[j] = Some(i);
                     queue.push_back(j);
@@ -163,6 +201,162 @@ impl CallGraph {
         }
         Reach { parent, reached }
     }
+
+    /// Best-effort types of the local bindings visible in `items[idx]`:
+    /// `name: Type` (params and typed lets), `let x = Type::ctor(…)`,
+    /// `let x = Type { … }`, `let v = vec![…]`. A name bound to two
+    /// different heads — or to a form the scan cannot type — is dropped,
+    /// which errs in the conservative direction for the allocation
+    /// classifier: unknown receivers are flagged, not skipped.
+    pub fn local_types(&self, file: &SourceFile, idx: usize) -> BTreeMap<String, String> {
+        let (start, end) = self.items[idx].body;
+        if start >= end {
+            return BTreeMap::new();
+        }
+        // Rewind from the body to the `fn` keyword so params are in range.
+        let mut fn_k = None;
+        let mut j = start;
+        while j > 0 {
+            j -= 1;
+            if tok(file, j).is_ident("fn") && tok(file, j + 1).text == self.items[idx].name {
+                fn_k = Some(j);
+                break;
+            }
+        }
+        let Some(fn_k) = fn_k else {
+            return BTreeMap::new();
+        };
+        let mut map: BTreeMap<String, Option<String>> = BTreeMap::new();
+        let mut bind = |name: String, ty: Option<String>| {
+            map.entry(name)
+                .and_modify(|e| {
+                    if *e != ty {
+                        *e = None;
+                    }
+                })
+                .or_insert(ty);
+        };
+        let mut k = fn_k;
+        while k < end {
+            let t = tok(file, k);
+            // `IDENT : Type` — a param, typed let, or (harmlessly) a
+            // struct-literal field; the head of an expression initializer
+            // never names a certified-method self type.
+            if t.kind == TokenKind::Ident
+                && k + 2 < end
+                && tok(file, k + 1).is_punct(":")
+                && !KEYWORDS.contains(&t.text.as_str())
+            {
+                let mut stop = k + 2;
+                let mut depth = 0i32;
+                while stop < end {
+                    let s = tok(file, stop);
+                    if depth <= 0 && matches!(s.text.as_str(), "," | ")" | ";" | "=" | "{" | "}") {
+                        break;
+                    }
+                    depth += crate::items::delim_depth(s);
+                    stop += 1;
+                }
+                bind(t.text.clone(), type_head(file, k + 2, stop));
+                k = stop;
+                continue;
+            }
+            // `let [mut] IDENT = rhs` — type the binding from the rhs
+            // shape, or poison it when the shape is unrecognized.
+            if t.is_ident("let") {
+                let mut n = k + 1;
+                if n < end && tok(file, n).is_ident("mut") {
+                    n += 1;
+                }
+                if n + 1 < end
+                    && tok(file, n).kind == TokenKind::Ident
+                    && tok(file, n + 1).is_punct("=")
+                {
+                    bind(tok(file, n).text.clone(), rhs_type(file, n + 2, end));
+                    k = n + 2;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+        map.into_iter()
+            .filter_map(|(name, ty)| ty.map(|t| (name, t)))
+            .collect()
+    }
+
+    /// Resolves the receiver type of the dot-call whose method name sits
+    /// at code index `k` (`k - 1` is the `.`): `self` → the enclosing
+    /// impl's self type, `self.field` → the declared field type, a bare
+    /// local → its inferred binding type. `None` for chained or
+    /// unrecognized receivers, which the allocation classifier treats as
+    /// "may allocate".
+    pub fn receiver_type(
+        &self,
+        file: &SourceFile,
+        idx: usize,
+        k: usize,
+        locals: &BTreeMap<String, String>,
+    ) -> Option<String> {
+        if k < 2 {
+            return None;
+        }
+        let r = tok(file, k - 2);
+        if r.kind != TokenKind::Ident {
+            return None;
+        }
+        let self_ty = self.items[idx].self_type.as_deref();
+        if r.text == "self" {
+            if k >= 3 && tok(file, k - 3).is_punct(".") {
+                return None;
+            }
+            return self_ty.map(str::to_string);
+        }
+        if k >= 4 && tok(file, k - 3).is_punct(".") && tok(file, k - 4).is_ident("self") {
+            if k >= 5 && tok(file, k - 5).is_punct(".") {
+                return None;
+            }
+            return self_ty.and_then(|t| {
+                self.field_types
+                    .get(&(t.to_string(), r.text.clone()))
+                    .cloned()
+            });
+        }
+        if k >= 3 && tok(file, k - 3).is_punct(".") {
+            return None; // `x.y.m(…)` on a non-self chain: unknown
+        }
+        locals.get(&r.text).cloned()
+    }
+}
+
+/// Types a `let` initializer by shape: `vec![…]` → `Vec`,
+/// `A::…::Type::ctor(…)` → `Type`, `Type { … }` → `Type`. `None`
+/// otherwise (bare calls, literals, method chains — return types are
+/// beyond this scan).
+fn rhs_type(file: &SourceFile, r: usize, end: usize) -> Option<String> {
+    if r >= end || tok(file, r).kind != TokenKind::Ident {
+        return None;
+    }
+    if tok(file, r).is_ident("vec") && r + 1 < end && tok(file, r + 1).is_punct("!") {
+        return Some("Vec".to_string());
+    }
+    if KEYWORDS.contains(&tok(file, r).text.as_str()) {
+        return None;
+    }
+    // Walk the `A :: B :: c` path.
+    let mut segs = vec![r];
+    let mut j = r + 1;
+    while j + 1 < end && tok(file, j).is_punct("::") && tok(file, j + 1).kind == TokenKind::Ident {
+        segs.push(j + 1);
+        j += 2;
+    }
+    if j < end && tok(file, j).is_punct("{") && segs.len() == 1 {
+        return Some(tok(file, r).text.clone()); // struct literal
+    }
+    if j < end && tok(file, j).is_punct("(") && segs.len() >= 2 {
+        // `Type::ctor(…)` — the binding has the qualifier's type.
+        return Some(tok(file, segs[segs.len() - 2]).text.clone());
+    }
+    None
 }
 
 /// A syntactic call site.
@@ -557,6 +751,87 @@ mod tests {
         );
         let r = g.reach(&g.resolve_entry("live"));
         assert!(!r.reached(idx(&g, "boom")));
+    }
+
+    #[test]
+    fn reach_avoiding_blocks_the_warm_up_boundary() {
+        let src = "\
+impl Engine {
+    pub fn serve(&self) { self.step(); Engine::new(); }
+    fn step(&self) { kernel(); }
+    pub fn new() -> Self { warm_helper(); Engine }
+}
+fn kernel() {}
+fn warm_helper() {}
+";
+        let g = graph(src);
+        let avoid = g.resolve_entry("Engine::new");
+        let r = g.reach_avoiding(&g.resolve_entry("Engine::serve"), &avoid);
+        assert!(r.reached(idx(&g, "kernel")));
+        assert!(!r.reached(idx(&g, "Engine::new")), "avoided item reached");
+        assert!(
+            !r.reached(idx(&g, "warm_helper")),
+            "nothing behind the boundary may be reached through it"
+        );
+        // Avoid wins even over entry listing.
+        let r2 = g.reach_avoiding(&g.resolve_entry("Engine::new"), &avoid);
+        assert!(!r2.reached(idx(&g, "Engine::new")));
+    }
+
+    #[test]
+    fn receiver_typing_resolves_self_fields_and_locals() {
+        let src = "\
+struct Heap { entries: Vec<u64>, scratch: Buffer }
+impl Heap {
+    fn grow(&mut self, n: usize, out: &mut Vec<u32>) {
+        self.entries.push(1);
+        out.push(2);
+        let mut local = Vec::new();
+        local.push(3);
+        let b = Buffer { data: 0 };
+        b.push(4);
+        unknown.push(5);
+        a.b.push(6);
+        self.scratch.push(7);
+    }
+    fn reheap(&mut self) {}
+}
+";
+        let file = SourceFile::from_source("fixture.rs", src);
+        let g = CallGraph::build(&[SourceFile::from_source("fixture.rs", src)]);
+        let i = idx(&g, "Heap::grow");
+        let locals = g.local_types(&file, i);
+        assert_eq!(locals.get("local").map(String::as_str), Some("Vec"));
+        assert_eq!(locals.get("b").map(String::as_str), Some("Buffer"));
+        assert_eq!(locals.get("out").map(String::as_str), Some("Vec"));
+        assert!(!locals.contains_key("unknown"));
+
+        // Receiver per planted `push` call, in source order.
+        let receivers: Vec<Option<String>> = (0..file.code.len())
+            .filter(|&k| file.tokens[file.code[k]].text == "push")
+            .map(|k| g.receiver_type(&file, i, k, &locals))
+            .collect();
+        assert_eq!(
+            receivers,
+            vec![
+                Some("Vec".into()),    // self.entries.push — declared field
+                Some("Vec".into()),    // out.push — typed param
+                Some("Vec".into()),    // local.push — Vec::new binding
+                Some("Buffer".into()), // b.push — struct-literal binding
+                None,                  // unknown.push — unbound local
+                None,                  // a.b.push — non-self chain
+                Some("Buffer".into()), // self.scratch.push — declared field
+            ]
+        );
+        assert!(g
+            .certified_methods
+            .contains(&("Heap".into(), "reheap".into())));
+        assert_eq!(
+            g.field_types
+                .get(&("Heap".into(), "entries".into()))
+                .map(String::as_str),
+            Some("Vec")
+        );
     }
 
     #[test]

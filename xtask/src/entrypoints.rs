@@ -1,0 +1,127 @@
+//! The serving entry-point model shared by the reachability certifiers
+//! and the token-level H1 hot-loop lint.
+//!
+//! `cargo xtask allocs` splits the serving lifecycle in two, following
+//! the paper's own phase structure (heap *generation* happens once per
+//! query term via the Heap Generator, then the Algorithm 1/3 loops only
+//! *extract*):
+//!
+//! * **Steady state** — [`STEADY_ENTRIES`]: the query processors, the
+//!   batch executor, the d-ary heap kernel ops, inverted-heap extraction
+//!   and the seed-cache hit path. Allocation reached from here must carry
+//!   an `ALLOC-OK: capacity invariant` or it is a finding.
+//! * **Warm-up** — [`WARM_UP`]: constructors (`new`), index/heap builds,
+//!   the `create`/`create_seeded` first-fill and seed-cache admission.
+//!   These are allowed to allocate; the reachability sweep never enters
+//!   them. (The dynamic `tests/alloc_steady_state.rs` twin pins what the
+//!   warm-up carve-out actually costs per query, so nothing hides there.)
+//!
+//! H1's hot-loop file scope is *derived* from the same set: every file
+//! defining a steady-state entry point must be in [`hot_loop_scope`],
+//! enforced by the live-workspace test below.
+
+/// Steady-state serving entry points for the allocation certificate: the
+/// 6 query processors (§4.1/§4.2), the batch executor, the 4 d-ary heap
+/// kernel ops, inverted-heap extraction (Algorithm 4), and the seed-cache
+/// hit path.
+pub const STEADY_ENTRIES: [&str; 13] = [
+    "QueryEngine::bknn",
+    "QueryEngine::bknn_disjunctive",
+    "QueryEngine::bknn_conjunctive",
+    "QueryEngine::top_k",
+    "QueryEngine::top_k_with",
+    "QueryEngine::bknn_expr",
+    "BatchExecutor::execute",
+    "DaryHeap::push",
+    "DaryHeap::pop",
+    "DaryHeap::insert_or_decrease",
+    "DaryHeap::clear",
+    "InvertedHeap::extract",
+    "HeapSeedCache::lookup",
+];
+
+/// Warm-up boundary specs, resolved with entry-point semantics (a bare
+/// name matches every certified fn of that name — `new` covers every
+/// constructor, `build` every index build). Reachability never crosses
+/// into these items: they may allocate freely.
+pub const WARM_UP: [&str; 6] = [
+    "new",
+    "build",
+    "InvertedHeap::create",
+    "InvertedHeap::create_seeded",
+    "HeapSeedCache::admit",
+    "compute_seeds",
+];
+
+/// Files (beyond the `crates/core/src/query/` processors) that define a
+/// steady-state entry point; with the prefix below this is H1's hot-loop
+/// scope.
+pub const HOT_LOOP_FILES: [&str; 5] = [
+    "crates/core/src/heap.rs",
+    "crates/core/src/serving.rs",
+    "crates/core/src/cache.rs",
+    "crates/graph/src/dheap.rs",
+    "crates/nvd/src/knn.rs",
+];
+
+/// Path prefixes in H1's hot-loop scope.
+pub const HOT_LOOP_PREFIXES: [&str; 1] = ["crates/core/src/query/"];
+
+/// Whether a workspace-relative path is in the H1 hot-loop scope.
+pub fn hot_loop_scope(rel: &str) -> bool {
+    HOT_LOOP_PREFIXES.iter().any(|p| rel.starts_with(p)) || HOT_LOOP_FILES.contains(&rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::panics::load_perimeter;
+
+    /// The derivation contract of satellite H1 realignment: H1's scope is
+    /// not a hand-maintained list that can drift — every file defining a
+    /// steady-state entry point is hot-loop scope, live on the workspace.
+    #[test]
+    fn hot_loop_scope_covers_every_steady_entry_definition() {
+        let files = load_perimeter();
+        let graph = CallGraph::build(&files);
+        for spec in STEADY_ENTRIES {
+            let resolved = graph.resolve_entry(spec);
+            assert!(
+                !resolved.is_empty(),
+                "steady entry {spec} resolves to nothing"
+            );
+            for idx in resolved {
+                let file = &graph.items[idx].file;
+                assert!(
+                    hot_loop_scope(file),
+                    "steady entry {spec} is defined in {file}, which is outside \
+                     the H1 hot-loop scope — add it to HOT_LOOP_FILES"
+                );
+            }
+        }
+    }
+
+    /// Warm-up specs must stay anchored to real fns too; a rename that
+    /// silently widened the steady perimeter would weaken the certificate
+    /// in the *unsound* direction.
+    #[test]
+    fn warm_up_specs_resolve_on_the_live_workspace() {
+        let files = load_perimeter();
+        let graph = CallGraph::build(&files);
+        for spec in WARM_UP {
+            assert!(
+                !graph.resolve_entry(spec).is_empty(),
+                "warm-up spec {spec} resolves to nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn scope_predicate_matches_prefixes_and_files() {
+        assert!(hot_loop_scope("crates/core/src/query/topk.rs"));
+        assert!(hot_loop_scope("crates/graph/src/dheap.rs"));
+        assert!(!hot_loop_scope("crates/graph/src/csr.rs"));
+        assert!(!hot_loop_scope("crates/gtree/src/tree.rs"));
+    }
+}

@@ -306,6 +306,122 @@ fn parse_fn(
     Some(close + 1)
 }
 
+/// Delimiter-depth contribution of one token, counting parens, brackets,
+/// braces and angle brackets (`<<`/`>>` lex as one token and count
+/// twice; `->` contributes nothing).
+pub(crate) fn delim_depth(t: &Token) -> i32 {
+    match t.text.as_str() {
+        "(" | "[" | "{" | "<" => 1,
+        ")" | "]" | "}" | ">" => -1,
+        "<<" => 2,
+        ">>" => -2,
+        _ => 0,
+    }
+}
+
+/// The last identifier at nesting depth 0 in code range `[from, to)` —
+/// the path head of a type position: `Vec` for `Vec<u64>`, `Arc` for
+/// `std::sync::Arc<[T]>`, `Graph` for `&'a Graph`. `None` when the range
+/// has no depth-0 path segment (`[u32; 4]`, `(A, B)`, `fn(u32)`).
+pub(crate) fn type_head(file: &SourceFile, from: usize, to: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut head = None;
+    for j in from..to {
+        let t = tok(file, j);
+        if depth == 0 && t.kind == TokenKind::Ident {
+            if t.text == "fn" {
+                // `fn(..) -> T` pointer type: its return type must not
+                // masquerade as the path head.
+                return None;
+            }
+            if !matches!(
+                t.text.as_str(),
+                "dyn" | "mut" | "const" | "impl" | "pub" | "crate" | "as"
+            ) {
+                head = Some(t.text.clone());
+            }
+        }
+        depth += delim_depth(t);
+    }
+    head
+}
+
+/// Extracts `(struct, field, type head)` triples from every named-struct
+/// declaration in `file`. The call graph uses these to type
+/// `self.field.method(…)` receivers — e.g. `entries: Vec<u64>` on
+/// `DaryHeap` types `self.entries.push(…)` as a `Vec` growth site.
+/// Tuple/unit structs and fields without a depth-0 path head are skipped.
+pub fn parse_fields(file: &SourceFile) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let n = file.code.len();
+    let mut k = 0;
+    while k < n {
+        let is_decl = tok(file, k).is_ident("struct")
+            && k + 1 < n
+            && tok(file, k + 1).kind == TokenKind::Ident;
+        if !is_decl {
+            k += 1;
+            continue;
+        }
+        let name = tok(file, k + 1).text.clone();
+        // Generics run to the body `{`; a depth-0 `;` or `(` first means
+        // a unit or tuple struct (no named fields).
+        let mut depth = 0i32;
+        let mut open = k + 2;
+        while open < n {
+            let t = tok(file, open);
+            if depth == 0 && (t.is_punct(";") || t.is_punct("(")) {
+                break;
+            }
+            if depth == 0 && t.is_punct("{") {
+                let close = match_brace(file, open, n);
+                scan_fields(file, &name, open + 1, close, &mut out);
+                k = close;
+                break;
+            }
+            depth += delim_depth(t);
+            open += 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Splits a named-struct body into depth-0 comma chunks and records each
+/// `field: Type` pair with a resolvable type head.
+fn scan_fields(
+    file: &SourceFile,
+    struct_name: &str,
+    from: usize,
+    to: usize,
+    out: &mut Vec<(String, String, String)>,
+) {
+    let mut depth = 0i32;
+    let mut start = from;
+    let mut j = from;
+    while j <= to {
+        let boundary = j == to || (depth == 0 && tok(file, j).is_punct(","));
+        if !boundary {
+            depth += delim_depth(tok(file, j));
+            j += 1;
+            continue;
+        }
+        let mut d = 0i32;
+        for c in start..j {
+            let t = tok(file, c);
+            if d == 0 && t.is_punct(":") && c > start && tok(file, c - 1).kind == TokenKind::Ident {
+                if let Some(head) = type_head(file, c + 1, j) {
+                    out.push((struct_name.to_string(), tok(file, c - 1).text.clone(), head));
+                }
+                break;
+            }
+            d += delim_depth(t);
+        }
+        j += 1;
+        start = j;
+    }
+}
+
 /// Extracts (self type, trait name) from the impl-header tokens in
 /// `[k, open)`: generics are skipped, a top-level `for` (that is not an
 /// HRTB `for<`) splits trait from type, and each side's name is its last
@@ -465,6 +581,45 @@ fn shipped() { e() }
         let items = items(src);
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].name, "real");
+    }
+
+    #[test]
+    fn struct_fields_resolve_to_type_heads() {
+        let src = "\
+pub struct DaryHeap {
+    pub(crate) entries: Vec<u64>,
+    pos: Box<[u32]>,
+    seeds: std::sync::Arc<[Seed]>,
+    graph: &'static Graph,
+    raw: [u32; 4],
+    pair: (u32, u32),
+    cb: fn(u32) -> u32,
+}
+struct Unit;
+struct Tuple(u32, Vec<u8>);
+struct Generic<K: Ord, V> where V: Clone {
+    #[allow(dead_code)]
+    map: BTreeMap<K, V>,
+}
+";
+        let file = SourceFile::from_source("fixture.rs", src);
+        let fields = parse_fields(&file);
+        let head = |s: &str, f: &str| {
+            fields
+                .iter()
+                .find(|(sn, fname, _)| sn == s && fname == f)
+                .map(|(_, _, h)| h.as_str())
+        };
+        assert_eq!(head("DaryHeap", "entries"), Some("Vec"));
+        assert_eq!(head("DaryHeap", "pos"), Some("Box"));
+        assert_eq!(head("DaryHeap", "seeds"), Some("Arc"));
+        assert_eq!(head("DaryHeap", "graph"), Some("Graph"));
+        // Non-path types have no head and are skipped.
+        assert_eq!(head("DaryHeap", "raw"), None);
+        assert_eq!(head("DaryHeap", "pair"), None);
+        assert_eq!(head("DaryHeap", "cb"), None);
+        assert_eq!(head("Generic", "map"), Some("BTreeMap"));
+        assert!(!fields.iter().any(|(s, _, _)| s == "Unit" || s == "Tuple"));
     }
 
     #[test]

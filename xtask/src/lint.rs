@@ -24,13 +24,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use crate::baseline::{Baseline, Ratchet};
-use crate::json::Json;
-use crate::rules::{scan_file, Finding, Rule, Summary};
+use crate::baseline::Ratchet;
+use crate::report::{self, parse_format, Format};
+use crate::rules::{scan_file, Rule, Summary};
 use crate::scope::SourceFile;
-
-/// File name of the committed ratchet, relative to the workspace root.
-pub const BASELINE_FILE: &str = "lint-baseline.json";
 
 /// CLI usage, shared with `cargo xtask` help output.
 pub const USAGE: &str = "\
@@ -95,13 +92,6 @@ pub fn lint_workspace_rules(root: &Path, rules: &[Rule]) -> Summary {
     summary
 }
 
-/// Report format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Format {
-    Human,
-    Json,
-}
-
 #[derive(Debug)]
 struct Options {
     rules: Vec<Rule>,
@@ -155,14 +145,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-pub(crate) fn parse_format(value: &str) -> Result<Format, String> {
-    match value {
-        "human" => Ok(Format::Human),
-        "json" => Ok(Format::Json),
-        other => Err(format!("unknown format `{other}` — use human or json")),
-    }
-}
-
 /// CLI entry: `cargo xtask lint [options] [rule …]`.
 pub fn run(args: &[String]) -> ExitCode {
     let opts = match parse_args(args) {
@@ -185,62 +167,21 @@ pub fn run(args: &[String]) -> ExitCode {
 
     let root = workspace_root();
     let summary = lint_workspace_rules(&root, &opts.rules);
-    let baseline_path = root.join(BASELINE_FILE);
-    let mut baseline = match Baseline::load(&baseline_path) {
-        Ok(b) => b,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
     // With a rule filter active, entries of unselected rules must not be
-    // reported stale — those rules simply didn't run. (`panic-reachability`
-    // entries belong to `cargo xtask panics` and are always inactive here.)
+    // reported stale — those rules simply didn't run. (Reachability-rule
+    // entries belong to `cargo xtask panics`/`allocs` and are always
+    // inactive here.)
     let active: Vec<&str> = opts.rules.iter().map(|r| r.key()).collect();
-    let inactive: Vec<_> = baseline
-        .entries
-        .iter()
-        .filter(|e| !active.contains(&e.rule.as_str()))
-        .cloned()
-        .collect();
-    baseline
-        .entries
-        .retain(|e| active.contains(&e.rule.as_str()));
-
-    if opts.update_baseline {
-        let mut updated = baseline.updated(&summary.findings);
-        // Entries of rules this run didn't evaluate survive untouched.
-        updated.entries.extend(inactive);
-        if let Err(e) = fs::write(&baseline_path, updated.render()) {
-            eprintln!("error: cannot write {}: {e}", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "{} rewritten: {} entr{}",
-            BASELINE_FILE,
-            updated.entries.len(),
-            if updated.entries.len() == 1 {
-                "y"
-            } else {
-                "ies"
-            }
-        );
-        return ExitCode::SUCCESS;
-    }
-
-    let ratchet = baseline.apply(&summary.findings);
-    match opts.format {
-        Format::Human => print_human(&opts.rules, &summary, &ratchet),
-        Format::Json => print!(
-            "{}",
-            render_json("cargo-xtask-lint", &summary, &ratchet).render()
-        ),
-    }
-    if ratchet.new.is_empty() && (ratchet.stale.is_empty() || !opts.deny_stale) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    report::finish(
+        "cargo-xtask-lint",
+        &active,
+        &summary,
+        opts.update_baseline,
+        opts.deny_stale,
+        opts.format,
+        Vec::new(),
+        |ratchet| print_human(&opts.rules, &summary, ratchet),
+    )
 }
 
 fn print_human(rules: &[Rule], summary: &Summary, ratchet: &Ratchet) {
@@ -268,72 +209,7 @@ fn print_human(rules: &[Rule], summary: &Summary, ratchet: &Ratchet) {
         }
         println!("\n{} new finding(s)", ratchet.new.len());
     }
-    if !ratchet.stale.is_empty() {
-        println!();
-        for e in &ratchet.stale {
-            println!(
-                "stale baseline entry: {}:{} [{}] no longer fires — remove it from {}",
-                e.file, e.line, e.rule, BASELINE_FILE
-            );
-        }
-    }
-}
-
-/// SARIF-lite report: rule id, message, file, line, col, snippet per
-/// finding, plus the ratchet's verdict. Shared with `cargo xtask panics`,
-/// which emits the same shape under its own tool id.
-pub(crate) fn render_json(tool: &str, summary: &Summary, ratchet: &Ratchet) -> Json {
-    let finding = |f: &Finding, baselined: bool| {
-        Json::Obj(vec![
-            ("rule".into(), Json::Str(f.rule.key().to_string())),
-            ("message".into(), Json::Str(f.message.clone())),
-            ("file".into(), Json::Str(f.file.clone())),
-            ("line".into(), Json::Num(to_f64(f.line))),
-            ("col".into(), Json::Num(to_f64(f.col))),
-            ("snippet".into(), Json::Str(f.snippet.clone())),
-            ("baselined".into(), Json::Bool(baselined)),
-        ])
-    };
-    let mut findings: Vec<Json> = ratchet.new.iter().map(|f| finding(f, false)).collect();
-    findings.extend(ratchet.baselined.iter().map(|f| finding(f, true)));
-    let stale = ratchet
-        .stale
-        .iter()
-        .map(|e| {
-            Json::Obj(vec![
-                ("rule".into(), Json::Str(e.rule.clone())),
-                ("file".into(), Json::Str(e.file.clone())),
-                ("line".into(), Json::Num(to_f64(e.line))),
-                ("reason".into(), Json::Str(e.reason.clone())),
-            ])
-        })
-        .collect();
-    let justified = summary
-        .justified
-        .iter()
-        .map(|(&k, &n)| (k.to_string(), Json::Num(to_f64(n))))
-        .collect();
-    Json::Obj(vec![
-        ("tool".into(), Json::Str(tool.to_string())),
-        ("schema".into(), Json::Str("sarif-lite/2".into())),
-        (
-            "files_scanned".into(),
-            Json::Num(to_f64(summary.files_scanned)),
-        ),
-        ("new_count".into(), Json::Num(to_f64(ratchet.new.len()))),
-        (
-            "baselined_count".into(),
-            Json::Num(to_f64(ratchet.baselined.len())),
-        ),
-        ("findings".into(), Json::Arr(findings)),
-        ("stale_baseline".into(), Json::Arr(stale)),
-        ("justified".into(), Json::Obj(justified)),
-    ])
-}
-
-#[allow(clippy::cast_precision_loss)]
-fn to_f64(n: usize) -> f64 {
-    n as f64
+    report::print_stale(ratchet);
 }
 
 // ---------------------------------------------------------------------------
@@ -344,7 +220,9 @@ fn to_f64(n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json;
+    use crate::baseline::Baseline;
+    use crate::json::{self, Json};
+    use crate::report::{render_json, BASELINE_FILE};
 
     /// A fixture with one deliberately planted violation per scope-aware
     /// rule; every span is asserted byte-exactly.
@@ -414,7 +292,7 @@ fn hot(xs: &[u32], d: Weight, w: Weight) -> Weight {
         scan_file(&file, &Rule::ALL, &mut summary);
         let ratchet = Baseline::default().apply(&summary.findings);
 
-        let text = render_json("cargo-xtask-lint", &summary, &ratchet).render();
+        let text = render_json("cargo-xtask-lint", &summary, &ratchet, Vec::new()).render();
         let doc = json::parse(&text).expect("report must be valid JSON");
         assert_eq!(
             doc.get("tool").and_then(Json::as_str),

@@ -1,12 +1,15 @@
 //! `cargo xtask` — repo automation entry point.
 
+mod allocs;
 mod baseline;
 mod callgraph;
+mod entrypoints;
 mod items;
 mod json;
 mod lex;
 mod lint;
 mod panics;
+mod report;
 mod rules;
 mod scope;
 
@@ -18,6 +21,7 @@ usage: cargo xtask <task> [options]
 tasks:
   lint     run the K-SPIN lint wall (see `cargo xtask lint --help`)
   panics   certify serving hot paths panic-free (see `cargo xtask panics --help`)
+  allocs   certify serving steady state alloc-free (see `cargo xtask allocs --help`)
 
 Run `cargo xtask lint --list-rules` for the rule catalog.";
 
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint::run(&args[1..]),
         Some("panics") => panics::run(&args[1..]),
+        Some("allocs") => allocs::run(&args[1..]),
         Some("-h" | "--help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

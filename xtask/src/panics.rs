@@ -25,13 +25,13 @@
 //! as `cargo xtask lint` (rule key `panic-reachability`), so the
 //! certificate can only tighten over time.
 
-use std::fs;
 use std::process::ExitCode;
 
-use crate::baseline::{Baseline, Ratchet};
+use crate::baseline::Ratchet;
 use crate::callgraph::{body_tokens, CallGraph, Reach};
 use crate::lex::TokenKind;
-use crate::lint::{parse_format, render_json, walk_rs, workspace_root, Format, BASELINE_FILE};
+use crate::lint::{walk_rs, workspace_root};
+use crate::report::{self, parse_format, Format};
 use crate::rules::{statement_around, Finding, Rule, Summary};
 use crate::scope::SourceFile;
 
@@ -287,8 +287,9 @@ pub fn certify(files: Vec<SourceFile>, entry_specs: &[String]) -> Result<Certifi
     })
 }
 
-/// Loads the certified perimeter from disk.
-fn load_perimeter() -> Vec<SourceFile> {
+/// Loads the certified perimeter from disk. Shared with `cargo xtask
+/// allocs`, which certifies the same four hot-path crates.
+pub(crate) fn load_perimeter() -> Vec<SourceFile> {
     let root = workspace_root();
     let mut paths = Vec::new();
     for dir in CERT_DIRS {
@@ -380,49 +381,17 @@ pub fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    let root = workspace_root();
-    let baseline_path = root.join(BASELINE_FILE);
-    let mut baseline = match Baseline::load(&baseline_path) {
-        Ok(b) => b,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // Only this tool's rule participates; lint-rule entries stay untouched.
-    let key = Rule::PanicReachability.key();
-    let inactive: Vec<_> = baseline
-        .entries
-        .iter()
-        .filter(|e| e.rule != key)
-        .cloned()
-        .collect();
-    baseline.entries.retain(|e| e.rule == key);
-
-    if opts.update_baseline {
-        let mut updated = baseline.updated(&cert.summary.findings);
-        updated.entries.extend(inactive);
-        if let Err(e) = fs::write(&baseline_path, updated.render()) {
-            eprintln!("error: cannot write {}: {e}", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-        println!("{BASELINE_FILE} rewritten");
-        return ExitCode::SUCCESS;
-    }
-
-    let ratchet = baseline.apply(&cert.summary.findings);
-    match opts.format {
-        Format::Human => print_human(&cert, &ratchet),
-        Format::Json => print!(
-            "{}",
-            render_json("cargo-xtask-panics", &cert.summary, &ratchet).render()
-        ),
-    }
-    if ratchet.new.is_empty() && (ratchet.stale.is_empty() || !opts.deny_stale) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    // Only this tool's rule participates; other entries stay untouched.
+    report::finish(
+        "cargo-xtask-panics",
+        &[Rule::PanicReachability.key()],
+        &cert.summary,
+        opts.update_baseline,
+        opts.deny_stale,
+        opts.format,
+        Vec::new(),
+        |ratchet| print_human(&cert, ratchet),
+    )
 }
 
 fn print_human(cert: &Certificate, ratchet: &Ratchet) {
@@ -472,15 +441,7 @@ fn print_human(cert: &Certificate, ratchet: &Ratchet) {
             ratchet.new.len()
         );
     }
-    if !ratchet.stale.is_empty() {
-        println!();
-        for e in &ratchet.stale {
-            println!(
-                "stale baseline entry: {}:{} [{}] no longer fires — remove it from {}",
-                e.file, e.line, e.rule, BASELINE_FILE
-            );
-        }
-    }
+    report::print_stale(ratchet);
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +452,8 @@ fn print_human(cert: &Certificate, ratchet: &Ratchet) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::baseline::Baseline;
+    use crate::report::BASELINE_FILE;
 
     fn cert(src: &str, entries: &[&str]) -> Certificate {
         let specs: Vec<String> = entries.iter().map(|s| s.to_string()).collect();

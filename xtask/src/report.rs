@@ -1,0 +1,179 @@
+//! Shared report emission and baseline-ratchet plumbing for the xtask
+//! analysis tools.
+//!
+//! `cargo xtask lint`, `cargo xtask panics`, and `cargo xtask allocs` all
+//! end the same way: load `lint-baseline.json`, keep only the entries of
+//! the rules this run actually evaluated (the rest pass through
+//! untouched), either rewrite the baseline or apply the ratchet, emit a
+//! human or SARIF-lite JSON report, and exit non-zero on new findings or
+//! (under `--deny-stale`) stale entries. [`finish`] is that tail, written
+//! once; [`render_json`] is the shared report shape.
+
+use std::fs;
+use std::process::ExitCode;
+
+use crate::baseline::{Baseline, Ratchet};
+use crate::json::Json;
+use crate::lint::workspace_root;
+use crate::rules::{Finding, Summary};
+
+/// File name of the committed ratchet, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Report format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Format {
+    Human,
+    Json,
+}
+
+/// Parses a `--format` value.
+pub(crate) fn parse_format(value: &str) -> Result<Format, String> {
+    match value {
+        "human" => Ok(Format::Human),
+        "json" => Ok(Format::Json),
+        other => Err(format!("unknown format `{other}` — use human or json")),
+    }
+}
+
+/// The shared tail of every analysis run. `active` names the rule keys
+/// this run owns: baseline entries of other rules are neither applied nor
+/// reported stale, and survive `--update-baseline` untouched. `extras`
+/// appends tool-specific top-level keys to the JSON report (e.g. the
+/// allocs certifier's H1-dedup counter).
+pub(crate) fn finish(
+    tool: &str,
+    active: &[&str],
+    summary: &Summary,
+    update_baseline: bool,
+    deny_stale: bool,
+    format: Format,
+    extras: Vec<(String, Json)>,
+    print_human: impl FnOnce(&Ratchet),
+) -> ExitCode {
+    let baseline_path = workspace_root().join(BASELINE_FILE);
+    let mut baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inactive: Vec<_> = baseline
+        .entries
+        .iter()
+        .filter(|e| !active.contains(&e.rule.as_str()))
+        .cloned()
+        .collect();
+    baseline
+        .entries
+        .retain(|e| active.contains(&e.rule.as_str()));
+
+    if update_baseline {
+        let mut updated = baseline.updated(&summary.findings);
+        updated.entries.extend(inactive);
+        if let Err(e) = fs::write(&baseline_path, updated.render()) {
+            eprintln!("error: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{} rewritten: {} entr{}",
+            BASELINE_FILE,
+            updated.entries.len(),
+            if updated.entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let ratchet = baseline.apply(&summary.findings);
+    match format {
+        Format::Human => print_human(&ratchet),
+        Format::Json => print!("{}", render_json(tool, summary, &ratchet, extras).render()),
+    }
+    if ratchet.new.is_empty() && (ratchet.stale.is_empty() || !deny_stale) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints the stale-entry epilogue shared by the human reports.
+pub(crate) fn print_stale(ratchet: &Ratchet) {
+    if !ratchet.stale.is_empty() {
+        println!();
+        for e in &ratchet.stale {
+            println!(
+                "stale baseline entry: {}:{} [{}] no longer fires — remove it from {}",
+                e.file, e.line, e.rule, BASELINE_FILE
+            );
+        }
+    }
+}
+
+/// SARIF-lite report: rule id, message, file, line, col, snippet per
+/// finding, plus the ratchet's verdict. All three tools emit the same
+/// shape under their own tool id; `extras` is appended verbatim.
+pub(crate) fn render_json(
+    tool: &str,
+    summary: &Summary,
+    ratchet: &Ratchet,
+    extras: Vec<(String, Json)>,
+) -> Json {
+    let finding = |f: &Finding, baselined: bool| {
+        Json::Obj(vec![
+            ("rule".into(), Json::Str(f.rule.key().to_string())),
+            ("message".into(), Json::Str(f.message.clone())),
+            ("file".into(), Json::Str(f.file.clone())),
+            ("line".into(), Json::Num(to_f64(f.line))),
+            ("col".into(), Json::Num(to_f64(f.col))),
+            ("snippet".into(), Json::Str(f.snippet.clone())),
+            ("baselined".into(), Json::Bool(baselined)),
+        ])
+    };
+    let mut findings: Vec<Json> = ratchet.new.iter().map(|f| finding(f, false)).collect();
+    findings.extend(ratchet.baselined.iter().map(|f| finding(f, true)));
+    let stale = ratchet
+        .stale
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("rule".into(), Json::Str(e.rule.clone())),
+                ("file".into(), Json::Str(e.file.clone())),
+                ("line".into(), Json::Num(to_f64(e.line))),
+                ("reason".into(), Json::Str(e.reason.clone())),
+            ])
+        })
+        .collect();
+    let justified = summary
+        .justified
+        .iter()
+        .map(|(&k, &n)| (k.to_string(), Json::Num(to_f64(n))))
+        .collect();
+    let mut obj = vec![
+        ("tool".into(), Json::Str(tool.to_string())),
+        ("schema".into(), Json::Str("sarif-lite/2".into())),
+        (
+            "files_scanned".into(),
+            Json::Num(to_f64(summary.files_scanned)),
+        ),
+        ("new_count".into(), Json::Num(to_f64(ratchet.new.len()))),
+        (
+            "baselined_count".into(),
+            Json::Num(to_f64(ratchet.baselined.len())),
+        ),
+        ("findings".into(), Json::Arr(findings)),
+        ("stale_baseline".into(), Json::Arr(stale)),
+        ("justified".into(), Json::Obj(justified)),
+    ];
+    obj.extend(extras);
+    Json::Obj(obj)
+}
+
+#[allow(clippy::cast_precision_loss)]
+pub(crate) fn to_f64(n: usize) -> f64 {
+    n as f64
+}

@@ -1,12 +1,16 @@
 //! H1 `no-alloc-in-hot-loop` — no `Vec::new` / `vec!` / `.to_vec()` /
 //! `.clone()` / `.collect()` / `format!` / `Box::new` inside loop bodies
-//! of non-test code on the paper's hot paths: the Algorithm 1/3 query
-//! loops (`crates/core/src/query/`), inverted-heap extraction
-//! (`crates/core/src/heap.rs`) and VN3 kNN (`crates/nvd/src/knn.rs`).
-//! Per-iteration allocation is exactly the defect class the kNN
-//! experimentation literature blames for order-of-magnitude slowdowns;
-//! hoist a scratch buffer out of the loop or justify the site.
+//! of non-test code on the paper's hot paths. The file scope is derived
+//! from the steady-state serving entry-point set
+//! ([`crate::entrypoints::hot_loop_scope`]): the Algorithm 1/3 query
+//! loops, inverted-heap extraction, the batch executor, the seed cache,
+//! the d-ary heap kernel and VN3 kNN. Per-iteration allocation is
+//! exactly the defect class the kNN experimentation literature blames
+//! for order-of-magnitude slowdowns; hoist a scratch buffer out of the
+//! loop or justify the site. `cargo xtask allocs` deduplicates against
+//! these token-level spans so a site is reported by exactly one pass.
 
+use crate::entrypoints::hot_loop_scope;
 use crate::rules::{record, scope, tok, tok_is, Rule, Summary};
 use crate::scope::SourceFile;
 
@@ -19,15 +23,14 @@ const ALLOC_CTORS: [&str; 2] = ["Vec", "Box"];
 /// Macros that allocate (`format!`, `vec!`).
 const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
 
-fn in_scope(rel: &str) -> bool {
-    rel.starts_with("crates/core/src/query/")
-        || rel == "crates/core/src/heap.rs"
-        || rel == "crates/nvd/src/knn.rs"
-}
-
-pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
-    if !in_scope(&file.rel) {
-        return;
+/// Every token-level H1 match in `file` *before* justification handling:
+/// `(line, col, message)`. Shared with `cargo xtask allocs`, which drops
+/// its own classifier sites at these exact spans — H1 is the front line
+/// for in-loop allocation, whether reported or `lint:allow`ed.
+pub(crate) fn matches(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    if !hot_loop_scope(&file.rel) {
+        return out;
     }
     for k in 0..file.code.len() {
         let sc = scope(file, k);
@@ -59,18 +62,22 @@ pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
             .as_deref()
             .or(sc.item_name.as_deref())
             .unwrap_or("?");
-        record(
-            file,
+        out.push((
             t.line,
             t.col,
-            Rule::NoAllocInHotLoop,
             format!(
                 "allocation ({what}) inside a loop (depth {}) of `{fn_name}` — \
                  hoist a reused scratch buffer out of the hot loop or justify",
                 sc.loop_depth
             ),
-            summary,
-        );
+        ));
+    }
+    out
+}
+
+pub(crate) fn check(file: &SourceFile, summary: &mut Summary) {
+    for (line, col, message) in matches(file) {
+        record(file, line, col, Rule::NoAllocInHotLoop, message, summary);
     }
 }
 

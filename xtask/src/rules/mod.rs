@@ -44,6 +44,12 @@ pub enum Rule {
     /// (see `crate::panics`), listed here so its findings share the
     /// baseline ratchet and report plumbing.
     PanicReachability,
+    /// H2: no unjustified allocation source reachable from a steady-state
+    /// serving entry point after warm-up. Not a token-local pass —
+    /// produced by `cargo xtask allocs` (see `crate::allocs`), listed
+    /// here so its findings share the baseline ratchet and report
+    /// plumbing.
+    AllocReachability,
 }
 
 impl Rule {
@@ -72,6 +78,7 @@ impl Rule {
             Rule::NoSwallowedResult => "no-swallowed-result",
             Rule::NoBinaryHeap => "no-binary-heap",
             Rule::PanicReachability => "panic-reachability",
+            Rule::AllocReachability => "alloc-reachability",
         }
     }
 
@@ -87,6 +94,7 @@ impl Rule {
             Rule::NoSwallowedResult => "E1 no-swallowed-result",
             Rule::NoBinaryHeap => "K1 no-binary-heap",
             Rule::PanicReachability => "P1 panic-reachability",
+            Rule::AllocReachability => "H2 alloc-reachability",
         }
     }
 
@@ -119,6 +127,9 @@ impl Rule {
             }
             Rule::PanicReachability => {
                 "no unjustified panic source reachable from a serving entry point (cargo xtask panics)"
+            }
+            Rule::AllocReachability => {
+                "no unjustified allocation reachable from a steady-state entry point (cargo xtask allocs)"
             }
         }
     }
@@ -192,8 +203,9 @@ pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
             Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
             Rule::NoBinaryHeap => k1_no_binary_heap::check(file, summary),
             // Whole-workspace reachability, not a per-file pass: runs via
-            // `cargo xtask panics`, never through `scan_file`.
-            Rule::PanicReachability => {}
+            // `cargo xtask panics` / `cargo xtask allocs`, never through
+            // `scan_file`.
+            Rule::PanicReachability | Rule::AllocReachability => {}
         }
     }
 }

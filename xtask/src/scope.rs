@@ -374,6 +374,13 @@ impl SourceFile {
         self.covered_by(line, &panic_ok)
     }
 
+    /// Whether an `ALLOC-OK: capacity invariant` justification covers
+    /// 1-based `line` (same placement grammar as `PANIC-OK`) — the
+    /// allocation-reachability certifier's exemption marker.
+    pub fn alloc_justified(&self, line: usize) -> bool {
+        self.covered_by(line, &alloc_ok)
+    }
+
     /// The shared placement walk: a marker comment on the line itself or
     /// in the contiguous comment-only block directly above it.
     fn covered_by(&self, line: usize, pred: &dyn Fn(&str) -> bool) -> bool {
@@ -428,6 +435,15 @@ pub fn panic_ok(comment: &str) -> bool {
     comment
         .find("PANIC-OK:")
         .is_some_and(|p| comment[p + "PANIC-OK:".len()..].trim().len() >= 3)
+}
+
+/// Parses one `ALLOC-OK:` justification comment: the marker must be
+/// followed by a non-trivial capacity invariant (≥ 3 characters), e.g.
+/// `// ALLOC-OK: entries pre-sized to n at construction; len ≤ n`.
+pub fn alloc_ok(comment: &str) -> bool {
+    comment
+        .find("ALLOC-OK:")
+        .is_some_and(|p| comment[p + "ALLOC-OK:".len()..].trim().len() >= 3)
 }
 
 /// Parses one `lint:allow(..)` comment: the rule list must contain
@@ -668,6 +684,27 @@ fn f() {
         let f = SourceFile::from_source("x.rs", src);
         assert!(f.panic_justified(3));
         assert!(!f.panic_justified(4), "code line breaks the block");
+    }
+
+    #[test]
+    fn alloc_ok_marker_needs_an_invariant_and_follows_the_block_grammar() {
+        assert!(alloc_ok("// ALLOC-OK: pre-sized to n at construction"));
+        assert!(!alloc_ok("// ALLOC-OK:"));
+        assert!(!alloc_ok("// ALLOC-OK: x"));
+        assert!(!alloc_ok("// allocates here"));
+        let src = "\
+fn f() {
+    // ALLOC-OK: scratch grows to an engine-lifetime high-water mark
+    v.push(0);
+    w.push(0);
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.alloc_justified(3));
+        assert!(!f.alloc_justified(4), "code line breaks the block");
+        // The two markers are independent: ALLOC-OK never excuses a panic
+        // site and vice versa.
+        assert!(!f.panic_justified(3));
     }
 
     #[test]
