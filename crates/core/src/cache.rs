@@ -32,7 +32,7 @@
 //! concurrency site of the `sanctioned-concurrency` lint (see
 //! `xtask/src/rules/l3_concurrency.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -102,7 +102,13 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<(TermId, u32), Entry>,
+    /// Keyed by `(keyword, quadtree leaf)`. A `BTreeMap` rather than a
+    /// `HashMap` so every scan over the shard — the LRU victim search in
+    /// [`Shard::evict_to`], the invalidation `retain` — visits entries in
+    /// key order, independent of any hash seed (`cargo xtask determinism`
+    /// flags `RandomState` iteration on serving paths). Ties in
+    /// `last_used` therefore evict the same victim on every replica.
+    map: BTreeMap<(TermId, u32), Entry>,
     /// Monotone recency clock; bumped per touch.
     tick: u64,
     /// Bytes currently charged to this shard.

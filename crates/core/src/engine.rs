@@ -2,7 +2,6 @@
 //! pluggable distance/lower-bound modules together and hosts the query
 //! algorithms implemented in [`crate::query`].
 
-use std::collections::HashSet;
 use std::fmt;
 use std::ops::AddAssign;
 
@@ -145,7 +144,60 @@ pub(crate) struct QueryScratch {
     /// Per-heap MINKEY snapshot for Algorithm 3's selection scan.
     pub(crate) min_keys: Vec<Weight>,
     /// Candidate dedup set shared by the BkNN/top-k extraction loops.
-    pub(crate) evaluated: HashSet<ObjectId>,
+    pub(crate) evaluated: SeenSet,
+}
+
+/// Epoch-stamped membership set over `ObjectId`, replacing the former
+/// `HashSet<ObjectId>` dedup set: a `RandomState`-hashed set on the
+/// extraction loop was a latent nondeterminism source (and a rehash-growth
+/// alloc risk), flagged by `cargo xtask determinism`. Same trick as the
+/// `one_to_many` target slots in `kspin-graph::dijkstra` — a slot is a
+/// member iff its stamp equals the current epoch, so [`SeenSet::clear`]
+/// is O(1) and [`SeenSet::insert`] is a branch-free array write with no
+/// hashing, no iteration order, and no steady-state allocation.
+#[derive(Debug, Default)]
+pub(crate) struct SeenSet {
+    /// `epoch_of[o]` = the epoch in which object `o` was last inserted.
+    epoch_of: Vec<u32>,
+    /// Current membership epoch; 0 means "no epoch started".
+    epoch: u32,
+}
+
+impl SeenSet {
+    /// A set covering objects `0..n`, sized once at engine construction
+    /// (the warm-up phase — the query loops never resize it).
+    pub(crate) fn with_capacity(n: usize) -> SeenSet {
+        SeenSet {
+            epoch_of: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Empties the set by advancing the epoch — O(1), no deallocation.
+    /// On the (practically unreachable) u32 wrap the stamps are rewritten
+    /// wholesale so stale epochs can never alias.
+    pub(crate) fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.epoch_of.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Inserts `o`, returning whether it was newly inserted — the
+    /// `HashSet::insert` contract the query loops rely on.
+    pub(crate) fn insert(&mut self, o: ObjectId) -> bool {
+        // PANIC-OK: sized to corpus.num_objects() at engine construction,
+        // and every candidate ObjectId comes from that same corpus.
+        let slot = &mut self.epoch_of[o as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
 }
 
 /// A K-SPIN query engine: one borrowed index + corpus + lower-bound oracle,
@@ -196,7 +248,10 @@ impl<'a, D: NetworkDistance> QueryEngine<'a, D> {
             dist,
             dist_base,
             stats: QueryStats::default(),
-            scratch: QueryScratch::default(),
+            scratch: QueryScratch {
+                min_keys: Vec::new(),
+                evaluated: SeenSet::with_capacity(corpus.num_objects()),
+            },
             use_cache: true,
         }
     }

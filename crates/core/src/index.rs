@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use kspin_graph::{Graph, VertexId};
 use kspin_nvd::ApproxNvd;
@@ -42,6 +42,9 @@ impl Default for KspinConfig {
     fn default() -> Self {
         KspinConfig {
             rho: 5,
+            // DETER-OK: sizes the build/serving worker pool only; every
+            // parallel path writes into input-ordered result slots, so the
+            // worker count never reaches a returned value.
             num_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
             seed_cache: SeedCacheConfig::default(),
         }
@@ -80,7 +83,11 @@ pub struct NvdIndex {
     pub(crate) apx: ApproxNvd,
     /// `corpus_ids[local] = corpus object id` (extended by lazy inserts).
     pub(crate) corpus_ids: Vec<ObjectId>,
-    pub(crate) local_of: HashMap<ObjectId, u32>,
+    /// Reverse mapping, `object id → local id`. A `BTreeMap` rather than
+    /// a `HashMap`: lookups are the only hot operation, but the auditor
+    /// and §6.2 update paths iterate it, and a `RandomState`-ordered walk
+    /// on those paths is exactly what `cargo xtask determinism` forbids.
+    pub(crate) local_of: BTreeMap<ObjectId, u32>,
 }
 
 impl NvdIndex {

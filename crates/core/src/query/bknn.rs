@@ -66,8 +66,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // ALLOC-OK: heap generation — one |ψ|-bounded Vec per query;
             // the extraction loop below never grows it.
             .collect();
-        // Engine-lifetime dedup set (lint H1): cleared per query, grown to
-        // high-water capacity once, never reallocated in the hot loop.
+        // Engine-lifetime epoch-stamped dedup set (lint H1 + determinism):
+        // clear() bumps the epoch in O(1); no hashing, no iteration order.
         let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
         evaluated.clear();
         // Max-heap of the best k so far; top = current D_k.
@@ -102,8 +102,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             };
             // Any object in this heap contains its keyword, so only
             // duplicates across heaps are filtered (line 10).
-            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
-            // capacity once, then inserts into cleared-but-kept storage.
+            // ALLOC-OK: epoch-stamped SeenSet insert — a plain array
+            // write into storage sized once at engine construction.
             if !evaluated.insert(c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;

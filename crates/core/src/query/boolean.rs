@@ -150,8 +150,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // ALLOC-OK: heap generation — one |ψ|-bounded Vec per query;
             // the extraction loop below never grows it.
             .collect();
-        // Engine-lifetime dedup set (lint H1): cleared per query, never
-        // reallocated in the extraction loop.
+        // Engine-lifetime epoch-stamped dedup set (lint H1 + determinism):
+        // clear() bumps the epoch in O(1); no hashing, no iteration order.
         let mut evaluated = std::mem::take(&mut self.scratch.evaluated);
         evaluated.clear();
         // lint:allow(no-binary-heap) — bounded k-best result max-heap for
@@ -182,8 +182,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
                 debug_assert!(false, "heap {i} reported MINKEY but was empty");
                 break;
             };
-            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
-            // capacity once, then inserts into cleared-but-kept storage.
+            // ALLOC-OK: epoch-stamped SeenSet insert — a plain array
+            // write into storage sized once at engine construction.
             if !evaluated.insert(c.object) || !expr.matches(self.corpus, c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;

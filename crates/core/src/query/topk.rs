@@ -103,9 +103,9 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             // ALLOC-OK: |ψ|-bounded per-query summand table, built once.
             .collect();
 
-        // Engine-lifetime scratch (lint H1): the dedup set and the MINKEY
-        // snapshot reach high-water capacity on the first query and are
-        // only cleared — never reallocated — afterwards.
+        // Engine-lifetime scratch (lint H1 + determinism): the epoch-stamped
+        // dedup set clears in O(1); the MINKEY snapshot reaches high-water
+        // capacity on the first query and is never reallocated afterwards.
         let mut processed = std::mem::take(&mut self.scratch.evaluated);
         processed.clear();
         let mut min_keys = std::mem::take(&mut self.scratch.min_keys);
@@ -162,8 +162,8 @@ impl<D: NetworkDistance> QueryEngine<'_, D> {
             if let Some(h) = heaps[i].take_if(|h| h.is_empty()) {
                 self.stats.absorb_heap(&h);
             }
-            // ALLOC-OK: engine-lifetime dedup set — reaches high-water
-            // capacity once, then inserts into cleared-but-kept storage.
+            // ALLOC-OK: epoch-stamped SeenSet insert — a plain array
+            // write into storage sized once at engine construction.
             if !processed.insert(c.object) {
                 self.stats.pruned_candidates += 1;
                 continue;

@@ -148,6 +148,61 @@ fn batch_executor_matches_sequential_cold_at_all_thread_counts() {
     assert!(out.stats.seed_reuse > 0);
 }
 
+/// Live §6.2 update stream: several epochs of interleaved deletes and
+/// re-inserts, with batched reads between them keeping the seed cache warm.
+/// After EVERY epoch, parallel + cached serving must still be bit-identical
+/// to a sequential cold run over the post-update index — the dynamic face
+/// of the `cargo xtask determinism` certificate.
+#[test]
+fn batch_executor_stays_deterministic_across_live_update_stream() {
+    let mut f = fixture();
+
+    // Objects of queried keywords, so updates hit cached seed cells.
+    let mut touched: Vec<ObjectId> = f
+        .queries
+        .iter()
+        .filter_map(|q| match q {
+            ServingQuery::Bknn { terms, .. } | ServingQuery::TopK { terms, .. } => {
+                f.corpus.inverted(terms[0]).first().map(|p| p.object)
+            }
+            ServingQuery::Boolean { .. } => None,
+        })
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched.truncate(9);
+    assert!(touched.len() >= 6, "workload touched too few objects");
+
+    let mut dist = DijkstraDistance::new(&f.graph);
+    let mut invalidated_so_far = 0;
+    for (epoch, batch) in touched.chunks(3).enumerate() {
+        // Batched reads warm the cache so this epoch's updates have live
+        // entries to invalidate — the interleaving §6.2 serves.
+        let warm = BatchExecutor::new(&f.graph, &f.corpus, &f.index, &f.alt, 2)
+            .execute(&f.queries, || DijkstraDistance::new(&f.graph));
+        assert!(warm.stats.cache_hits + warm.stats.cache_misses > 0);
+
+        // Delete the epoch's batch, re-insert a prefix of it.
+        for &o in batch {
+            f.index.delete_object(&f.corpus, o);
+        }
+        for &o in batch.iter().take(epoch % batch.len().max(1)) {
+            f.index.insert_object(&f.graph, &f.corpus, o, &mut dist);
+        }
+        let stats = f.index.seed_cache().expect("cache enabled").stats();
+        assert!(
+            stats.invalidated > invalidated_so_far,
+            "epoch {epoch} updates invalidated no cached seed cells"
+        );
+        invalidated_so_far = stats.invalidated;
+
+        // The certificate's claim, live: after every update epoch the
+        // parallel cached executor equals the sequential cold reference.
+        let reference = sequential_cold(&f);
+        assert_batches_match(&f, &reference);
+    }
+}
+
 #[test]
 fn batch_executor_stays_deterministic_after_updates() {
     let mut f = fixture();

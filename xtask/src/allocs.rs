@@ -34,17 +34,17 @@
 //! token-level H1 hot-loop lint already polices are deduplicated out of
 //! this report. Everything else is a finding under the
 //! `alloc-reachability` rule of the shared `lint-baseline.json` ratchet.
+//!
+//! The sweep/ratchet/CLI plumbing lives in the shared driver
+//! ([`crate::report::run_certifier`]); this module is classifier-only.
 
 use std::process::ExitCode;
 
-use crate::baseline::Ratchet;
-use crate::callgraph::{body_tokens, CallGraph, Reach};
+use crate::callgraph::{body_tokens, CallGraph};
 use crate::entrypoints::{STEADY_ENTRIES, WARM_UP};
-use crate::json::Json;
 use crate::lex::TokenKind;
-use crate::panics::load_perimeter;
-use crate::report::{self, parse_format, to_f64, Format};
-use crate::rules::{h1_no_alloc, Finding, Rule, Summary};
+use crate::report::{self, Certifier, Hooks, Site};
+use crate::rules::{h1_no_alloc, Rule};
 use crate::scope::SourceFile;
 
 /// CLI usage.
@@ -65,6 +65,24 @@ options:
   --update-baseline       rewrite lint-baseline.json from current findings
   --deny-stale            fail when baseline entries no longer fire (CI)
   -h, --help              show this help";
+
+/// The certifier description block the shared driver runs from.
+const CERTIFIER: Certifier = Certifier {
+    tool: "cargo-xtask-allocs",
+    name: "allocs",
+    usage: USAGE,
+    rule: Rule::AllocReachability,
+    default_entries: &STEADY_ENTRIES,
+    warm_up: &WARM_UP,
+    marker: "ALLOC-OK",
+    reach_adjective: "steady-reachable",
+    noun: "steady-state allocation",
+    hooks: Hooks {
+        classify: alloc_sites,
+        justified: SourceFile::alloc_justified,
+        dedup: Some(h1_spans),
+    },
+};
 
 /// Allocating `Type::ctor(…)` qualifiers.
 const ALLOC_TYPES: [&str; 11] = [
@@ -125,15 +143,13 @@ const GROWTH_METHODS: [&str; 9] = [
     "append",
 ];
 
-/// One classified allocation source inside an item body.
-#[derive(Debug)]
-pub struct Site {
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based byte column.
-    pub col: usize,
-    /// Human description of the allocation class.
-    pub what: String,
+/// The `(line, col)` sites the token-level H1 hot-loop lint already
+/// polices in `file` — deduplicated out of this certifier's report.
+fn h1_spans(file: &SourceFile) -> Vec<(usize, usize)> {
+    h1_no_alloc::matches(file)
+        .into_iter()
+        .map(|(line, col, _)| (line, col))
+        .collect()
 }
 
 /// Classifies every allocation source in the certified body of
@@ -208,274 +224,27 @@ pub fn alloc_sites(file: &SourceFile, graph: &CallGraph, idx: usize) -> Vec<Site
     out
 }
 
-/// The full analysis result, kept for reporting and the self-tests.
-pub struct Certificate {
-    pub graph: CallGraph,
-    pub reach: Reach,
-    /// Resolved steady-state entry items per spec.
-    pub entries: Vec<(String, Vec<usize>)>,
-    /// Resolved warm-up boundary items per spec.
-    pub warm_up: Vec<(String, Vec<usize>)>,
-    /// Unjustified findings (rule `alloc-reachability`).
-    pub summary: Summary,
-    /// Sites dropped because the token-level H1 hot-loop lint already
-    /// reports the same (file, line, col).
-    pub deduplicated: usize,
-}
-
 /// Runs the analysis over `files` from the given steady-state entry
-/// specs, never crossing the warm-up boundary specs. Both spec lists
-/// must resolve in full: a renamed entry silently narrows the
-/// certificate, a renamed warm-up fence silently *widens* it — each is
-/// a hard error.
+/// specs, never crossing the warm-up boundary specs. Test-facing twin of
+/// the [`run`] CLI path.
+#[cfg(test)]
 pub fn certify(
     files: Vec<SourceFile>,
     entry_specs: &[String],
     warm_up_specs: &[String],
-) -> Result<Certificate, String> {
-    let graph = CallGraph::build(&files);
-    let resolve_all = |specs: &[String], kind: &str| -> Result<Vec<(String, Vec<usize>)>, String> {
-        let mut resolved = Vec::new();
-        let mut missing = Vec::new();
-        for spec in specs {
-            let items = graph.resolve_entry(spec);
-            if items.is_empty() {
-                missing.push(spec.clone());
-            }
-            resolved.push((spec.clone(), items));
-        }
-        if missing.is_empty() {
-            Ok(resolved)
-        } else {
-            Err(format!(
-                "{kind} spec(s) resolved to no certified fn — renamed or removed? {}",
-                missing.join(", ")
-            ))
-        }
-    };
-    let entries = resolve_all(entry_specs, "entry point")?;
-    let warm_up = resolve_all(warm_up_specs, "warm-up boundary")?;
-    let roots: Vec<usize> = entries
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .collect();
-    let avoid: Vec<usize> = warm_up
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .collect();
-    let reach = graph.reach_avoiding(&roots, &avoid);
-
-    let mut summary = Summary {
-        files_scanned: files.len(),
-        ..Summary::default()
-    };
-    let mut deduplicated = 0usize;
-    for idx in 0..graph.items.len() {
-        if !graph.items[idx].certified() || !reach.reached(idx) {
-            continue;
-        }
-        let file = &files[graph.items[idx].file_idx];
-        // H1 polices these exact (line, col) sites already — one report.
-        let h1: Vec<(usize, usize)> = h1_no_alloc::matches(file)
-            .into_iter()
-            .map(|(line, col, _)| (line, col))
-            .collect();
-        for site in alloc_sites(file, &graph, idx) {
-            if h1.contains(&(site.line, site.col)) {
-                deduplicated += 1;
-                continue;
-            }
-            if file.alloc_justified(site.line) {
-                *summary
-                    .justified
-                    .entry(Rule::AllocReachability.key())
-                    .or_insert(0) += 1;
-                continue;
-            }
-            let chain: Vec<String> = reach
-                .chain(idx)
-                .into_iter()
-                .map(|i| graph.items[i].qualified())
-                .collect();
-            summary.findings.push(Finding {
-                rule: Rule::AllocReachability,
-                file: file.rel.clone(),
-                line: site.line,
-                col: site.col,
-                message: format!("{}; via {}", site.what, chain.join(" → ")),
-                snippet: file.snippet(site.line).to_string(),
-            });
-        }
-    }
-    summary.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col)
-            .cmp(&(&b.file, b.line, b.col))
-            .then_with(|| a.message.cmp(&b.message))
-    });
-    Ok(Certificate {
-        graph,
-        reach,
-        entries,
-        warm_up,
-        summary,
-        deduplicated,
-    })
-}
-
-#[derive(Debug)]
-struct Options {
-    format: Format,
-    entries: Vec<String>,
-    list_entries: bool,
-    update_baseline: bool,
-    deny_stale: bool,
-    help: bool,
-}
-
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        format: Format::Human,
-        entries: Vec::new(),
-        list_entries: false,
-        update_baseline: false,
-        deny_stale: false,
-        help: false,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--format" => {
-                let value = it.next().ok_or("--format needs a value: human or json")?;
-                opts.format = parse_format(value)?;
-            }
-            "--entry" => {
-                let value = it.next().ok_or("--entry needs a Type::method value")?;
-                opts.entries.push(value.clone());
-            }
-            "--list-entries" => opts.list_entries = true,
-            "--update-baseline" => opts.update_baseline = true,
-            "--deny-stale" => opts.deny_stale = true,
-            "-h" | "--help" => opts.help = true,
-            other => {
-                if let Some(value) = other.strip_prefix("--format=") {
-                    opts.format = parse_format(value)?;
-                } else if let Some(value) = other.strip_prefix("--entry=") {
-                    opts.entries.push(value.to_string());
-                } else {
-                    return Err(format!("unknown argument `{other}`"));
-                }
-            }
-        }
-    }
-    if opts.entries.is_empty() {
-        opts.entries.extend(STEADY_ENTRIES.map(str::to_string));
-    }
-    Ok(opts)
+) -> Result<report::Certificate, String> {
+    report::certify(
+        files,
+        entry_specs,
+        warm_up_specs,
+        Rule::AllocReachability,
+        &CERTIFIER.hooks,
+    )
 }
 
 /// CLI entry: `cargo xtask allocs [options]`.
 pub fn run(args: &[String]) -> ExitCode {
-    let opts = match parse_args(args) {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if opts.help {
-        println!("{USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    if opts.list_entries {
-        for e in STEADY_ENTRIES {
-            println!("{e}");
-        }
-        for w in WARM_UP {
-            println!("warm-up {w}");
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    let warm: Vec<String> = WARM_UP.map(str::to_string).to_vec();
-    let cert = match certify(load_perimeter(), &opts.entries, &warm) {
-        Ok(cert) => cert,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let extras = vec![(
-        "deduplicated_with_h1".to_string(),
-        Json::Num(to_f64(cert.deduplicated)),
-    )];
-    report::finish(
-        "cargo-xtask-allocs",
-        &[Rule::AllocReachability.key()],
-        &cert.summary,
-        opts.update_baseline,
-        opts.deny_stale,
-        opts.format,
-        extras,
-        |ratchet| print_human(&cert, ratchet),
-    )
-}
-
-fn print_human(cert: &Certificate, ratchet: &Ratchet) {
-    let certified = cert.graph.items.iter().filter(|i| i.certified()).count();
-    let reachable = (0..cert.graph.items.len())
-        .filter(|&i| cert.graph.items[i].certified() && cert.reach.reached(i))
-        .count();
-    println!(
-        "cargo xtask allocs — {} files, {} certified fns, {} steady-reachable from {} entry points",
-        cert.summary.files_scanned,
-        certified,
-        reachable,
-        cert.entries.len()
-    );
-    for (spec, resolved) in &cert.entries {
-        let defs: Vec<String> = resolved
-            .iter()
-            .map(|&i| {
-                let item = &cert.graph.items[i];
-                format!("{}:{}", item.file, item.line)
-            })
-            .collect();
-        println!("  entry {:<36} → {}", spec, defs.join(", "));
-    }
-    let fenced: usize = cert.warm_up.iter().map(|(_, v)| v.len()).sum();
-    println!(
-        "  warm-up boundary: {} spec(s) fencing {} fn(s) — allowed to allocate",
-        cert.warm_up.len(),
-        fenced
-    );
-    let justified = cert
-        .summary
-        .justified
-        .get(Rule::AllocReachability.key())
-        .copied()
-        .unwrap_or(0);
-    println!(
-        "  {} new finding(s), {} baselined, {} justified via ALLOC-OK, {} deduplicated with H1",
-        ratchet.new.len(),
-        ratchet.baselined.len(),
-        justified,
-        cert.deduplicated
-    );
-    if !ratchet.new.is_empty() {
-        println!();
-        for f in &ratchet.new {
-            println!("{f}");
-            if !f.snippet.is_empty() {
-                println!("    {}", f.snippet);
-            }
-        }
-        println!(
-            "\n{} unjustified steady-state allocation site(s)",
-            ratchet.new.len()
-        );
-    }
-    report::print_stale(ratchet);
+    report::run_certifier(&CERTIFIER, args)
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +258,7 @@ mod tests {
     use super::*;
     use crate::baseline::Baseline;
     use crate::lint::workspace_root;
-    use crate::report::BASELINE_FILE;
+    use crate::report::{load_perimeter, Certificate, BASELINE_FILE};
 
     fn cert_at(rel: &str, src: &str, entries: &[&str], warm: &[&str]) -> Certificate {
         let e: Vec<String> = entries.iter().map(|s| s.to_string()).collect();

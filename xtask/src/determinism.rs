@@ -1,0 +1,518 @@
+//! `cargo xtask determinism` — the call-graph determinism certifier.
+//!
+//! Third certificate in the family ([`crate::panics`], [`crate::allocs`]):
+//! proves (conservatively) that the serving steady state is
+//! *order-deterministic* — every query processor returns bit-identical
+//! results regardless of hash seed, wall clock, rng state, thread count,
+//! or chunk-claiming order. This is the static twin of
+//! `tests/serving_determinism.rs`, which pins the same property
+//! dynamically for one workload on one host; together they back the
+//! paper's parallel ≡ sequential serving claim (§5) and the ROADMAP's
+//! scatter-gather precondition (every replica must answer byte-identically).
+//!
+//! The sweep reuses the allocation certifier's phase split: reachability
+//! starts from [`crate::entrypoints::STEADY_ENTRIES`] and never crosses
+//! the [`crate::entrypoints::WARM_UP`] boundary — index builds may read
+//! clocks and hash freely because their *outputs* are sorted/canonical
+//! structures, which the build-determinism tests pin separately.
+//!
+//! The classifier enumerates five nondeterminism source classes:
+//!
+//! * **(a) hash-order iteration** — `.iter()`/`.keys()`/`.drain()`/… and
+//!   `for`-loops over a receiver that resolves to `HashMap`/`HashSet`:
+//!   `RandomState` makes the visit order differ per process, so any
+//!   result or heap-push order derived from it differs too.
+//! * **(b) hash container construction** — `HashMap::new()`,
+//!   `HashSet::with_capacity()`, …: building a `RandomState`-hashed
+//!   container on a result path is flagged at the source even when the
+//!   escaping iteration happens in untypable code.
+//! * **(c) time/rng reads** — `Instant::now()`, `SystemTime::now()`,
+//!   `thread_rng()`, `from_entropy()`, `random()`: fine for metrics,
+//!   nondeterministic for anything that feeds a result.
+//! * **(d) order-sensitive float reduction** — `.sum()`/`.product()`
+//!   with float evidence in the statement: float addition is
+//!   non-associative, so a reduction whose operand order varies with
+//!   thread count or chunk claiming varies bit-wise.
+//! * **(e) host-shape branches** — `available_parallelism()`,
+//!   `thread::current()`: results must not depend on how many workers
+//!   the host happens to offer.
+//!
+//! A site whose ordering provably cannot escape carries an inline
+//! `// DETER-OK: <ordering invariant>` justification (same placement
+//! grammar as `PANIC-OK`/`ALLOC-OK`) and is counted but not reported.
+//! Everything else is a finding under the `determinism` rule of the
+//! shared `lint-baseline.json` ratchet.
+//!
+//! The sweep/ratchet/CLI plumbing lives in the shared driver
+//! ([`crate::report::run_certifier`]); this module is classifier-only.
+
+use std::process::ExitCode;
+
+use crate::callgraph::{body_tokens, CallGraph};
+use crate::entrypoints::{STEADY_ENTRIES, WARM_UP};
+use crate::lex::TokenKind;
+use crate::report::{self, Certifier, Hooks, Site};
+use crate::rules::{statement_around, Rule};
+use crate::scope::SourceFile;
+
+/// CLI usage.
+pub const USAGE: &str = "\
+usage: cargo xtask determinism [options]
+
+Certifies that no unjustified nondeterminism source (hash-order
+iteration, RandomState container construction, time/rng reads,
+order-sensitive float reduction, worker-count branches) is reachable
+from the steady-state serving entry points (see --list-entries) without
+crossing the warm-up boundary. Sites are exempted by an inline
+`// DETER-OK: ordering invariant` comment; remaining findings pass
+through the lint-baseline.json ratchet under the `determinism` rule.
+
+options:
+  --format <human|json>   report format (json is SARIF-lite; default human)
+  --entry <Type::method>  add an entry point (repeatable; replaces defaults)
+  --list-entries          print the default entry points and warm-up set
+  --update-baseline       rewrite lint-baseline.json from current findings
+  --deny-stale            fail when baseline entries no longer fire (CI)
+  -h, --help              show this help";
+
+/// The certifier description block the shared driver runs from.
+const CERTIFIER: Certifier = Certifier {
+    tool: "cargo-xtask-determinism",
+    name: "determinism",
+    usage: USAGE,
+    rule: Rule::Determinism,
+    default_entries: &STEADY_ENTRIES,
+    warm_up: &WARM_UP,
+    marker: "DETER-OK",
+    reach_adjective: "steady-reachable",
+    noun: "nondeterminism",
+    hooks: Hooks {
+        classify: deter_sites,
+        justified: SourceFile::deter_justified,
+        dedup: None,
+    },
+};
+
+/// `RandomState`-hashed std containers whose iteration order is
+/// seed-dependent.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Methods that iterate (or visit-and-mutate) a container in its storage
+/// order — nondeterministic when the receiver is a [`HASH_TYPES`] type.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+    "into_keys",
+    "into_values",
+];
+
+/// Constructors that build a hashed container (class b). Includes
+/// `with_capacity_and_hasher`: even a fixed hasher leaves the order an
+/// implementation detail of the bucket layout, so it still needs a
+/// DETER-OK invariant to sit on a result path.
+const HASH_CTORS: [&str; 5] = [
+    "new",
+    "with_capacity",
+    "with_capacity_and_hasher",
+    "default",
+    "from_iter",
+];
+
+/// Clock-source qualifiers for `::now()` (class c).
+const CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+
+/// Free/assoc rng calls (class c).
+const RNG_CALLS: [&str; 3] = ["thread_rng", "from_entropy", "random"];
+
+/// Order-sensitive reducers when operating on floats (class d).
+const FLOAT_REDUCERS: [&str; 2] = ["sum", "product"];
+
+/// Classifies every nondeterminism source in the certified body of
+/// `items[idx]`, walking release-visible tokens only (the call-graph
+/// layer's skip rules for `debug_assert*!`, attributes, gated
+/// statements, and nested fns apply here too).
+pub fn deter_sites(file: &SourceFile, graph: &CallGraph, idx: usize) -> Vec<Site> {
+    let locals = graph.local_types(file, idx);
+    let self_ty = graph.items[idx].self_type.clone();
+    let mut out = Vec::new();
+    for k in body_tokens(file, &graph.items, idx) {
+        let t = &file.tokens[file.code[k]];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = |n: usize| (k >= n).then(|| &file.tokens[file.code[k - n]]);
+        let next = |n: usize| file.code.get(k + n).map(|&i| &file.tokens[i]);
+        let name = t.text.as_str();
+
+        // (a) `for x in map { … }` — the iterated receiver resolves to a
+        // hash type. Method-style iteration is handled by the dot-call
+        // arm below, so this only needs the bare `for … in receiver {`
+        // shape (optionally through `&`/`mut`).
+        if name == "in" {
+            let mut j = k + 1;
+            while file
+                .code
+                .get(j)
+                .is_some_and(|&i| file.tokens[i].is_punct("&") || file.tokens[i].is_ident("mut"))
+            {
+                j += 1;
+            }
+            let at = |n: usize| file.code.get(n).map(|&i| &file.tokens[i]);
+            let resolved: Option<(String, &crate::lex::Token)> = if at(j)
+                .is_some_and(|r| r.is_ident("self"))
+                && at(j + 1).is_some_and(|d| d.is_punct("."))
+                && at(j + 2).is_some_and(|f| f.kind == TokenKind::Ident)
+                && at(j + 3).is_some_and(|b| b.is_punct("{"))
+            {
+                let field = &file.tokens[file.code[j + 2]];
+                self_ty
+                    .as_ref()
+                    .and_then(|ty| {
+                        graph
+                            .field_types
+                            .get(&(ty.clone(), field.text.clone()))
+                            .cloned()
+                    })
+                    .map(|ty| (ty, field))
+            } else if at(j).is_some_and(|r| r.kind == TokenKind::Ident)
+                && at(j + 1).is_some_and(|b| b.is_punct("{"))
+            {
+                let recv = &file.tokens[file.code[j]];
+                locals.get(&recv.text).cloned().map(|ty| (ty, recv))
+            } else {
+                None
+            };
+            if let Some((ty, recv)) = resolved {
+                if HASH_TYPES.contains(&ty.as_str()) {
+                    out.push(Site {
+                        line: recv.line,
+                        col: recv.col,
+                        what: format!("for-loop over `{ty}` iterates in RandomState order"),
+                    });
+                }
+            }
+            continue;
+        }
+
+        let site = |what: String| Site {
+            line: t.line,
+            col: t.col,
+            what,
+        };
+
+        // `.method(…)` (optionally through a `::<…>` turbofish).
+        let dot_call = prev(1).is_some_and(|p| p.is_punct("."))
+            && next(1).is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+        if dot_call {
+            if ITER_METHODS.contains(&name) {
+                if let Some(ty) = graph.receiver_type(file, idx, k, &locals) {
+                    if HASH_TYPES.contains(&ty.as_str()) {
+                        out.push(site(format!(
+                            ".{name}() on `{ty}` iterates in RandomState order"
+                        )));
+                    }
+                }
+            }
+            if FLOAT_REDUCERS.contains(&name) && float_in_statement(file, k) {
+                out.push(site(format!(
+                    ".{name}() float reduction is order-sensitive"
+                )));
+            }
+            continue;
+        }
+
+        // `Qual::name(…)`.
+        let qualified = prev(1).is_some_and(|p| p.is_punct("::"))
+            && next(1).is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+        if qualified {
+            if let Some(q) = prev(2).filter(|q| q.kind == TokenKind::Ident) {
+                if name == "now" && CLOCK_TYPES.contains(&q.text.as_str()) {
+                    out.push(site(format!("{}::now() reads the clock", q.text)));
+                    continue;
+                }
+                if HASH_CTORS.contains(&name) && HASH_TYPES.contains(&q.text.as_str()) {
+                    out.push(site(format!(
+                        "{}::{name}() builds a RandomState-hashed container",
+                        q.text
+                    )));
+                    continue;
+                }
+                if name == "current" && q.text == "thread" {
+                    out.push(site(
+                        "thread::current() makes results thread-dependent".to_string(),
+                    ));
+                    continue;
+                }
+            }
+        }
+
+        // Bare or qualified calls that are nondeterministic by name.
+        let called = next(1).is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+        if called {
+            if RNG_CALLS.contains(&name) {
+                out.push(site(format!("{name}() draws nondeterministic randomness")));
+            } else if name == "available_parallelism" {
+                out.push(site(
+                    "available_parallelism() varies with the host's worker count".to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Float evidence anywhere in the statement containing code token `k`:
+/// an `f32`/`f64` type token or a float literal. Mirrors the panic
+/// certifier's integer-division heuristic, inverted — integer reduction
+/// is order-insensitive, float reduction is not.
+fn float_in_statement(file: &SourceFile, k: usize) -> bool {
+    let (start, end) = statement_around(file, k);
+    (start..end).any(|j| {
+        let t = &file.tokens[file.code[j]];
+        match t.kind {
+            TokenKind::Ident => t.text == "f64" || t.text == "f32",
+            TokenKind::NumLit => {
+                t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32")
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Runs the analysis over `files` from the given steady-state entry
+/// specs, never crossing the warm-up boundary specs. Test-facing twin of
+/// the [`run`] CLI path.
+#[cfg(test)]
+pub fn certify(
+    files: Vec<SourceFile>,
+    entry_specs: &[String],
+    warm_up_specs: &[String],
+) -> Result<report::Certificate, String> {
+    report::certify(
+        files,
+        entry_specs,
+        warm_up_specs,
+        Rule::Determinism,
+        &CERTIFIER.hooks,
+    )
+}
+
+/// CLI entry: `cargo xtask determinism [options]`.
+pub fn run(args: &[String]) -> ExitCode {
+    report::run_certifier(&CERTIFIER, args)
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: one true positive per source class with exact spans,
+// receiver-typed precision, DETER-OK suppression, the warm-up fence, and
+// the live workspace certificate.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::lint::workspace_root;
+    use crate::report::{load_perimeter, Certificate, BASELINE_FILE};
+
+    fn cert(src: &str, entries: &[&str], warm: &[&str]) -> Certificate {
+        let e: Vec<String> = entries.iter().map(|s| s.to_string()).collect();
+        let w: Vec<String> = warm.iter().map(|s| s.to_string()).collect();
+        certify(vec![SourceFile::from_source("fixture.rs", src)], &e, &w)
+            .expect("fixture specs resolve")
+    }
+
+    #[test]
+    fn classifier_finds_each_nondeterminism_class_with_exact_spans() {
+        let src = "\
+fn entry(xs: &[f64], n: usize) -> u32 {
+    let m = HashMap::new();
+    for k in &m { touch(k); }
+    let s: HashSet<u32> = HashSet::with_capacity(n);
+    let t = Instant::now();
+    let r = thread_rng();
+    let total: f64 = xs.iter().sum();
+    let w = std::thread::available_parallelism();
+    m.keys().count() as u32
+}
+fn touch(_k: u32) {}
+";
+        let c = cert(src, &["entry"], &[]);
+        let kinds: Vec<(&str, usize)> = c
+            .summary
+            .findings
+            .iter()
+            .map(|f| (f.message.split(';').next().expect("kind"), f.line))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("HashMap::new() builds a RandomState-hashed container", 2),
+                ("for-loop over `HashMap` iterates in RandomState order", 3),
+                (
+                    "HashSet::with_capacity() builds a RandomState-hashed container",
+                    4
+                ),
+                ("Instant::now() reads the clock", 5),
+                ("thread_rng() draws nondeterministic randomness", 6),
+                (".sum() float reduction is order-sensitive", 7),
+                (
+                    "available_parallelism() varies with the host's worker count",
+                    8
+                ),
+                (".keys() on `HashMap` iterates in RandomState order", 9),
+            ]
+        );
+        let for_loop = &c.summary.findings[1];
+        assert_eq!(
+            for_loop.col,
+            src.lines().nth(2).expect("l3").find("&m").expect("pos") + 2,
+            "for-loop finding anchors on the receiver"
+        );
+    }
+
+    #[test]
+    fn deterministic_forms_are_clean() {
+        let src = "\
+struct Index { by_id: BTreeMap<u32, u32>, slots: Vec<u32> }
+impl Index {
+    pub fn entry(&self, xs: &[u32]) -> u32 {
+        let mut acc = 0u32;
+        for v in &self.slots { acc += v; }
+        for (_k, v) in &self.by_id { acc += v; }
+        let ints: u32 = xs.iter().sum();
+        let sorted: Vec<u32> = Vec::with_capacity(4);
+        debug_assert!(HashSet::new().is_empty());
+        acc + ints + sorted.len() as u32
+    }
+}
+";
+        let c = cert(src, &["Index::entry"], &[]);
+        assert!(
+            c.summary.findings.is_empty(),
+            "Vec/BTreeMap iteration, integer sum, and debug-only hash use \
+             are all deterministic: {:?}",
+            c.summary.findings
+        );
+    }
+
+    #[test]
+    fn untyped_iteration_is_not_flagged_but_construction_is() {
+        // `mystery.iter()` cannot be typed — flooding every slice iter
+        // would bury the signal, so class (a) requires a resolved hash
+        // receiver. The construction class (b) still catches the
+        // container at its source.
+        let src = "\
+fn entry(n: usize) -> usize {
+    let m = HashMap::with_capacity(n);
+    helper(&m)
+}
+fn helper(mystery: &M) -> usize {
+    mystery.iter().count()
+}
+";
+        let c = cert(src, &["entry"], &[]);
+        assert_eq!(c.summary.findings.len(), 1);
+        assert!(c.summary.findings[0]
+            .message
+            .contains("HashMap::with_capacity() builds a RandomState-hashed container"));
+    }
+
+    #[test]
+    fn deter_ok_justifications_silence_but_count() {
+        let src = "\
+fn entry(scratch: &mut Scratch) -> u32 {
+    // DETER-OK: drained into a sort_unstable before anything escapes
+    let m = HashMap::new();
+    let t = Instant::now();
+    post(m, t)
+}
+fn post(_m: M, _t: T) -> u32 { 0 }
+";
+        let c = cert(src, &["entry"], &[]);
+        assert_eq!(c.summary.findings.len(), 1, "only the clock read fires");
+        assert_eq!(c.summary.findings[0].line, 4);
+        assert_eq!(c.summary.justified.get(Rule::Determinism.key()), Some(&1));
+    }
+
+    #[test]
+    fn warm_up_boundary_fences_build_time_nondeterminism() {
+        let src = "\
+impl Engine {
+    pub fn serve(&mut self) { self.step(); }
+    fn step(&mut self) { let t = Instant::now(); }
+    pub fn new(n: usize) -> Self {
+        let timer = Instant::now();
+        let dedup = HashSet::with_capacity(n);
+        Engine
+    }
+}
+";
+        let c = cert(src, &["Engine::serve"], &["new"]);
+        // Only step's clock read is a finding: `new` may hash and time
+        // freely because its outputs are canonicalized before serving.
+        assert_eq!(c.summary.findings.len(), 1);
+        assert_eq!(c.summary.findings[0].line, 3);
+        assert!(c.summary.findings[0]
+            .message
+            .contains("Engine::serve → Engine::step"));
+    }
+
+    #[test]
+    fn missing_entry_and_warm_up_specs_are_hard_errors() {
+        let files = || vec![SourceFile::from_source("fixture.rs", "fn real() {}\n")];
+        let err = certify(files(), &["gone".to_string()], &[])
+            .err()
+            .expect("stale entry spec must be a hard error");
+        assert!(err.contains("gone"));
+        let err = certify(files(), &["real".to_string()], &["fenced_away".to_string()])
+            .err()
+            .expect("stale warm-up spec must be a hard error");
+        assert!(err.contains("fenced_away") && err.contains("warm-up"));
+    }
+
+    // ---- the live workspace ------------------------------------------------
+
+    #[test]
+    fn live_workspace_certificate_holds() {
+        let specs: Vec<String> = STEADY_ENTRIES.map(str::to_string).to_vec();
+        let warm: Vec<String> = WARM_UP.map(str::to_string).to_vec();
+        let cert = certify(load_perimeter(), &specs, &warm).expect("all specs resolve");
+        assert!(
+            cert.summary.files_scanned > 20,
+            "suspiciously small perimeter"
+        );
+        for (spec, resolved) in &cert.entries {
+            assert!(!resolved.is_empty(), "entry {spec} resolved to nothing");
+        }
+        let baseline =
+            Baseline::load(&workspace_root().join(BASELINE_FILE)).expect("baseline parses");
+        let key = Rule::Determinism.key();
+        let deter_entries: Vec<_> = baseline
+            .entries
+            .into_iter()
+            .filter(|e| e.rule == key)
+            .collect();
+        let ratchet = Baseline {
+            note: String::new(),
+            entries: deter_entries,
+        }
+        .apply(&cert.summary.findings);
+        let report: Vec<String> = ratchet.new.iter().map(ToString::to_string).collect();
+        assert!(
+            ratchet.new.is_empty(),
+            "unjustified nondeterminism sites:\n{}",
+            report.join("\n")
+        );
+        assert!(
+            ratchet.stale.is_empty(),
+            "stale determinism baseline entries"
+        );
+    }
+}

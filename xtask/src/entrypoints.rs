@@ -76,7 +76,7 @@ pub fn hot_loop_scope(rel: &str) -> bool {
 mod tests {
     use super::*;
     use crate::callgraph::CallGraph;
-    use crate::panics::load_perimeter;
+    use crate::report::load_perimeter;
 
     /// The derivation contract of satellite H1 realignment: H1's scope is
     /// not a hand-maintained list that can drift — every file defining a

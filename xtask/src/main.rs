@@ -3,6 +3,7 @@
 mod allocs;
 mod baseline;
 mod callgraph;
+mod determinism;
 mod entrypoints;
 mod items;
 mod json;
@@ -19,9 +20,10 @@ const USAGE: &str = "\
 usage: cargo xtask <task> [options]
 
 tasks:
-  lint     run the K-SPIN lint wall (see `cargo xtask lint --help`)
-  panics   certify serving hot paths panic-free (see `cargo xtask panics --help`)
-  allocs   certify serving steady state alloc-free (see `cargo xtask allocs --help`)
+  lint         run the K-SPIN lint wall (see `cargo xtask lint --help`)
+  panics       certify serving hot paths panic-free (see `cargo xtask panics --help`)
+  allocs       certify serving steady state alloc-free (see `cargo xtask allocs --help`)
+  determinism  certify serving results order-deterministic (see `cargo xtask determinism --help`)
 
 Run `cargo xtask lint --list-rules` for the rule catalog.";
 
@@ -31,6 +33,7 @@ fn main() -> ExitCode {
         Some("lint") => lint::run(&args[1..]),
         Some("panics") => panics::run(&args[1..]),
         Some("allocs") => allocs::run(&args[1..]),
+        Some("determinism") => determinism::run(&args[1..]),
         Some("-h" | "--help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

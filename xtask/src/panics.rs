@@ -3,11 +3,8 @@
 //! Proves (conservatively) that no panic source is reachable from the
 //! declared serving entry points of the release binary. The pipeline:
 //!
-//! 1. [`crate::items`] parses every `fn` in the certified perimeter —
-//!    `crates/{graph,alt,nvd,core}/src`, the set that is closed under the
-//!    `kspin-core::modules` trait dispatch (every `NetworkDistance` /
-//!    `LowerBound` implementation lives inside it; the CH/HL/G-tree/…
-//!    crates are offline baselines no serving path calls into).
+//! 1. [`crate::items`] parses every `fn` in the certified perimeter
+//!    ([`crate::report::CERT_DIRS`]).
 //! 2. [`crate::callgraph`] builds a conservative call graph (trait-object
 //!    calls fan out to every same-named method) and runs BFS from the
 //!    entry points, keeping shortest-chain parents.
@@ -24,24 +21,17 @@
 //! finding, gated through the same committed `lint-baseline.json` ratchet
 //! as `cargo xtask lint` (rule key `panic-reachability`), so the
 //! certificate can only tighten over time.
+//!
+//! The sweep/ratchet/CLI plumbing lives in the shared driver
+//! ([`crate::report::run_certifier`]); this module is classifier-only.
 
 use std::process::ExitCode;
 
-use crate::baseline::Ratchet;
-use crate::callgraph::{body_tokens, CallGraph, Reach};
+use crate::callgraph::{body_tokens, CallGraph};
 use crate::lex::TokenKind;
-use crate::lint::{walk_rs, workspace_root};
-use crate::report::{self, parse_format, Format};
-use crate::rules::{statement_around, Finding, Rule, Summary};
+use crate::report::{self, Certifier, Hooks, Site};
+use crate::rules::{statement_around, Rule};
 use crate::scope::SourceFile;
-
-/// The certified perimeter, relative to the workspace root.
-const CERT_DIRS: [&str; 4] = [
-    "crates/graph/src",
-    "crates/alt/src",
-    "crates/nvd/src",
-    "crates/core/src",
-];
 
 /// The serving entry points the certificate quantifies over: every query
 /// processor the engine exposes (§4 of the paper), the batch executor,
@@ -78,16 +68,23 @@ options:
   --deny-stale            fail when baseline entries no longer fire (CI)
   -h, --help              show this help";
 
-/// One classified panic source inside an item body.
-#[derive(Debug)]
-pub struct Site {
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based byte column.
-    pub col: usize,
-    /// Human description of the panic class.
-    pub what: &'static str,
-}
+/// The certifier description block the shared driver runs from.
+const CERTIFIER: Certifier = Certifier {
+    tool: "cargo-xtask-panics",
+    name: "panics",
+    usage: USAGE,
+    rule: Rule::PanicReachability,
+    default_entries: &DEFAULT_ENTRIES,
+    warm_up: &[],
+    marker: "PANIC-OK",
+    reach_adjective: "reachable",
+    noun: "panic-reachable",
+    hooks: Hooks {
+        classify: panic_sites,
+        justified: SourceFile::panic_justified,
+        dedup: None,
+    },
+};
 
 /// Classifies every panic source in the certified body of `items[idx]`.
 ///
@@ -100,10 +97,10 @@ pub fn panic_sites(file: &SourceFile, graph: &CallGraph, idx: usize) -> Vec<Site
         let t = &file.tokens[file.code[k]];
         let prev = |n: usize| (k >= n).then(|| &file.tokens[file.code[k - n]]);
         let next = |n: usize| file.code.get(k + n).map(|&i| &file.tokens[i]);
-        let site = |what: &'static str| Site {
+        let site = |what: &str| Site {
             line: t.line,
             col: t.col,
-            what,
+            what: what.to_string(),
         };
         match t.kind {
             TokenKind::Ident => {
@@ -211,237 +208,26 @@ fn literal_value(text: &str) -> Option<u128> {
     u128::from_str_radix(digits, radix).ok()
 }
 
-/// The full analysis result, kept for reporting and the self-tests.
-pub struct Certificate {
-    pub graph: CallGraph,
-    pub reach: Reach,
-    /// Resolved entry items per spec; an empty list is a spec error.
-    pub entries: Vec<(String, Vec<usize>)>,
-    /// Unjustified findings (rule `panic-reachability`).
-    pub summary: Summary,
-}
-
-/// Runs the analysis over `files` from the given entry specs.
-pub fn certify(files: Vec<SourceFile>, entry_specs: &[String]) -> Result<Certificate, String> {
-    let graph = CallGraph::build(&files);
-    let mut entries = Vec::new();
-    let mut roots = Vec::new();
-    let mut missing = Vec::new();
-    for spec in entry_specs {
-        let resolved = graph.resolve_entry(spec);
-        if resolved.is_empty() {
-            missing.push(spec.clone());
-        }
-        roots.extend(resolved.iter().copied());
-        entries.push((spec.clone(), resolved));
-    }
-    if !missing.is_empty() {
-        return Err(format!(
-            "entry point(s) resolved to no certified fn — renamed or removed? {}",
-            missing.join(", ")
-        ));
-    }
-    let reach = graph.reach(&roots);
-    let mut summary = Summary {
-        files_scanned: files.len(),
-        ..Summary::default()
-    };
-    for idx in 0..graph.items.len() {
-        if !graph.items[idx].certified() || !reach.reached(idx) {
-            continue;
-        }
-        let file = &files[graph.items[idx].file_idx];
-        for site in panic_sites(file, &graph, idx) {
-            if file.panic_justified(site.line) {
-                *summary
-                    .justified
-                    .entry(Rule::PanicReachability.key())
-                    .or_insert(0) += 1;
-                continue;
-            }
-            let chain: Vec<String> = reach
-                .chain(idx)
-                .into_iter()
-                .map(|i| graph.items[i].qualified())
-                .collect();
-            summary.findings.push(Finding {
-                rule: Rule::PanicReachability,
-                file: file.rel.clone(),
-                line: site.line,
-                col: site.col,
-                message: format!("{}; via {}", site.what, chain.join(" → ")),
-                snippet: file.snippet(site.line).to_string(),
-            });
-        }
-    }
-    summary.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.col)
-            .cmp(&(&b.file, b.line, b.col))
-            .then_with(|| a.message.cmp(&b.message))
-    });
-    Ok(Certificate {
-        graph,
-        reach,
-        entries,
-        summary,
-    })
-}
-
-/// Loads the certified perimeter from disk. Shared with `cargo xtask
-/// allocs`, which certifies the same four hot-path crates.
-pub(crate) fn load_perimeter() -> Vec<SourceFile> {
-    let root = workspace_root();
-    let mut paths = Vec::new();
-    for dir in CERT_DIRS {
-        walk_rs(&root.join(dir), &mut paths);
-    }
-    paths.sort();
-    paths
-        .iter()
-        .filter_map(|p| SourceFile::load(&root, p))
-        .collect()
-}
-
-#[derive(Debug)]
-struct Options {
-    format: Format,
-    entries: Vec<String>,
-    list_entries: bool,
-    update_baseline: bool,
-    deny_stale: bool,
-    help: bool,
-}
-
-fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        format: Format::Human,
-        entries: Vec::new(),
-        list_entries: false,
-        update_baseline: false,
-        deny_stale: false,
-        help: false,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--format" => {
-                let value = it.next().ok_or("--format needs a value: human or json")?;
-                opts.format = parse_format(value)?;
-            }
-            "--entry" => {
-                let value = it.next().ok_or("--entry needs a Type::method value")?;
-                opts.entries.push(value.clone());
-            }
-            "--list-entries" => opts.list_entries = true,
-            "--update-baseline" => opts.update_baseline = true,
-            "--deny-stale" => opts.deny_stale = true,
-            "-h" | "--help" => opts.help = true,
-            other => {
-                if let Some(value) = other.strip_prefix("--format=") {
-                    opts.format = parse_format(value)?;
-                } else if let Some(value) = other.strip_prefix("--entry=") {
-                    opts.entries.push(value.to_string());
-                } else {
-                    return Err(format!("unknown argument `{other}`"));
-                }
-            }
-        }
-    }
-    if opts.entries.is_empty() {
-        opts.entries.extend(DEFAULT_ENTRIES.map(str::to_string));
-    }
-    Ok(opts)
+/// Runs the analysis over `files` from the given entry specs (no warm-up
+/// boundary — panics are certified over the *whole* serving surface).
+/// Test-facing twin of the [`run`] CLI path.
+#[cfg(test)]
+pub fn certify(
+    files: Vec<SourceFile>,
+    entry_specs: &[String],
+) -> Result<report::Certificate, String> {
+    report::certify(
+        files,
+        entry_specs,
+        &[],
+        Rule::PanicReachability,
+        &CERTIFIER.hooks,
+    )
 }
 
 /// CLI entry: `cargo xtask panics [options]`.
 pub fn run(args: &[String]) -> ExitCode {
-    let opts = match parse_args(args) {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if opts.help {
-        println!("{USAGE}");
-        return ExitCode::SUCCESS;
-    }
-    if opts.list_entries {
-        for e in DEFAULT_ENTRIES {
-            println!("{e}");
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    let cert = match certify(load_perimeter(), &opts.entries) {
-        Ok(cert) => cert,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    // Only this tool's rule participates; other entries stay untouched.
-    report::finish(
-        "cargo-xtask-panics",
-        &[Rule::PanicReachability.key()],
-        &cert.summary,
-        opts.update_baseline,
-        opts.deny_stale,
-        opts.format,
-        Vec::new(),
-        |ratchet| print_human(&cert, ratchet),
-    )
-}
-
-fn print_human(cert: &Certificate, ratchet: &Ratchet) {
-    let certified = cert.graph.items.iter().filter(|i| i.certified()).count();
-    let reachable = (0..cert.graph.items.len())
-        .filter(|&i| cert.graph.items[i].certified() && cert.reach.reached(i))
-        .count();
-    println!(
-        "cargo xtask panics — {} files, {} certified fns, {} reachable from {} entry points",
-        cert.summary.files_scanned,
-        certified,
-        reachable,
-        cert.entries.len()
-    );
-    for (spec, resolved) in &cert.entries {
-        let defs: Vec<String> = resolved
-            .iter()
-            .map(|&i| {
-                let item = &cert.graph.items[i];
-                format!("{}:{}", item.file, item.line)
-            })
-            .collect();
-        println!("  entry {:<36} → {}", spec, defs.join(", "));
-    }
-    let justified = cert
-        .summary
-        .justified
-        .get(Rule::PanicReachability.key())
-        .copied()
-        .unwrap_or(0);
-    println!(
-        "  {} new finding(s), {} baselined, {} justified via PANIC-OK",
-        ratchet.new.len(),
-        ratchet.baselined.len(),
-        justified
-    );
-    if !ratchet.new.is_empty() {
-        println!();
-        for f in &ratchet.new {
-            println!("{f}");
-            if !f.snippet.is_empty() {
-                println!("    {}", f.snippet);
-            }
-        }
-        println!(
-            "\n{} unjustified panic-reachable site(s)",
-            ratchet.new.len()
-        );
-    }
-    report::print_stale(ratchet);
+    report::run_certifier(&CERTIFIER, args)
 }
 
 // ---------------------------------------------------------------------------
@@ -453,7 +239,8 @@ fn print_human(cert: &Certificate, ratchet: &Ratchet) {
 mod tests {
     use super::*;
     use crate::baseline::Baseline;
-    use crate::report::BASELINE_FILE;
+    use crate::lint::workspace_root;
+    use crate::report::{load_perimeter, Certificate, BASELINE_FILE};
 
     fn cert(src: &str, entries: &[&str]) -> Certificate {
         let specs: Vec<String> = entries.iter().map(|s| s.to_string()).collect();

@@ -50,6 +50,14 @@ pub enum Rule {
     /// here so its findings share the baseline ratchet and report
     /// plumbing.
     AllocReachability,
+    /// D1: no unjustified nondeterminism source (hash-order iteration,
+    /// RandomState container construction, time/rng reads, order-varying
+    /// float reduction, worker-count branches) reachable from a
+    /// steady-state serving entry point. Not a token-local pass —
+    /// produced by `cargo xtask determinism` (see `crate::determinism`),
+    /// listed here so its findings share the baseline ratchet and report
+    /// plumbing.
+    Determinism,
 }
 
 impl Rule {
@@ -79,6 +87,7 @@ impl Rule {
             Rule::NoBinaryHeap => "no-binary-heap",
             Rule::PanicReachability => "panic-reachability",
             Rule::AllocReachability => "alloc-reachability",
+            Rule::Determinism => "determinism",
         }
     }
 
@@ -95,6 +104,7 @@ impl Rule {
             Rule::NoBinaryHeap => "K1 no-binary-heap",
             Rule::PanicReachability => "P1 panic-reachability",
             Rule::AllocReachability => "H2 alloc-reachability",
+            Rule::Determinism => "D1 determinism",
         }
     }
 
@@ -130,6 +140,9 @@ impl Rule {
             }
             Rule::AllocReachability => {
                 "no unjustified allocation reachable from a steady-state entry point (cargo xtask allocs)"
+            }
+            Rule::Determinism => {
+                "no unjustified nondeterminism source reachable from a steady-state entry point (cargo xtask determinism)"
             }
         }
     }
@@ -203,9 +216,9 @@ pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
             Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
             Rule::NoBinaryHeap => k1_no_binary_heap::check(file, summary),
             // Whole-workspace reachability, not a per-file pass: runs via
-            // `cargo xtask panics` / `cargo xtask allocs`, never through
-            // `scan_file`.
-            Rule::PanicReachability | Rule::AllocReachability => {}
+            // `cargo xtask panics` / `cargo xtask allocs` /
+            // `cargo xtask determinism`, never through `scan_file`.
+            Rule::PanicReachability | Rule::AllocReachability | Rule::Determinism => {}
         }
     }
 }

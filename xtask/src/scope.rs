@@ -381,6 +381,15 @@ impl SourceFile {
         self.covered_by(line, &alloc_ok)
     }
 
+    /// Whether a `DETER-OK: ordering invariant` justification covers
+    /// 1-based `line` (same placement grammar as `PANIC-OK`) — the
+    /// determinism certifier's exemption marker for sites whose output
+    /// order provably does not depend on hash seed, time, rng, or
+    /// thread/chunk assignment.
+    pub fn deter_justified(&self, line: usize) -> bool {
+        self.covered_by(line, &deter_ok)
+    }
+
     /// The shared placement walk: a marker comment on the line itself or
     /// in the contiguous comment-only block directly above it.
     fn covered_by(&self, line: usize, pred: &dyn Fn(&str) -> bool) -> bool {
@@ -444,6 +453,16 @@ pub fn alloc_ok(comment: &str) -> bool {
     comment
         .find("ALLOC-OK:")
         .is_some_and(|p| comment[p + "ALLOC-OK:".len()..].trim().len() >= 3)
+}
+
+/// Parses one `DETER-OK:` justification comment: the marker must be
+/// followed by a non-trivial ordering invariant (≥ 3 characters), e.g.
+/// `// DETER-OK: feeds the worker count only; result slots are
+/// input-ordered`.
+pub fn deter_ok(comment: &str) -> bool {
+    comment
+        .find("DETER-OK:")
+        .is_some_and(|p| comment[p + "DETER-OK:".len()..].trim().len() >= 3)
 }
 
 /// Parses one `lint:allow(..)` comment: the rule list must contain
@@ -705,6 +724,29 @@ fn f() {
         // The two markers are independent: ALLOC-OK never excuses a panic
         // site and vice versa.
         assert!(!f.panic_justified(3));
+    }
+
+    #[test]
+    fn deter_ok_marker_needs_an_invariant_and_follows_the_block_grammar() {
+        assert!(deter_ok(
+            "// DETER-OK: victim scan over a BTreeMap — key order"
+        ));
+        assert!(!deter_ok("// DETER-OK:"));
+        assert!(!deter_ok("// DETER-OK: x"));
+        assert!(!deter_ok("// deterministic here"));
+        let src = "\
+fn f() {
+    // DETER-OK: feeds the worker count only; slots are input-ordered
+    let w = available_parallelism();
+    let t = Instant::now();
+}
+";
+        let f = SourceFile::from_source("x.rs", src);
+        assert!(f.deter_justified(3));
+        assert!(!f.deter_justified(4), "code line breaks the block");
+        // The three markers are independent.
+        assert!(!f.panic_justified(3));
+        assert!(!f.alloc_justified(3));
     }
 
     #[test]
