@@ -115,6 +115,18 @@ impl AltIndex {
         &self.landmarks
     }
 
+    /// Translates the index onto a renumbered graph: landmark ids map
+    /// through `r` and every per-landmark distance row is permuted to the
+    /// new vertex indexing. Since distances are label-independent, every
+    /// lower bound — and therefore every query that consumes them — is
+    /// bitwise identical to the unpermuted index. Build-time only.
+    pub fn relabel(&self, r: &kspin_graph::Relabeling) -> AltIndex {
+        AltIndex {
+            landmarks: self.landmarks.iter().map(|&l| r.to_local(l)).collect(),
+            dist: self.dist.iter().map(|row| r.permute_table(row)).collect(),
+        }
+    }
+
     /// Admissible lower bound on `d(u, v)`:
     /// `max_L |d(L,u) − d(L,v)|`. O(m) with m a small constant (§5.1).
     #[inline]
@@ -245,6 +257,26 @@ mod tests {
         let g = small_network();
         let alt = AltIndex::build(&g, 4, LandmarkStrategy::Farthest, 1);
         assert!(alt.size_bytes() >= 4 * g.num_vertices() * 4);
+    }
+
+    #[test]
+    fn relabel_preserves_bounds_bitwise() {
+        let g = small_network();
+        let alt = AltIndex::build(&g, 6, LandmarkStrategy::Farthest, 3);
+        let r = kspin_graph::Relabeling::hilbert(&g);
+        let relabeled = alt.relabel(&r);
+        for u in (0..g.num_vertices() as VertexId).step_by(13) {
+            for v in (0..g.num_vertices() as VertexId).step_by(17) {
+                assert_eq!(
+                    alt.lower_bound(u, v),
+                    relabeled.lower_bound(r.to_local(u), r.to_local(v)),
+                    "bound changed under relabeling for ({u}, {v})"
+                );
+            }
+        }
+        for (&old, &new) in alt.landmarks().iter().zip(relabeled.landmarks()) {
+            assert_eq!(r.to_local(old), new);
+        }
     }
 
     #[test]

@@ -1,20 +1,38 @@
-//! Distance-kernel sweep: the four heap-driven search modules (Dijkstra,
-//! BiDijkstra, ALT-A*, the exact-NVD construction sweep) on generated road
-//! networks at |V| ∈ {10k, 30k, 100k}, each run on two priority-queue
-//! kernels:
+//! Distance-kernel sweep over three axes: module × memory layout × heap
+//! kernel, on generated road networks at |V| ∈ {10k, 30k, 100k}.
 //!
+//! **Modules** — the four heap-driven searches (Dijkstra, BiDijkstra,
+//! ALT-A*, the exact-NVD construction sweep) plus `one_to_many`, the
+//! batched distance-table shape the serving pre-pass runs per keyword
+//! group (many sources against one shared target set).
+//!
+//! **Layouts** — each network is renumbered with [`Relabeling`] before
+//! measuring: `original` (generator order), `bfs` (frontier locality) and
+//! `hilbert` (space-filling-curve locality). Queries are translated
+//! through the permutation, so every layout answers the *same* external
+//! queries and returns bit-identical distances (the relabel property
+//! tests prove it). Heap counters may drift by a hair across layouts —
+//! equal-key ties expand in vertex-id order, and ids are permuted — so
+//! the counter invariants below are checked per layout, never across.
+//!
+//! **Kernels** —
 //! * `dary`   — the shared indexed 4-ary decrease-key kernel
 //!   (`kspin_graph::dheap`), i.e. the production code paths;
 //! * `binary` — bench-local lazy-deletion reference implementations that
 //!   mirror the pre-port code exactly (std `BinaryHeap` + epoch arrays +
-//!   stale-entry skipping), instrumented on the same counter schema.
+//!   stale-entry skipping), instrumented on the same counter schema;
+//! * for `one_to_many`: `per_query_dijkstra` (one early-stopping search
+//!   per source) vs `phast` (upward search + full linear downward sweep)
+//!   vs `rphast` (sweep restricted to the targets' upward closure).
 //!
 //! The host's wall clock is single-core and noisy, so the heap counters
 //! are the primary signal (the EXPERIMENTS.md convention): the d-ary legs
 //! must report `stale_skipped == 0` structurally and strictly fewer pops
-//! than their lazy twins — every lazy stale pop is a d-ary decrease-key.
-//! QPS rides along as best-of-3. Results go to `BENCH_distance.json` at
-//! the workspace root (CI uploads it as an artifact).
+//! than their lazy twins — every lazy stale pop is a d-ary decrease-key —
+//! and the restricted sweep must settle strictly fewer vertices than the
+//! per-query searches it replaces. QPS rides along as best-of-3. Results
+//! go to `BENCH_distance.json` at the workspace root (CI uploads it as an
+//! artifact).
 //!
 //! `KSPIN_BENCH_SCALE=small` drops the 100k size and halves the query
 //! pairs for CI smoke runs.
@@ -26,8 +44,11 @@ use std::time::Instant;
 
 use kspin_alt::{AltAstar, AltIndex, LandmarkStrategy};
 use kspin_bench::{header, row};
+use kspin_ch::{ChConfig, ContractionHierarchy, OneToManySweep, RestrictedTargets};
 use kspin_graph::generate::{road_network, RoadNetworkConfig};
-use kspin_graph::{BiDijkstra, Dijkstra, Graph, HeapCounters, VertexId, Weight, INFINITY};
+use kspin_graph::{
+    BiDijkstra, Dijkstra, Graph, HeapCounters, Relabeling, VertexId, Weight, INFINITY,
+};
 use kspin_nvd::{AdjacencyGraph, ExactNvd};
 
 /// One (module, kernel) leg's measurement.
@@ -69,13 +90,39 @@ fn generators(n: usize) -> Vec<VertexId> {
     (0..n as VertexId).step_by(64).collect()
 }
 
-/// Best-of-3 wall clock around `pass`, counters from a final counted run
+/// Up to 8 distinct sources for the one-to-many legs, drawn from the
+/// point-to-point pair sources (the serving batch shape: a handful of
+/// query locations against one shared keyword target set).
+fn sweep_sources(pairs: &[(VertexId, VertexId)]) -> Vec<VertexId> {
+    let mut src: Vec<VertexId> = Vec::new();
+    for &(s, _) in pairs {
+        if !src.contains(&s) {
+            src.push(s);
+        }
+        if src.len() == 8 {
+            break;
+        }
+    }
+    src
+}
+
+/// Extra JSON fields for one-to-many rows: total vertices settled/relaxed
+/// over the counted run, target-set size, and settled work per source as
+/// a fraction of |V|.
+fn sweep_extra(settled: u64, targets: usize, fraction: f64) -> String {
+    format!(", \"settled\": {settled}, \"targets\": {targets}, \"settled_fraction\": {fraction:.4}")
+}
+
+/// Best-of-5 wall clock around `pass`, counters from a final counted run
 /// via the `snapshot`/`delta` pair (cumulative-counter structs diff; the
-/// lazy kernels below reset per pass and report directly).
+/// lazy kernels below reset per pass and report directly). Five passes
+/// because the host is a shared single hardware thread: any one pass can
+/// eat a multi-hundred-ms scheduler stall, and min-of-N is the estimator
+/// that discards those.
 fn measure<F: FnMut()>(work_items: usize, mut pass: F) -> f64 {
     let mut best = f64::INFINITY;
     pass(); // warmup (first-touch page faults, branch history)
-    for _ in 0..3 {
+    for _ in 0..5 {
         let t0 = Instant::now();
         pass();
         best = best.min(t0.elapsed().as_secs_f64());
@@ -354,148 +401,271 @@ fn lazy_nvd_build(g: &Graph, gens: &[VertexId]) -> HeapCounters {
 fn main() {
     let sizes = sizes();
     header(
-        "Distance kernels: module × |V| × heap kernel",
+        "Distance kernels: module × |V| × layout × heap kernel",
         &["leg", "q/s", "pushes", "pops", "dec-keys", "stale"],
     );
     let mut json_rows = String::new();
     for &n in &sizes {
-        let g = road_network(&RoadNetworkConfig::new(n, 0x5eed ^ n as u64));
-        let pairs = query_pairs(g.num_vertices());
-        let gens = generators(g.num_vertices());
+        let g0 = road_network(&RoadNetworkConfig::new(n, 0x5eed ^ n as u64));
+        let pairs0 = query_pairs(g0.num_vertices());
+        let gens0 = generators(g0.num_vertices());
+        let sources0 = sweep_sources(&pairs0);
+        let nv = g0.num_vertices();
         let t0 = Instant::now();
-        let alt = AltIndex::build(&g, 8, LandmarkStrategy::Farthest, 0);
+        let alt0 = AltIndex::build(&g0, 8, LandmarkStrategy::Farthest, 0);
+        let alt_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let ch0 = ContractionHierarchy::build(&g0, &ChConfig::default());
         eprintln!(
-            "|V|={n}: ALT (8 landmarks) built in {:.1}s; {} query pairs, {} NVD generators",
+            "|V|={n}: ALT (8 landmarks) {alt_secs:.1}s, CH {:.1}s; {} query pairs, \
+             {} NVD generators, {} sweep sources",
             t0.elapsed().as_secs_f64(),
-            pairs.len(),
-            gens.len()
+            pairs0.len(),
+            gens0.len(),
+            sources0.len(),
         );
 
-        let mut emit = |module: &str, kernel: &str, leg: Leg| {
-            let c = leg.counters;
-            row(
-                format!("{module}/{n}/{kernel}"),
-                &[
-                    leg.qps,
-                    c.pushes as f64,
-                    c.pops as f64,
-                    c.decrease_keys as f64,
-                    c.stale_skipped as f64,
-                ],
-            );
-            let comma = if json_rows.is_empty() { "" } else { ",\n" };
-            write!(
-                json_rows,
-                "{comma}    {{\"module\": \"{module}\", \"vertices\": {n}, \
-                 \"kernel\": \"{kernel}\", \"qps\": {:.2}, \"pushes\": {}, \
-                 \"pops\": {}, \"decrease_keys\": {}, \"stale_skipped\": {}}}",
-                leg.qps, c.pushes, c.pops, c.decrease_keys, c.stale_skipped,
-            )
-            .expect("write to String cannot fail");
-        };
+        // The layout axis: one permutation per memory layout, applied to
+        // the graph and every id-holding index; queries translate through
+        // the same permutation so all layouts answer identical workloads.
+        let layouts = [
+            ("original", Relabeling::identity(nv)),
+            ("bfs", Relabeling::bfs(&g0)),
+            ("hilbert", Relabeling::hilbert(&g0)),
+        ];
+        for (layout, r) in &layouts {
+            let g = r.apply(&g0);
+            let alt = alt0.relabel(r);
+            let ch = ch0.relabel(r);
+            let pairs: Vec<(VertexId, VertexId)> = pairs0
+                .iter()
+                .map(|&(s, t)| (r.to_local(s), r.to_local(t)))
+                .collect();
+            let gens: Vec<VertexId> = gens0.iter().map(|&v| r.to_local(v)).collect();
+            let sources: Vec<VertexId> = sources0.iter().map(|&v| r.to_local(v)).collect();
 
-        // Dijkstra
-        {
-            let mut d = Dijkstra::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+            let mut emit = |module: &str, kernel: &str, leg: Leg, extra: String| {
+                let c = leg.counters;
+                row(
+                    format!("{module}/{n}/{layout}/{kernel}"),
+                    &[
+                        leg.qps,
+                        c.pushes as f64,
+                        c.pops as f64,
+                        c.decrease_keys as f64,
+                        c.stale_skipped as f64,
+                    ],
+                );
+                let comma = if json_rows.is_empty() { "" } else { ",\n" };
+                write!(
+                    json_rows,
+                    "{comma}    {{\"module\": \"{module}\", \"vertices\": {n}, \
+                     \"layout\": \"{layout}\", \"kernel\": \"{kernel}\", \
+                     \"qps\": {:.2}, \"pushes\": {}, \"pops\": {}, \
+                     \"decrease_keys\": {}, \"stale_skipped\": {}{extra}}}",
+                    leg.qps, c.pushes, c.pops, c.decrease_keys, c.stale_skipped,
+                )
+                .expect("write to String cannot fail");
+            };
+
+            // Dijkstra
+            {
+                let mut d = Dijkstra::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(d.one_to_one(&g, s, t));
+                    }
+                });
+                let base = d.heap_counters();
                 for &(s, t) in &pairs {
                     std::hint::black_box(d.one_to_one(&g, s, t));
                 }
-            });
-            let base = d.heap_counters();
-            for &(s, t) in &pairs {
-                std::hint::black_box(d.one_to_one(&g, s, t));
-            }
-            let counters = d.heap_counters().since(base);
-            emit("dijkstra", "dary", Leg { qps, counters });
+                let counters = d.heap_counters().since(base);
+                emit("dijkstra", "dary", Leg { qps, counters }, String::new());
 
-            let mut l = LazyDijkstra::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+                let mut l = LazyDijkstra::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(l.one_to_one(&g, s, t));
+                    }
+                });
+                l.c = HeapCounters::default();
                 for &(s, t) in &pairs {
                     std::hint::black_box(l.one_to_one(&g, s, t));
                 }
-            });
-            l.c = HeapCounters::default();
-            for &(s, t) in &pairs {
-                std::hint::black_box(l.one_to_one(&g, s, t));
+                emit(
+                    "dijkstra",
+                    "binary",
+                    Leg { qps, counters: l.c },
+                    String::new(),
+                );
             }
-            emit("dijkstra", "binary", Leg { qps, counters: l.c });
-        }
 
-        // BiDijkstra
-        {
-            let mut d = BiDijkstra::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+            // BiDijkstra
+            {
+                let mut d = BiDijkstra::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(d.distance(&g, s, t));
+                    }
+                });
+                let base = d.heap_counters();
                 for &(s, t) in &pairs {
                     std::hint::black_box(d.distance(&g, s, t));
                 }
-            });
-            let base = d.heap_counters();
-            for &(s, t) in &pairs {
-                std::hint::black_box(d.distance(&g, s, t));
-            }
-            let counters = d.heap_counters().since(base);
-            emit("bidijkstra", "dary", Leg { qps, counters });
+                let counters = d.heap_counters().since(base);
+                emit("bidijkstra", "dary", Leg { qps, counters }, String::new());
 
-            let mut l = LazyBiDijkstra::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+                let mut l = LazyBiDijkstra::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(l.distance(&g, s, t));
+                    }
+                });
+                l.c = HeapCounters::default();
                 for &(s, t) in &pairs {
                     std::hint::black_box(l.distance(&g, s, t));
                 }
-            });
-            l.c = HeapCounters::default();
-            for &(s, t) in &pairs {
-                std::hint::black_box(l.distance(&g, s, t));
+                emit(
+                    "bidijkstra",
+                    "binary",
+                    Leg { qps, counters: l.c },
+                    String::new(),
+                );
             }
-            emit("bidijkstra", "binary", Leg { qps, counters: l.c });
-        }
 
-        // ALT-A*
-        {
-            let mut d = AltAstar::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+            // ALT-A*
+            {
+                let mut d = AltAstar::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(d.distance(&g, &alt, s, t));
+                    }
+                });
+                let base = d.heap_counters();
                 for &(s, t) in &pairs {
                     std::hint::black_box(d.distance(&g, &alt, s, t));
                 }
-            });
-            let base = d.heap_counters();
-            for &(s, t) in &pairs {
-                std::hint::black_box(d.distance(&g, &alt, s, t));
-            }
-            let counters = d.heap_counters().since(base);
-            emit("alt_astar", "dary", Leg { qps, counters });
+                let counters = d.heap_counters().since(base);
+                emit("alt_astar", "dary", Leg { qps, counters }, String::new());
 
-            let mut l = LazyAstar::new(g.num_vertices());
-            let qps = measure(pairs.len(), || {
+                let mut l = LazyAstar::new(g.num_vertices());
+                let qps = measure(pairs.len(), || {
+                    for &(s, t) in &pairs {
+                        std::hint::black_box(l.distance(&g, &alt, s, t));
+                    }
+                });
+                l.c = HeapCounters::default();
                 for &(s, t) in &pairs {
                     std::hint::black_box(l.distance(&g, &alt, s, t));
                 }
-            });
-            l.c = HeapCounters::default();
-            for &(s, t) in &pairs {
-                std::hint::black_box(l.distance(&g, &alt, s, t));
+                emit(
+                    "alt_astar",
+                    "binary",
+                    Leg { qps, counters: l.c },
+                    String::new(),
+                );
             }
-            emit("alt_astar", "binary", Leg { qps, counters: l.c });
-        }
 
-        // Exact-NVD construction (one build = one work item)
-        {
-            let qps = measure(1, || {
-                std::hint::black_box(ExactNvd::build(&g, &gens));
-            });
-            let counters = ExactNvd::build(&g, &gens).build_counters();
-            emit("nvd_build", "dary", Leg { qps, counters });
+            // Exact-NVD construction (one build = one work item)
+            {
+                let qps = measure(1, || {
+                    std::hint::black_box(ExactNvd::build(&g, &gens));
+                });
+                let counters = ExactNvd::build(&g, &gens).build_counters();
+                emit("nvd_build", "dary", Leg { qps, counters }, String::new());
 
-            let qps = measure(1, || {
-                std::hint::black_box(lazy_nvd_build(&g, &gens));
-            });
-            let counters = lazy_nvd_build(&g, &gens);
-            emit("nvd_build", "binary", Leg { qps, counters });
+                let qps = measure(1, || {
+                    std::hint::black_box(lazy_nvd_build(&g, &gens));
+                });
+                let counters = lazy_nvd_build(&g, &gens);
+                emit("nvd_build", "binary", Leg { qps, counters }, String::new());
+            }
+
+            // One-to-many: per-query Dijkstra vs PHAST/RPHAST sweeps
+            // against the generator set (the serving pre-pass shape).
+            {
+                let mut d = Dijkstra::new(g.num_vertices());
+                let qps = measure(sources.len(), || {
+                    for &s in &sources {
+                        std::hint::black_box(d.one_to_many(&g, s, &gens));
+                    }
+                });
+                let base = d.heap_counters();
+                let mut frac = 0.0;
+                for &s in &sources {
+                    std::hint::black_box(d.one_to_many(&g, s, &gens));
+                    frac += d.settled_fraction();
+                }
+                let counters = d.heap_counters().since(base);
+                // The indexed heap never pops stale entries: pops == settled.
+                let settled = counters.pops;
+                emit(
+                    "one_to_many",
+                    "per_query_dijkstra",
+                    Leg { qps, counters },
+                    sweep_extra(settled, gens.len(), frac / sources.len() as f64),
+                );
+
+                let mut sw = OneToManySweep::new(&ch);
+                let mut out = Vec::new();
+                let qps = measure(sources.len(), || {
+                    for &s in &sources {
+                        sw.one_to_many(s, &gens, &mut out);
+                        std::hint::black_box(&out);
+                    }
+                });
+                let h0 = sw.heap_counters();
+                let c0 = sw.counters();
+                for &s in &sources {
+                    sw.one_to_many(s, &gens, &mut out);
+                    std::hint::black_box(&out);
+                }
+                let counters = sw.heap_counters().since(h0);
+                let settled = sw.counters().total_settled() - c0.total_settled();
+                emit(
+                    "one_to_many",
+                    "phast",
+                    Leg { qps, counters },
+                    sweep_extra(
+                        settled,
+                        gens.len(),
+                        settled as f64 / (sources.len() * nv) as f64,
+                    ),
+                );
+
+                let restricted = RestrictedTargets::new(&ch, &gens);
+                let qps = measure(sources.len(), || {
+                    for &s in &sources {
+                        sw.one_to_many_restricted(s, &restricted, &mut out);
+                        std::hint::black_box(&out);
+                    }
+                });
+                let h0 = sw.heap_counters();
+                let c0 = sw.counters();
+                for &s in &sources {
+                    sw.one_to_many_restricted(s, &restricted, &mut out);
+                    std::hint::black_box(&out);
+                }
+                let counters = sw.heap_counters().since(h0);
+                let settled = sw.counters().total_settled() - c0.total_settled();
+                emit(
+                    "one_to_many",
+                    "rphast",
+                    Leg { qps, counters },
+                    sweep_extra(
+                        settled,
+                        gens.len(),
+                        settled as f64 / (sources.len() * nv) as f64,
+                    ),
+                );
+            }
         }
     }
 
     let json = format!(
         "{{\n  \"bench\": \"table_distance\",\n  \"sizes\": {sizes:?},\n  \
+         \"layouts\": [\"original\", \"bfs\", \"hilbert\"],\n  \
          \"hardware_threads\": {},\n  \"rows\": [\n{json_rows}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |p| p.get()),
     );

@@ -64,23 +64,72 @@ impl ContractionHierarchy {
     /// Contraction rank of `v` (0 = contracted first / least important).
     #[inline]
     pub fn rank(&self, v: VertexId) -> u32 {
+        // PANIC-OK: rank is sized num_vertices at build; v is a graph vertex.
         self.rank[v as usize]
     }
 
     /// Upward edges of `v`: neighbors with strictly higher rank.
     #[inline]
     pub fn upward(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        // PANIC-OK: up_offsets has n+1 slots and is monotone, bounding
+        // up_targets/up_weights by CSR construction; v is a graph vertex.
         let lo = self.up_offsets[v as usize] as usize;
-        let hi = self.up_offsets[v as usize + 1] as usize;
-        self.up_targets[lo..hi]
+        let hi = self.up_offsets[v as usize + 1] as usize; // PANIC-OK: v + 1 <= n.
+        self.up_targets[lo..hi] // PANIC-OK: offsets bound targets by construction.
             .iter()
             .copied()
+            // PANIC-OK: up_weights is the same length as up_targets.
             .zip(self.up_weights[lo..hi].iter().copied())
     }
 
     /// Shortcut edges added during contraction.
     pub fn num_shortcuts(&self) -> usize {
         self.num_shortcuts
+    }
+
+    /// Translates the hierarchy onto a renumbered graph: every stored
+    /// vertex id goes through `r` while each vertex keeps its contraction
+    /// rank, so node order, sweep order and query results are bit-identical
+    /// to the unpermuted hierarchy. Build-time only.
+    pub fn relabel(&self, r: &kspin_graph::Relabeling) -> ContractionHierarchy {
+        let n = self.rank.len();
+        assert_eq!(n, r.len(), "relabeling size mismatch");
+        let mut rank = vec![0u32; n];
+        for v in 0..n as VertexId {
+            rank[r.to_local(v) as usize] = self.rank[v as usize];
+        }
+        let mut directed: Vec<(VertexId, VertexId, Weight)> =
+            Vec::with_capacity(self.up_targets.len());
+        for u in 0..n as VertexId {
+            for (t, w) in self.upward(u) {
+                directed.push((r.to_local(u), r.to_local(t), w));
+            }
+        }
+        directed.sort_unstable();
+        let mut deg = vec![0u32; n + 1];
+        for &(lo, _, _) in &directed {
+            deg[lo as usize + 1] += 1;
+        }
+        for i in 0..n {
+            deg[i + 1] += deg[i];
+        }
+        let up_offsets = deg;
+        let mut up_targets = vec![0; directed.len()];
+        let mut up_weights = vec![0; directed.len()];
+        let mut cursor = up_offsets.clone();
+        for (lo, hi, w) in directed {
+            let c = &mut cursor[lo as usize];
+            up_targets[*c as usize] = hi;
+            up_weights[*c as usize] = w;
+            *c += 1;
+        }
+        ContractionHierarchy {
+            rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            num_shortcuts: self.num_shortcuts,
+        }
     }
 
     /// Total directed upward edges.
@@ -119,7 +168,7 @@ impl<'a> Contractor<'a> {
         let mut adj: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
         for v in 0..n as VertexId {
             for (u, w) in graph.neighbors(v) {
-                adj[v as usize].insert(u, w);
+                adj[v as usize].insert(u, w); // PANIC-OK: adj is sized n; v < n.
             }
         }
         Contractor {
@@ -141,6 +190,7 @@ impl<'a> Contractor<'a> {
         let n = self.adj.len();
         // Record original edges before contraction mutates adjacency.
         for u in 0..n {
+            // PANIC-OK: adj is sized n = self.adj.len(); u < n.
             for (&v, &w) in &self.adj[u] {
                 if (u as VertexId) < v {
                     self.edges.push((u as VertexId, v, w));
@@ -155,20 +205,26 @@ impl<'a> Contractor<'a> {
             .collect();
         let mut next_rank = 0u32;
         while let Some((Reverse(_), ver, v)) = queue.pop() {
+            // PANIC-OK: contracted/version/adj/rank are all sized n; queue
+            // entries and adjacency keys are vertices < n throughout.
             if self.contracted[v as usize] {
                 continue;
             }
+            // PANIC-OK: version sized n; v < n.
             if ver != version[v as usize] {
                 let fresh = self.priority(v);
+                // PANIC-OK: version is sized n; v < n as above.
                 queue.push((Reverse(fresh), version[v as usize], v));
                 continue;
             }
+            // PANIC-OK: adj is sized n; v < n as above.
             let neighbors: Vec<VertexId> = self.adj[v as usize].keys().copied().collect();
             for &u in &neighbors {
+                // PANIC-OK: version is sized n; adjacency keys are < n.
                 version[u as usize] = version[u as usize].wrapping_add(1);
             }
             self.contract(v);
-            self.rank[v as usize] = next_rank;
+            self.rank[v as usize] = next_rank; // PANIC-OK: rank sized n; v < n.
             next_rank += 1;
         }
 
@@ -177,6 +233,7 @@ impl<'a> Contractor<'a> {
         let mut deg = vec![0u32; n + 1];
         let mut directed: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(self.edges.len());
         for &(u, v, w) in &self.edges {
+            // PANIC-OK: rank is sized n; edge endpoints are vertices < n.
             let (lo, hi) = if rank[u as usize] < rank[v as usize] {
                 (u, v)
             } else {
@@ -188,19 +245,22 @@ impl<'a> Contractor<'a> {
         directed.sort_unstable();
         directed.dedup_by(|next, prev| next.0 == prev.0 && next.1 == prev.1);
         for &(lo, _, _) in &directed {
-            deg[lo as usize + 1] += 1;
+            deg[lo as usize + 1] += 1; // PANIC-OK: deg has n+1 slots; lo < n.
         }
         for i in 0..n {
-            deg[i + 1] += deg[i];
+            deg[i + 1] += deg[i]; // PANIC-OK: deg has n+1 slots; i < n.
         }
         let up_offsets = deg;
         let mut up_targets = vec![0; directed.len()];
         let mut up_weights = vec![0; directed.len()];
         let mut cursor = up_offsets.clone();
         for (lo, hi, w) in directed {
+            // PANIC-OK: cursor is sized n+1 with lo < n; the counting-sort
+            // cursor stays below up_offsets[lo + 1] <= directed.len(), which
+            // sizes up_targets/up_weights.
             let c = &mut cursor[lo as usize];
-            up_targets[*c as usize] = hi;
-            up_weights[*c as usize] = w;
+            up_targets[*c as usize] = hi; // PANIC-OK: cursor bound as above.
+            up_weights[*c as usize] = w; // PANIC-OK: cursor bound as above.
             *c += 1;
         }
         ContractionHierarchy {
@@ -215,21 +275,23 @@ impl<'a> Contractor<'a> {
     /// Priority = edge difference + deleted neighbors (standard heuristic).
     fn priority(&mut self, v: VertexId) -> i64 {
         let (shortcuts, removed) = self.simulate(v);
+        // PANIC-OK: deleted_neighbors is sized n; v < n.
         shortcuts as i64 - removed as i64 + self.deleted_neighbors[v as usize] as i64
     }
 
     /// Counts the shortcuts contracting `v` would add, without mutating.
     fn simulate(&mut self, v: VertexId) -> (usize, usize) {
-        let deg = self.adj[v as usize].len();
+        let deg = self.adj[v as usize].len(); // PANIC-OK: adj is sized n; v < n.
         if deg > SKIP_WITNESS_DEGREE {
             // Endgame core: assume every pair needs a shortcut.
             return (deg * deg.saturating_sub(1) / 2, deg);
         }
         let neighbors: Vec<(VertexId, Weight)> =
-            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect(); // PANIC-OK: v < n.
         let mut shortcuts = 0;
         for i in 0..neighbors.len() {
-            let (u, wu) = neighbors[i];
+            let (u, wu) = neighbors[i]; // PANIC-OK: i < neighbors.len().
+                                        // PANIC-OK: i + 1 <= neighbors.len(), a valid (possibly empty) tail.
             for &(t, wt) in &neighbors[i + 1..] {
                 if !self.has_witness(u, t, wu + wt, v) {
                     shortcuts += 1;
@@ -241,10 +303,11 @@ impl<'a> Contractor<'a> {
 
     fn contract(&mut self, v: VertexId) {
         let neighbors: Vec<(VertexId, Weight)> =
-            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect();
+            self.adj[v as usize].iter().map(|(&u, &w)| (u, w)).collect(); // PANIC-OK: v < n.
         let skip_witness = neighbors.len() > SKIP_WITNESS_DEGREE;
         for i in 0..neighbors.len() {
-            let (u, wu) = neighbors[i];
+            let (u, wu) = neighbors[i]; // PANIC-OK: i < neighbors.len().
+                                        // PANIC-OK: i + 1 <= neighbors.len(), a valid (possibly empty) tail.
             for &(t, wt) in &neighbors[i + 1..] {
                 let via = wu + wt;
                 if skip_witness || !self.has_witness(u, t, via, v) {
@@ -252,19 +315,23 @@ impl<'a> Contractor<'a> {
                 }
             }
         }
+        // PANIC-OK: contracted/adj/deleted_neighbors are sized n; v and its
+        // adjacency keys are vertices < n.
         self.contracted[v as usize] = true;
         for &(u, _) in &neighbors {
-            self.adj[u as usize].remove(&v);
+            self.adj[u as usize].remove(&v); // PANIC-OK: adj sized n; u < n.
+                                             // PANIC-OK: deleted_neighbors is sized n; u < n as above.
             self.deleted_neighbors[u as usize] += 1;
         }
-        self.adj[v as usize] = HashMap::new();
+        self.adj[v as usize] = HashMap::new(); // PANIC-OK: adj sized n; v < n.
     }
 
     fn insert_shortcut(&mut self, u: VertexId, t: VertexId, w: Weight) {
+        // PANIC-OK: adj is sized n; u and t are adjacency keys < n.
         let e = self.adj[u as usize].entry(t).or_insert(Weight::MAX);
         if w < *e {
             *e = w;
-            self.adj[t as usize].insert(u, w);
+            self.adj[t as usize].insert(u, w); // PANIC-OK: t < n as above.
             self.edges.push((u, t, w));
             self.num_shortcuts += 1;
         }
@@ -281,13 +348,15 @@ impl<'a> Contractor<'a> {
         }
         self.wheap.clear();
         self.wheap.push((Reverse(0), 0, u));
+        // PANIC-OK: wepoch/wdist are sized n; u is a graph vertex < n.
         self.wepoch[u as usize] = self.wcur;
-        self.wdist[u as usize] = 0;
+        self.wdist[u as usize] = 0; // PANIC-OK: wdist is sized n; u < n.
         let mut settled = 0;
         while let Some((Reverse(d), hops, x)) = self.wheap.pop() {
             if d > limit || settled >= self.config.witness_budget {
                 return false;
             }
+            // PANIC-OK: heap entries are vertices < n; wepoch/wdist sized n.
             if self.wepoch[x as usize] == self.wcur && d > self.wdist[x as usize] {
                 continue;
             }
@@ -298,16 +367,19 @@ impl<'a> Contractor<'a> {
             if hops as usize >= self.config.witness_hops {
                 continue;
             }
+            // PANIC-OK: adj is sized n and its keys are vertices < n, which
+            // also bounds the wepoch/wdist accesses below.
             for (&y, &w) in &self.adj[x as usize] {
                 if y == excluded {
                     continue;
                 }
                 let nd = d + w;
                 if nd <= limit
+                    // PANIC-OK: wepoch/wdist are sized n; y is an adjacency key < n.
                     && (self.wepoch[y as usize] != self.wcur || nd < self.wdist[y as usize])
                 {
-                    self.wepoch[y as usize] = self.wcur;
-                    self.wdist[y as usize] = nd;
+                    self.wepoch[y as usize] = self.wcur; // PANIC-OK: y < n as above.
+                    self.wdist[y as usize] = nd; // PANIC-OK: y < n as above.
                     self.wheap.push((Reverse(nd), hops + 1, y));
                 }
             }

@@ -13,9 +13,11 @@
 
 mod construction;
 mod query;
+pub mod sweep;
 
 pub use construction::{ChConfig, ContractionHierarchy};
 pub use query::ChQuery;
+pub use sweep::{OneToManySweep, RestrictedTargets, SweepCounters};
 
 #[cfg(test)]
 mod tests {

@@ -79,8 +79,10 @@ impl<'a> ChQuery<'a> {
 
     #[inline]
     fn get(&self, side: usize, v: VertexId) -> Weight {
+        // PANIC-OK: side is 0 or 1 by the caller; epoch/dist are sized
+        // num_vertices at new() and v is a graph vertex < n.
         if self.epoch[side][v as usize] == self.cur {
-            self.dist[side][v as usize]
+            self.dist[side][v as usize] // PANIC-OK: bounds as above.
         } else {
             INFINITY
         }
@@ -88,8 +90,14 @@ impl<'a> ChQuery<'a> {
 
     #[inline]
     fn relax(&mut self, side: usize, v: VertexId, d: Weight) {
+        // PANIC-OK: side is 0 or 1 by the caller; epoch/dist are sized
+        // num_vertices at new() and v is a graph vertex < n.
         self.epoch[side][v as usize] = self.cur;
+        // PANIC-OK: bounds as above.
         self.dist[side][v as usize] = d;
+        // ALLOC-OK: clear() keeps the BinaryHeap's capacity across queries,
+        // and entries per query are bounded by the upward-edge count, so
+        // capacity stops growing once the workload's deepest search has run.
         self.heap.push((Reverse(d), side as u8, v));
     }
 }

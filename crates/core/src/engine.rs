@@ -53,6 +53,16 @@ pub struct QueryStats {
     /// dynamic face of `cargo xtask allocs`'s static certificate, surfaced
     /// per query in the `table_serving` rows.
     pub heap_grows: usize,
+    /// RPHAST one-to-many sweeps run by the batch pre-pass (one per query
+    /// in a qualifying keyword group; the restricted domain is shared).
+    pub sweeps: usize,
+    /// Vertices settled/relaxed by those sweeps (upward settles + downward
+    /// relaxations) — directly comparable to the per-query Dijkstra pop
+    /// counts the sweeps replace.
+    pub sweep_settled: usize,
+    /// Distance-oracle calls answered from a precomputed sweep table
+    /// instead of a per-query graph search.
+    pub sweep_hits: usize,
 }
 
 impl QueryStats {
@@ -104,6 +114,9 @@ impl AddAssign for QueryStats {
         self.heap_decrease_keys += rhs.heap_decrease_keys;
         self.heap_stale_skipped += rhs.heap_stale_skipped;
         self.heap_grows += rhs.heap_grows;
+        self.sweeps += rhs.sweeps;
+        self.sweep_settled += rhs.sweep_settled;
+        self.sweep_hits += rhs.sweep_hits;
     }
 }
 
@@ -113,7 +126,8 @@ impl fmt::Display for QueryStats {
         write!(
             f,
             "dist={} extract={} lb={} pruned={} cache={}h/{}m ({:.1}%) reuse={} \
-             heap={}push/{}pop/{}dec/{}stale alloc={}grow",
+             heap={}push/{}pop/{}dec/{}stale alloc={}grow \
+             sweep={}x/{}settled/{}hit",
             self.dist_computations,
             self.heap_extractions,
             self.lb_computations,
@@ -126,7 +140,10 @@ impl fmt::Display for QueryStats {
             self.heap_pops,
             self.heap_decrease_keys,
             self.heap_stale_skipped,
-            self.heap_grows
+            self.heap_grows,
+            self.sweeps,
+            self.sweep_settled,
+            self.sweep_hits
         )
     }
 }

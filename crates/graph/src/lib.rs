@@ -11,6 +11,10 @@
 //! * [`dheap`] — the indexed 4-ary decrease-key heap kernel under every
 //!   best-first search in the workspace (zero stale pops, O(1) reset,
 //!   structural instrumentation counters).
+//! * [`morton`] / [`relabel`] — space-filling-curve codes and the
+//!   cache-conscious vertex renumbering ([`Relabeling`]) built on them:
+//!   BFS or Hilbert orders that shrink the id gap across edges so the
+//!   memory-bound kernels touch contiguous cache lines.
 //! * [`connectivity`] — connected-component analysis and largest-component
 //!   extraction (road networks must be connected for Voronoi diagrams to
 //!   cover every vertex).
@@ -31,6 +35,8 @@ pub mod dheap;
 pub mod dijkstra;
 pub mod dimacs;
 pub mod generate;
+pub mod morton;
+pub mod relabel;
 pub mod types;
 pub mod weight;
 
@@ -38,5 +44,6 @@ pub use bidijkstra::BiDijkstra;
 pub use csr::{Graph, GraphBuilder};
 pub use dheap::{DaryHeap, HeapCounters};
 pub use dijkstra::{Dijkstra, SearchSpace};
+pub use relabel::Relabeling;
 pub use types::{Edge, Point, VertexId, Weight, INFINITY};
 pub use weight::{weight_add, OrderedWeight};

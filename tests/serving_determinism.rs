@@ -203,6 +203,61 @@ fn batch_executor_stays_deterministic_across_live_update_stream() {
     }
 }
 
+/// Cache-conscious renumbering must be invisible at the serving boundary:
+/// relabel the whole deployment (graph, corpus, index, ALT tables, CH) with
+/// the Hilbert order, translate only the query vertices, and every batch —
+/// at any thread count, with and without the one-to-many sweep pre-pass —
+/// answers bit-identically to the un-renumbered sequential cold reference.
+/// Results carry object ids, which are label-invariant, so equality is
+/// exact equality of `ServingResult`s.
+#[test]
+fn hilbert_renumbering_is_invisible_to_serving() {
+    let mut f = fixture();
+    let reference = sequential_cold(&f);
+
+    let r = kspin::graph::Relabeling::hilbert(&f.graph);
+    r.validate().expect("hilbert order is a permutation");
+    let pg = r.apply(&f.graph);
+    // Relabel every structure holding raw vertex ids in place — the
+    // production flow; nothing is rebuilt, so tie-breaks cannot move.
+    f.corpus.relabel(&r);
+    f.index.relabel(&r);
+    let palt = f.alt.relabel(&r);
+    let pch = kspin::ch::ContractionHierarchy::build(&f.graph, &kspin::ch::ChConfig::default())
+        .relabel(&r);
+    let queries: Vec<ServingQuery> = f
+        .queries
+        .iter()
+        .cloned()
+        .map(|mut q| {
+            match &mut q {
+                ServingQuery::Bknn { vertex, .. }
+                | ServingQuery::TopK { vertex, .. }
+                | ServingQuery::Boolean { vertex, .. } => *vertex = r.to_local(*vertex),
+            }
+            q
+        })
+        .collect();
+
+    for threads in [1, 4] {
+        for sweep in [false, true] {
+            let mut exec =
+                BatchExecutor::new(&pg, &f.corpus, &f.index, &palt, 1).with_exact_threads(threads);
+            if sweep {
+                exec = exec.with_sweep(&pch);
+            }
+            let out = exec.execute(&queries, || DijkstraDistance::new(&pg));
+            assert_eq!(
+                out.results, reference,
+                "renumbered {threads}-thread sweep={sweep} run diverged"
+            );
+            if sweep {
+                assert!(out.stats.sweeps > 0, "sweep pre-pass never ran");
+            }
+        }
+    }
+}
+
 #[test]
 fn batch_executor_stays_deterministic_after_updates() {
     let mut f = fixture();

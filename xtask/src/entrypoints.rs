@@ -22,9 +22,10 @@
 
 /// Steady-state serving entry points for the allocation certificate: the
 /// 6 query processors (§4.1/§4.2), the batch executor, the 4 d-ary heap
-/// kernel ops, inverted-heap extraction (Algorithm 4), and the seed-cache
-/// hit path.
-pub const STEADY_ENTRIES: [&str; 13] = [
+/// kernel ops, inverted-heap extraction (Algorithm 4), the seed-cache
+/// hit path, and the PHAST/RPHAST one-to-many sweep kernels the batch
+/// executor's pre-pass runs per keyword group.
+pub const STEADY_ENTRIES: [&str; 15] = [
     "QueryEngine::bknn",
     "QueryEngine::bknn_disjunctive",
     "QueryEngine::bknn_conjunctive",
@@ -38,30 +39,37 @@ pub const STEADY_ENTRIES: [&str; 13] = [
     "DaryHeap::clear",
     "InvertedHeap::extract",
     "HeapSeedCache::lookup",
+    "OneToManySweep::one_to_many",
+    "OneToManySweep::one_to_many_restricted",
 ];
 
 /// Warm-up boundary specs, resolved with entry-point semantics (a bare
 /// name matches every certified fn of that name — `new` covers every
 /// constructor, `build` every index build). Reachability never crosses
-/// into these items: they may allocate freely.
-pub const WARM_UP: [&str; 6] = [
+/// into these items: they may allocate freely. `Contractor::run` is the
+/// CH preprocessing driver, only ever called from
+/// `ContractionHierarchy::build`; it is fenced by name because the
+/// conservative resolver would otherwise link it from `ServingQuery::run`.
+pub const WARM_UP: [&str; 7] = [
     "new",
     "build",
     "InvertedHeap::create",
     "InvertedHeap::create_seeded",
     "HeapSeedCache::admit",
     "compute_seeds",
+    "Contractor::run",
 ];
 
 /// Files (beyond the `crates/core/src/query/` processors) that define a
 /// steady-state entry point; with the prefix below this is H1's hot-loop
 /// scope.
-pub const HOT_LOOP_FILES: [&str; 5] = [
+pub const HOT_LOOP_FILES: [&str; 6] = [
     "crates/core/src/heap.rs",
     "crates/core/src/serving.rs",
     "crates/core/src/cache.rs",
     "crates/graph/src/dheap.rs",
     "crates/nvd/src/knn.rs",
+    "crates/ch/src/sweep.rs",
 ];
 
 /// Path prefixes in H1's hot-loop scope.

@@ -194,20 +194,23 @@ pub(crate) fn to_f64(n: usize) -> f64 {
 // The shared call-graph certifier driver.
 // ---------------------------------------------------------------------------
 
-/// The certified perimeter, relative to the workspace root: the four
+/// The certified perimeter, relative to the workspace root: the five
 /// hot-path crates, closed under the `kspin-core::modules` trait dispatch
 /// (every `NetworkDistance` / `LowerBound` implementation lives inside
-/// it; the CH/HL/G-tree/… crates are offline baselines no serving path
-/// calls into).
-pub const CERT_DIRS: [&str; 4] = [
+/// it). `crates/ch` joined when the batch executor's one-to-many sweep
+/// pre-pass made its PHAST kernels a steady-state serving path; HL,
+/// G-tree and the other baselines remain offline crates no serving path
+/// calls into.
+pub const CERT_DIRS: [&str; 5] = [
     "crates/graph/src",
     "crates/alt/src",
     "crates/nvd/src",
     "crates/core/src",
+    "crates/ch/src",
 ];
 
 /// Loads the certified perimeter from disk. Shared by `cargo xtask
-/// panics`, `allocs`, and `determinism`, which certify the same four
+/// panics`, `allocs`, and `determinism`, which certify the same five
 /// hot-path crates.
 pub(crate) fn load_perimeter() -> Vec<SourceFile> {
     let root = workspace_root();
