@@ -28,12 +28,17 @@ pub enum LandmarkStrategy {
 }
 
 /// The ALT index: `m` landmarks with full distance vectors.
+///
+/// The distance table is one flat row-major array (`m × n`, stride `n`):
+/// one allocation, cache-dense row scans, and the exact layout the
+/// snapshot format serializes verbatim.
 #[derive(Debug, Clone)]
 pub struct AltIndex {
     landmarks: Vec<VertexId>,
-    /// `dist[l][v]` = network distance from landmark `l` to vertex `v`
-    /// (symmetric on undirected graphs).
-    dist: Vec<Vec<Weight>>,
+    num_vertices: usize,
+    /// `dist[l * n + v]` = network distance from landmark `l` to vertex
+    /// `v` (symmetric on undirected graphs).
+    dist: Vec<Weight>,
 }
 
 impl AltIndex {
@@ -56,7 +61,7 @@ impl AltIndex {
         let m = num_landmarks.min(n);
         let mut dijkstra = Dijkstra::new(n);
         let mut landmarks = Vec::with_capacity(m);
-        let mut dist = Vec::with_capacity(m);
+        let mut dist = Vec::with_capacity(m * n);
 
         match strategy {
             LandmarkStrategy::Farthest => {
@@ -78,7 +83,7 @@ impl AltIndex {
                             best = v as VertexId;
                         }
                     }
-                    dist.push(d);
+                    dist.extend_from_slice(&d);
                     next = best;
                 }
             }
@@ -94,12 +99,16 @@ impl AltIndex {
                         ((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) % n as u64) as VertexId;
                     if chosen.insert(v) {
                         landmarks.push(v);
-                        dist.push(Self::distances_from(graph, &mut dijkstra, v));
+                        dist.extend_from_slice(&Self::distances_from(graph, &mut dijkstra, v));
                     }
                 }
             }
         }
-        AltIndex { landmarks, dist }
+        AltIndex {
+            landmarks,
+            num_vertices: n,
+            dist,
+        }
     }
 
     fn distances_from(graph: &Graph, dijkstra: &mut Dijkstra, l: VertexId) -> Vec<Weight> {
@@ -121,9 +130,15 @@ impl AltIndex {
     /// lower bound — and therefore every query that consumes them — is
     /// bitwise identical to the unpermuted index. Build-time only.
     pub fn relabel(&self, r: &kspin_graph::Relabeling) -> AltIndex {
+        let n = self.num_vertices;
+        let mut dist = Vec::with_capacity(self.dist.len());
+        for row in self.dist.chunks_exact(n.max(1)) {
+            dist.extend_from_slice(&r.permute_table(row));
+        }
         AltIndex {
             landmarks: self.landmarks.iter().map(|&l| r.to_local(l)).collect(),
-            dist: self.dist.iter().map(|row| r.permute_table(row)).collect(),
+            num_vertices: n,
+            dist,
         }
     }
 
@@ -131,11 +146,11 @@ impl AltIndex {
     /// `max_L |d(L,u) − d(L,v)|`. O(m) with m a small constant (§5.1).
     #[inline]
     pub fn lower_bound(&self, u: VertexId, v: VertexId) -> Weight {
-        if u == v {
+        if u == v || self.num_vertices == 0 {
             return 0;
         }
         let mut best: Weight = 0;
-        for d in &self.dist {
+        for d in self.dist.chunks_exact(self.num_vertices) {
             // PANIC-OK: each landmark row is sized n; u, v are vertex ids < n.
             let (du, dv) = (d[u as usize], d[v as usize]);
             // A landmark that cannot reach either endpoint tells us nothing.
@@ -152,7 +167,42 @@ impl AltIndex {
 
     /// Index size in bytes (the m × n distance table dominates).
     pub fn size_bytes(&self) -> usize {
-        self.dist.iter().map(|d| d.len() * 4).sum::<usize>() + self.landmarks.len() * 4
+        self.dist.len() * 4 + self.landmarks.len() * 4
+    }
+
+    /// Borrowed views of the flat storage — `(landmarks, num_vertices,
+    /// dist)` with `dist` row-major at stride `num_vertices` — the
+    /// snapshot serialization boundary.
+    pub fn flat_parts(&self) -> (&[VertexId], usize, &[Weight]) {
+        (&self.landmarks, self.num_vertices, &self.dist)
+    }
+
+    /// Reassembles an index from its flat arrays, verbatim.
+    ///
+    /// # Errors
+    /// When the table shape is inconsistent (`dist` is not
+    /// `landmarks × num_vertices`) or a landmark id is out of range.
+    pub fn from_flat_parts(
+        landmarks: Vec<VertexId>,
+        num_vertices: usize,
+        dist: Vec<Weight>,
+    ) -> Result<AltIndex, String> {
+        let expect = landmarks.len().checked_mul(num_vertices);
+        if expect != Some(dist.len()) {
+            return Err(format!(
+                "distance table holds {} entries for {} landmarks × {num_vertices} vertices",
+                dist.len(),
+                landmarks.len()
+            ));
+        }
+        if let Some(&bad) = landmarks.iter().find(|&&l| l as usize >= num_vertices) {
+            return Err(format!("landmark {bad} out of range {num_vertices}"));
+        }
+        Ok(AltIndex {
+            landmarks,
+            num_vertices,
+            dist,
+        })
     }
 }
 

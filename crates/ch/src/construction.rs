@@ -141,6 +141,92 @@ impl ContractionHierarchy {
     pub fn size_bytes(&self) -> usize {
         self.rank.len() * 4 + self.up_offsets.len() * 4 + self.up_targets.len() * 8
     }
+
+    /// Borrowed views of the raw arrays — `(rank, up_offsets, up_targets,
+    /// up_weights, num_shortcuts)` — the snapshot serialization boundary.
+    pub fn flat_parts(&self) -> (&[u32], &[u32], &[VertexId], &[Weight], usize) {
+        (
+            &self.rank,
+            &self.up_offsets,
+            &self.up_targets,
+            &self.up_weights,
+            self.num_shortcuts,
+        )
+    }
+
+    /// Reassembles a hierarchy from its raw arrays, verbatim, validating
+    /// the CSR shape and that `rank` is a permutation of `0..n` (the
+    /// invariants the upward-search indexing relies on).
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    pub fn from_flat_parts(
+        rank: Vec<u32>,
+        up_offsets: Vec<u32>,
+        up_targets: Vec<VertexId>,
+        up_weights: Vec<Weight>,
+        num_shortcuts: usize,
+    ) -> Result<ContractionHierarchy, String> {
+        let n = rank.len();
+        if up_offsets.len() != n + 1 {
+            return Err(format!(
+                "up_offsets holds {} entries for {n} vertices",
+                up_offsets.len()
+            ));
+        }
+        if up_targets.len() != up_weights.len() {
+            return Err(format!(
+                "up_targets/up_weights length mismatch: {} vs {}",
+                up_targets.len(),
+                up_weights.len()
+            ));
+        }
+        if u32::try_from(up_targets.len()).is_err() {
+            return Err(format!(
+                "upward edge count {} exceeds u32",
+                up_targets.len()
+            ));
+        }
+        if up_offsets.first() != Some(&0) || up_offsets.last() != Some(&(up_targets.len() as u32)) {
+            return Err("up_offsets must start at 0 and end at the edge count".into());
+        }
+        if up_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("up_offsets must be monotone non-decreasing".into());
+        }
+        if up_targets.iter().any(|&t| t as usize >= n) {
+            return Err(format!("an upward target is out of range {n}"));
+        }
+        let mut seen = vec![false; n];
+        for &r in &rank {
+            match seen.get_mut(r as usize) {
+                Some(slot) if !*slot => *slot = true,
+                _ => {
+                    return Err(format!(
+                        "rank {r} out of range or repeated — not a permutation"
+                    ))
+                }
+            }
+        }
+        // Upward edges must point strictly up the hierarchy; the sweep's
+        // downward pass and the bidirectional search both rely on it.
+        for v in 0..n {
+            let lo = up_offsets[v] as usize;
+            let hi = up_offsets[v + 1] as usize;
+            if up_targets[lo..hi]
+                .iter()
+                .any(|&t| rank[t as usize] <= rank[v])
+            {
+                return Err(format!("vertex {v} has a non-upward edge"));
+            }
+        }
+        Ok(ContractionHierarchy {
+            rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            num_shortcuts,
+        })
+    }
 }
 
 /// Working state for one contraction run.

@@ -182,6 +182,31 @@ impl HeapSeedCache {
         }
     }
 
+    /// Shard count — part of the snapshot's cache shape.
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard byte budget — part of the snapshot's cache shape.
+    pub(crate) fn shard_budget(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Rebuilds an empty cache with an explicit shape (the snapshot
+    /// loader's entry point; [`HeapSeedCache::new`] derives the budget
+    /// from a capacity instead). Restoring empty is sound: cached seeding
+    /// is bit-identical to cold seeding by construction.
+    pub(crate) fn from_shape(shards: usize, shard_budget: usize) -> Self {
+        let shards = shards.max(1);
+        HeapSeedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: shard_budget.max(ENTRY_OVERHEAD_BYTES),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
     fn shard(&self, t: TermId, leaf: u32) -> MutexGuard<'_, Shard> {
         let mix = (t as u64)
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)

@@ -91,7 +91,7 @@ pub struct NvdIndex {
 }
 
 impl NvdIndex {
-    fn new(apx: ApproxNvd, corpus_ids: Vec<ObjectId>) -> Self {
+    pub(crate) fn new(apx: ApproxNvd, corpus_ids: Vec<ObjectId>) -> Self {
         let local_of = corpus_ids
             .iter()
             .enumerate()
@@ -310,6 +310,30 @@ impl KspinIndex {
     #[inline]
     pub fn seed_cache(&self) -> Option<&HeapSeedCache> {
         self.seed_cache.as_ref()
+    }
+
+    /// Every per-term entry in term-slot order — the snapshot
+    /// serialization boundary (`entries.len()` is the term-slot count).
+    pub(crate) fn snapshot_entries(&self) -> &[Option<KeywordIndex>] {
+        &self.entries
+    }
+
+    /// Reassembles an index from decoded parts. Per-entry structure is
+    /// validated by the snapshot codec before this runs; the seed cache
+    /// restores empty (cached seeding ≡ cold seeding, so serving is
+    /// bit-identical either way).
+    pub(crate) fn from_snapshot_parts(
+        rho: usize,
+        entries: Vec<Option<KeywordIndex>>,
+        stats: BuildStats,
+        seed_cache: Option<HeapSeedCache>,
+    ) -> Self {
+        KspinIndex {
+            rho,
+            entries,
+            stats,
+            seed_cache,
+        }
     }
 
     /// Approximate index size in bytes (Keyword Separated Index only — the

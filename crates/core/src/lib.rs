@@ -27,6 +27,7 @@ pub mod index;
 pub mod modules;
 pub mod query;
 pub mod serving;
+pub mod snapshot;
 
 pub use cache::{HeapSeedCache, SeedCacheConfig, SeedCacheStats};
 pub use engine::{QueryEngine, QueryStats};

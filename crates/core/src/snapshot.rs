@@ -1,0 +1,945 @@
+//! Engine-level snapshot codecs: mapping K-SPIN structures onto the flat
+//! section format of [`kspin_snapshot`].
+//!
+//! This module knows how the engine's structures — CSR graph, corpus
+//! posting columns, the Keyword Separated Index with its per-term
+//! ρ-approximate NVDs, ALT landmark tables, the CH upward graph and the
+//! active relabeling — flatten into the section registry of
+//! [`kspin_snapshot::format::section`]. Each `encode_*` appends its
+//! sections to a [`SnapshotWriter`] in ascending id order; each
+//! `decode_*` copies the sections back out of a validated
+//! [`SnapshotFile`] and reassembles the structure through its crate's
+//! validating `from_*_parts` constructor, so a checksum-valid but
+//! logically corrupt file yields a structured [`SnapshotError`] rather
+//! than a panic or a broken engine.
+//!
+//! Encoding is canonical: a structure always produces the same sections
+//! with the same contents, index sections are written even when empty,
+//! and pooled per-term arrays are concatenated in term-slot order. Save →
+//! load → save is therefore byte-identical (test-enforced at the
+//! workspace level).
+//!
+//! The full-system composition (vocabulary, G-tree hierarchy, the
+//! `KspinSystem` save/load entry points) lives in the root `kspin`
+//! crate's `snapshot` module, which builds on these codecs.
+
+pub use kspin_snapshot::{
+    format, FormatError, IndexStore, SectionLabel, SectionView, SnapshotError, SnapshotFile,
+    SnapshotWriter,
+};
+
+use crate::cache::HeapSeedCache;
+use crate::index::{BuildStats, KeywordIndex, KspinIndex, NvdIndex, SmallIndex};
+use kspin_graph::{Graph, Point, Relabeling};
+use kspin_nvd::morton::MortonSpace;
+use kspin_nvd::{AdjacencyGraph, ApproxNvd};
+use kspin_snapshot::format::section;
+use kspin_text::Corpus;
+
+/// A cursor over one pooled section's decoded elements. Per-term slices
+/// are taken off the front in term-slot order; [`Pool::finish`] then
+/// proves the section holds no trailing elements, so pooled sections are
+/// consumed exactly.
+struct Pool<'a, T> {
+    id: u32,
+    data: &'a [T],
+    cursor: usize,
+}
+
+impl<'a, T> Pool<'a, T> {
+    fn new(id: u32, data: &'a [T]) -> Self {
+        Pool {
+            id,
+            data,
+            cursor: 0,
+        }
+    }
+
+    /// The next `len` elements, or a structured error naming the section
+    /// when the pool runs dry (a length section lying about its pools).
+    fn take(&mut self, len: usize) -> Result<&'a [T], SnapshotError> {
+        let end = self
+            .cursor
+            .checked_add(len)
+            .ok_or_else(|| SnapshotError::decode(self.id, "pool length overflows"))?;
+        let s = self.data.get(self.cursor..end).ok_or_else(|| {
+            SnapshotError::decode(
+                self.id,
+                format!(
+                    "pool exhausted: wanted {len} elements at {} of {}",
+                    self.cursor,
+                    self.data.len()
+                ),
+            )
+        })?;
+        self.cursor = end;
+        Ok(s)
+    }
+
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.cursor == self.data.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::decode(
+                self.id,
+                format!(
+                    "pool holds {} trailing elements past {}",
+                    self.data.len() - self.cursor,
+                    self.cursor
+                ),
+            ))
+        }
+    }
+}
+
+impl<T: Copy> Pool<'_, T> {
+    /// The next single element.
+    fn take1(&mut self) -> Result<T, SnapshotError> {
+        let s = self.take(1)?;
+        s.first().copied().ok_or_else(|| {
+            SnapshotError::decode(self.id, "pool yielded an empty single-element slice")
+        })
+    }
+}
+
+fn decoded_usize(id: u32, what: &str, v: u64) -> Result<usize, SnapshotError> {
+    usize::try_from(v)
+        .map_err(|_| SnapshotError::decode(id, format!("{what} {v} does not fit in usize")))
+}
+
+fn decoded_bools(id: u32, bytes: &[u8]) -> Result<Vec<bool>, SnapshotError> {
+    bytes
+        .iter()
+        .map(|&b| match b {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::decode(
+                id,
+                format!("flag byte {b} is neither 0 nor 1"),
+            )),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Graph (sections 1-4)
+// ---------------------------------------------------------------------
+
+/// Appends the road graph's CSR arrays and coordinates.
+pub fn encode_graph(w: &mut SnapshotWriter, g: &Graph) {
+    let (offsets, targets, weights, coords) = g.csr_parts();
+    w.put_u32s(section::GRAPH_OFFSETS, offsets);
+    w.put_u32s(section::GRAPH_TARGETS, targets);
+    w.put_u32s(section::GRAPH_WEIGHTS, weights);
+    let mut interleaved = Vec::with_capacity(coords.len() * 2);
+    for p in coords {
+        interleaved.push(p.x as u32);
+        interleaved.push(p.y as u32);
+    }
+    w.put_u32s(section::GRAPH_COORDS, &interleaved);
+}
+
+/// Reassembles the road graph through [`Graph::from_csr_parts`].
+///
+/// # Errors
+/// Missing/mistyped sections, an odd coordinate array, or any violated
+/// CSR invariant.
+pub fn decode_graph(f: &SnapshotFile<'_>) -> Result<Graph, SnapshotError> {
+    let offsets = f.u32s(section::GRAPH_OFFSETS)?;
+    let targets = f.u32s(section::GRAPH_TARGETS)?;
+    let weights = f.u32s(section::GRAPH_WEIGHTS)?;
+    let interleaved = f.u32s(section::GRAPH_COORDS)?;
+    if interleaved.len() % 2 != 0 {
+        return Err(SnapshotError::decode(
+            section::GRAPH_COORDS,
+            format!("interleaved coordinate count {} is odd", interleaved.len()),
+        ));
+    }
+    let coords: Vec<Point> = interleaved
+        .chunks_exact(2)
+        .map(|c| Point {
+            x: c[0] as i32,
+            y: c[1] as i32,
+        })
+        .collect();
+    Graph::from_csr_parts(offsets, targets, weights, coords)
+        .map_err(|e| SnapshotError::decode(section::GRAPH_OFFSETS, e))
+}
+
+// ---------------------------------------------------------------------
+// Corpus (sections 10-14)
+// ---------------------------------------------------------------------
+
+/// Appends the corpus's flat posting columns.
+pub fn encode_corpus(w: &mut SnapshotWriter, c: &Corpus) {
+    let (vertex_of, doc_offsets, docs) = c.flat_parts();
+    w.put_u32s(section::CORPUS_VERTEX_OF, vertex_of);
+    w.put_u32s(section::CORPUS_DOC_OFFSETS, doc_offsets);
+    let terms: Vec<u32> = docs.iter().map(|p| p.term).collect();
+    let freqs: Vec<u32> = docs.iter().map(|p| p.freq).collect();
+    let impacts: Vec<f64> = docs.iter().map(|p| p.impact).collect();
+    w.put_u32s(section::CORPUS_DOC_TERMS, &terms);
+    w.put_u32s(section::CORPUS_DOC_FREQS, &freqs);
+    w.put_f64s(section::CORPUS_DOC_IMPACTS, &impacts);
+}
+
+/// Reassembles the corpus through [`Corpus::from_parts`], copying stored
+/// impact bits verbatim so a reloaded corpus scores bit-identically.
+///
+/// # Errors
+/// Missing/mistyped sections, mismatched posting columns, or any
+/// violated corpus invariant.
+pub fn decode_corpus(f: &SnapshotFile<'_>) -> Result<Corpus, SnapshotError> {
+    let vertex_of = f.u32s(section::CORPUS_VERTEX_OF)?;
+    let doc_offsets = f.u32s(section::CORPUS_DOC_OFFSETS)?;
+    let terms = f.u32s(section::CORPUS_DOC_TERMS)?;
+    let freqs = f.u32s(section::CORPUS_DOC_FREQS)?;
+    let impacts = f.f64s(section::CORPUS_DOC_IMPACTS)?;
+    if terms.len() != freqs.len() || terms.len() != impacts.len() {
+        return Err(SnapshotError::decode(
+            section::CORPUS_DOC_TERMS,
+            format!(
+                "posting columns disagree: {} terms, {} freqs, {} impacts",
+                terms.len(),
+                freqs.len(),
+                impacts.len()
+            ),
+        ));
+    }
+    Corpus::from_parts(vertex_of, doc_offsets, &terms, &freqs, &impacts)
+        .map_err(|e| SnapshotError::decode(section::CORPUS_DOC_OFFSETS, e))
+}
+
+// ---------------------------------------------------------------------
+// Keyword Separated Index (sections 30-49)
+// ---------------------------------------------------------------------
+
+/// Appends the Keyword Separated Index: scalar metadata, the per-slot
+/// kind table, and the pooled small-list and NVD arrays in term-slot
+/// order. All twenty sections are written even when their pools are
+/// empty, so logical content maps one-to-one onto sections (canonical).
+pub fn encode_index(w: &mut SnapshotWriter, index: &KspinIndex) {
+    let entries = index.snapshot_entries();
+    let stats = index.stats();
+
+    let mut kinds = Vec::with_capacity(entries.len());
+    let mut small_lens: Vec<u32> = Vec::new();
+    let mut small_objects: Vec<u32> = Vec::new();
+    let mut small_vertices: Vec<u32> = Vec::new();
+    let mut small_alive: Vec<u8> = Vec::new();
+    let mut nvd_scalars: Vec<u64> = Vec::new();
+    let mut nvd_lens: Vec<u32> = Vec::new();
+    let mut nvd_starts: Vec<u32> = Vec::new();
+    let mut nvd_cand_offsets: Vec<u32> = Vec::new();
+    let mut nvd_cands: Vec<u32> = Vec::new();
+    let mut nvd_objects: Vec<u32> = Vec::new();
+    let mut nvd_max_radius: Vec<u32> = Vec::new();
+    let mut nvd_adj_offsets: Vec<u32> = Vec::new();
+    let mut nvd_adj_data: Vec<u32> = Vec::new();
+    let mut nvd_deleted: Vec<u8> = Vec::new();
+    let mut nvd_att_offsets: Vec<u32> = Vec::new();
+    let mut nvd_att_data: Vec<u32> = Vec::new();
+    let mut nvd_inserted: Vec<u32> = Vec::new();
+    let mut nvd_corpus_ids: Vec<u32> = Vec::new();
+
+    for entry in entries {
+        match entry {
+            None => kinds.push(0u8),
+            Some(KeywordIndex::Small(s)) => {
+                kinds.push(1u8);
+                small_lens.push(s.objects.len() as u32);
+                small_objects.extend_from_slice(&s.objects);
+                small_vertices.extend_from_slice(&s.vertices);
+                small_alive.extend(s.alive.iter().map(|&a| u8::from(a)));
+            }
+            Some(KeywordIndex::Nvd(nvd)) => {
+                kinds.push(2u8);
+                let p = nvd.apx.snapshot_parts();
+                let (min, scale_x, scale_y) = p.space.to_parts();
+                nvd_scalars.extend_from_slice(&[
+                    p.rho as u64,
+                    p.pending_updates as u64,
+                    u64::from(min.x as u32),
+                    u64::from(min.y as u32),
+                    scale_x.to_bits(),
+                    scale_y.to_bits(),
+                ]);
+                let (adj_offsets, adj_data) = p.adjacency.flat_parts();
+                let att_total: usize = p.attached.iter().map(Vec::len).sum();
+                nvd_lens.extend_from_slice(&[
+                    p.starts.len() as u32,
+                    p.cand_offsets.len() as u32,
+                    p.cands.len() as u32,
+                    p.objects.len() as u32,
+                    (adj_offsets.len() - 1) as u32,
+                    adj_data.len() as u32,
+                    att_total as u32,
+                    p.inserted_vertices.len() as u32,
+                ]);
+                nvd_starts.extend_from_slice(p.starts);
+                nvd_cand_offsets.extend_from_slice(p.cand_offsets);
+                nvd_cands.extend_from_slice(p.cands);
+                nvd_objects.extend_from_slice(p.objects);
+                nvd_max_radius.extend_from_slice(p.max_radius);
+                nvd_adj_offsets.extend_from_slice(&adj_offsets);
+                nvd_adj_data.extend_from_slice(&adj_data);
+                nvd_deleted.extend(p.deleted.iter().map(|&d| u8::from(d)));
+                let mut att_cursor = 0u32;
+                nvd_att_offsets.push(0);
+                for a in p.attached {
+                    att_cursor += a.len() as u32;
+                    nvd_att_offsets.push(att_cursor);
+                    nvd_att_data.extend_from_slice(a);
+                }
+                nvd_inserted.extend_from_slice(p.inserted_vertices);
+                nvd_corpus_ids.extend_from_slice(&nvd.corpus_ids);
+            }
+        }
+    }
+
+    let (cache_present, cache_shards, cache_shard_budget) = match index.seed_cache() {
+        Some(c) => (1u64, c.num_shards() as u64, c.shard_budget() as u64),
+        None => (0, 0, 0),
+    };
+    w.put_u64s(
+        section::INDEX_META,
+        &[
+            index.rho() as u64,
+            entries.len() as u64,
+            stats.nvd_terms as u64,
+            stats.small_terms as u64,
+            stats.build_seconds.to_bits(),
+            cache_present,
+            cache_shards,
+            cache_shard_budget,
+        ],
+    );
+    w.put_bytes(section::INDEX_TERM_KINDS, &kinds);
+    w.put_u32s(section::SMALL_LENS, &small_lens);
+    w.put_u32s(section::SMALL_OBJECTS, &small_objects);
+    w.put_u32s(section::SMALL_VERTICES, &small_vertices);
+    w.put_bytes(section::SMALL_ALIVE, &small_alive);
+    w.put_u64s(section::NVD_SCALARS, &nvd_scalars);
+    w.put_u32s(section::NVD_LENS, &nvd_lens);
+    w.put_u32s(section::NVD_STARTS, &nvd_starts);
+    w.put_u32s(section::NVD_CAND_OFFSETS, &nvd_cand_offsets);
+    w.put_u32s(section::NVD_CANDS, &nvd_cands);
+    w.put_u32s(section::NVD_OBJECTS, &nvd_objects);
+    w.put_u32s(section::NVD_MAX_RADIUS, &nvd_max_radius);
+    w.put_u32s(section::NVD_ADJ_OFFSETS, &nvd_adj_offsets);
+    w.put_u32s(section::NVD_ADJ_DATA, &nvd_adj_data);
+    w.put_bytes(section::NVD_DELETED, &nvd_deleted);
+    w.put_u32s(section::NVD_ATT_OFFSETS, &nvd_att_offsets);
+    w.put_u32s(section::NVD_ATT_DATA, &nvd_att_data);
+    w.put_u32s(section::NVD_INSERTED, &nvd_inserted);
+    w.put_u32s(section::NVD_CORPUS_IDS, &nvd_corpus_ids);
+}
+
+struct NvdPools<'a> {
+    scalars: Pool<'a, u64>,
+    lens: Pool<'a, u32>,
+    starts: Pool<'a, u32>,
+    cand_offsets: Pool<'a, u32>,
+    cands: Pool<'a, u32>,
+    objects: Pool<'a, u32>,
+    max_radius: Pool<'a, u32>,
+    adj_offsets: Pool<'a, u32>,
+    adj_data: Pool<'a, u32>,
+    deleted: Pool<'a, u8>,
+    att_offsets: Pool<'a, u32>,
+    att_data: Pool<'a, u32>,
+    inserted: Pool<'a, u32>,
+    corpus_ids: Pool<'a, u32>,
+}
+
+fn len_field(id: u32, what: &str, v: u32) -> Result<usize, SnapshotError> {
+    decoded_usize(id, what, u64::from(v))
+}
+
+fn decode_one_nvd(rho: usize, p: &mut NvdPools<'_>) -> Result<NvdIndex, SnapshotError> {
+    use section::*;
+    let scalars = p.scalars.take(6)?;
+    let lens = p.lens.take(8)?;
+
+    let term_rho = decoded_usize(NVD_SCALARS, "rho", scalars[0])?;
+    if term_rho != rho {
+        return Err(SnapshotError::decode(
+            NVD_SCALARS,
+            format!("NVD rho {term_rho} disagrees with index rho {rho}"),
+        ));
+    }
+    let pending_updates = decoded_usize(NVD_SCALARS, "pending_updates", scalars[1])?;
+    let min_x = u32::try_from(scalars[2])
+        .map_err(|_| SnapshotError::decode(NVD_SCALARS, "min_x exceeds 32 bits"))?;
+    let min_y = u32::try_from(scalars[3])
+        .map_err(|_| SnapshotError::decode(NVD_SCALARS, "min_y exceeds 32 bits"))?;
+    let min = Point {
+        x: min_x as i32,
+        y: min_y as i32,
+    };
+    let space =
+        MortonSpace::from_parts(min, f64::from_bits(scalars[4]), f64::from_bits(scalars[5]))
+            .map_err(|e| SnapshotError::decode(NVD_SCALARS, e))?;
+
+    let starts_len = len_field(NVD_LENS, "starts length", lens[0])?;
+    let cand_offsets_len = len_field(NVD_LENS, "cand_offsets length", lens[1])?;
+    let cands_len = len_field(NVD_LENS, "cands length", lens[2])?;
+    let gens = len_field(NVD_LENS, "generator count", lens[3])?;
+    let adj_nodes = len_field(NVD_LENS, "adjacency node count", lens[4])?;
+    let adj_edges = len_field(NVD_LENS, "adjacency edge count", lens[5])?;
+    let att_total = len_field(NVD_LENS, "attached total", lens[6])?;
+    let inserted_len = len_field(NVD_LENS, "inserted count", lens[7])?;
+
+    if cand_offsets_len != starts_len + 1 {
+        return Err(SnapshotError::decode(
+            NVD_LENS,
+            format!("{cand_offsets_len} cand offsets for {starts_len} leaves"),
+        ));
+    }
+    let overlay = gens
+        .checked_add(inserted_len)
+        .ok_or_else(|| SnapshotError::decode(NVD_LENS, "overlay generator count overflows"))?;
+    if adj_nodes != overlay {
+        return Err(SnapshotError::decode(
+            NVD_LENS,
+            format!("adjacency covers {adj_nodes} nodes for {overlay} overlay generators"),
+        ));
+    }
+
+    let starts = p.starts.take(starts_len)?.to_vec();
+    let cand_offsets = p.cand_offsets.take(cand_offsets_len)?.to_vec();
+    let cands = p.cands.take(cands_len)?.to_vec();
+    let objects = p.objects.take(gens)?.to_vec();
+    let max_radius = p.max_radius.take(gens)?.to_vec();
+    let adj_offsets = p.adj_offsets.take(adj_nodes + 1)?;
+    let adj_data = p.adj_data.take(adj_edges)?;
+    let adjacency = AdjacencyGraph::from_flat(adj_offsets, adj_data)
+        .map_err(|e| SnapshotError::decode(NVD_ADJ_OFFSETS, e))?;
+    let deleted = decoded_bools(NVD_DELETED, p.deleted.take(overlay)?)?;
+    let att_offsets = p.att_offsets.take(gens + 1)?;
+    let att_data = p.att_data.take(att_total)?;
+    if att_offsets.first() != Some(&0) || att_offsets.last() != Some(&(lens[6])) {
+        return Err(SnapshotError::decode(
+            NVD_ATT_OFFSETS,
+            "attached offsets must start at 0 and end at the attached total",
+        ));
+    }
+    let attached: Vec<Vec<u32>> = att_offsets
+        .windows(2)
+        .map(|win| {
+            att_data
+                .get(win[0] as usize..win[1] as usize)
+                .map(<[u32]>::to_vec)
+                .ok_or_else(|| {
+                    SnapshotError::decode(
+                        NVD_ATT_OFFSETS,
+                        format!(
+                            "attached offsets {}..{} out of order or range",
+                            win[0], win[1]
+                        ),
+                    )
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let inserted_vertices = p.inserted.take(inserted_len)?.to_vec();
+    let corpus_ids = p.corpus_ids.take(overlay)?.to_vec();
+
+    let apx = ApproxNvd::from_snapshot_parts(
+        term_rho,
+        space,
+        starts,
+        cand_offsets,
+        cands,
+        objects,
+        max_radius,
+        adjacency,
+        deleted,
+        attached,
+        inserted_vertices,
+        pending_updates,
+    )
+    .map_err(|e| SnapshotError::decode(NVD_SCALARS, e))?;
+
+    let nvd = NvdIndex::new(apx, corpus_ids);
+    if nvd.local_of.len() != nvd.corpus_ids.len() {
+        return Err(SnapshotError::decode(
+            NVD_CORPUS_IDS,
+            "corpus object ids repeat within one keyword",
+        ));
+    }
+    Ok(nvd)
+}
+
+/// Reassembles the Keyword Separated Index: every pooled section is
+/// consumed exactly (term-slot order, [`Pool::finish`] proves no
+/// trailing elements), per-NVD structure goes through
+/// [`ApproxNvd::from_snapshot_parts`]'s full structural audit, and the
+/// stored term counts are checked against a recount. The seed cache is
+/// restored *empty* with its stored shape — cached seeding is
+/// bit-identical to cold seeding by construction, so a reloaded engine
+/// serves the same bytes either way.
+///
+/// # Errors
+/// Missing/mistyped sections or any violated index invariant; on error
+/// no partially-initialized index escapes.
+pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
+    use section::*;
+    let meta = f.u64s(INDEX_META)?;
+    if meta.len() != 8 {
+        return Err(SnapshotError::decode(
+            INDEX_META,
+            format!("index meta holds {} scalars, expected 8", meta.len()),
+        ));
+    }
+    let rho = decoded_usize(INDEX_META, "rho", meta[0])?;
+    if rho == 0 {
+        return Err(SnapshotError::decode(INDEX_META, "rho must be at least 1"));
+    }
+    let term_slots = decoded_usize(INDEX_META, "term slot count", meta[1])?;
+    let kinds = f.bytes(INDEX_TERM_KINDS)?;
+    if kinds.len() != term_slots {
+        return Err(SnapshotError::decode(
+            INDEX_TERM_KINDS,
+            format!("{} kind bytes for {term_slots} term slots", kinds.len()),
+        ));
+    }
+
+    let small_lens = f.u32s(SMALL_LENS)?;
+    let small_objects = f.u32s(SMALL_OBJECTS)?;
+    let small_vertices = f.u32s(SMALL_VERTICES)?;
+    let small_alive = f.bytes(SMALL_ALIVE)?;
+    let nvd_scalars = f.u64s(NVD_SCALARS)?;
+    let nvd_lens = f.u32s(NVD_LENS)?;
+    let nvd_starts = f.u32s(NVD_STARTS)?;
+    let nvd_cand_offsets = f.u32s(NVD_CAND_OFFSETS)?;
+    let nvd_cands = f.u32s(NVD_CANDS)?;
+    let nvd_objects = f.u32s(NVD_OBJECTS)?;
+    let nvd_max_radius = f.u32s(NVD_MAX_RADIUS)?;
+    let nvd_adj_offsets = f.u32s(NVD_ADJ_OFFSETS)?;
+    let nvd_adj_data = f.u32s(NVD_ADJ_DATA)?;
+    let nvd_deleted = f.bytes(NVD_DELETED)?;
+    let nvd_att_offsets = f.u32s(NVD_ATT_OFFSETS)?;
+    let nvd_att_data = f.u32s(NVD_ATT_DATA)?;
+    let nvd_inserted = f.u32s(NVD_INSERTED)?;
+    let nvd_corpus_ids = f.u32s(NVD_CORPUS_IDS)?;
+
+    let mut lens_pool = Pool::new(SMALL_LENS, &small_lens);
+    let mut objects_pool = Pool::new(SMALL_OBJECTS, &small_objects);
+    let mut vertices_pool = Pool::new(SMALL_VERTICES, &small_vertices);
+    let mut alive_pool = Pool::new(SMALL_ALIVE, small_alive);
+    let mut nvd = NvdPools {
+        scalars: Pool::new(NVD_SCALARS, &nvd_scalars),
+        lens: Pool::new(NVD_LENS, &nvd_lens),
+        starts: Pool::new(NVD_STARTS, &nvd_starts),
+        cand_offsets: Pool::new(NVD_CAND_OFFSETS, &nvd_cand_offsets),
+        cands: Pool::new(NVD_CANDS, &nvd_cands),
+        objects: Pool::new(NVD_OBJECTS, &nvd_objects),
+        max_radius: Pool::new(NVD_MAX_RADIUS, &nvd_max_radius),
+        adj_offsets: Pool::new(NVD_ADJ_OFFSETS, &nvd_adj_offsets),
+        adj_data: Pool::new(NVD_ADJ_DATA, &nvd_adj_data),
+        deleted: Pool::new(NVD_DELETED, nvd_deleted),
+        att_offsets: Pool::new(NVD_ATT_OFFSETS, &nvd_att_offsets),
+        att_data: Pool::new(NVD_ATT_DATA, &nvd_att_data),
+        inserted: Pool::new(NVD_INSERTED, &nvd_inserted),
+        corpus_ids: Pool::new(NVD_CORPUS_IDS, &nvd_corpus_ids),
+    };
+
+    let mut entries: Vec<Option<KeywordIndex>> = Vec::with_capacity(term_slots);
+    let mut small_count = 0usize;
+    let mut nvd_count = 0usize;
+    for &kind in kinds {
+        match kind {
+            0 => entries.push(None),
+            1 => {
+                small_count += 1;
+                let len = len_field(SMALL_LENS, "small list length", lens_pool.take1()?)?;
+                let objects = objects_pool.take(len)?.to_vec();
+                let vertices = vertices_pool.take(len)?.to_vec();
+                let alive = decoded_bools(SMALL_ALIVE, alive_pool.take(len)?)?;
+                entries.push(Some(KeywordIndex::Small(SmallIndex {
+                    objects,
+                    vertices,
+                    alive,
+                })));
+            }
+            2 => {
+                nvd_count += 1;
+                let idx = decode_one_nvd(rho, &mut nvd)?;
+                entries.push(Some(KeywordIndex::Nvd(Box::new(idx))));
+            }
+            other => {
+                return Err(SnapshotError::decode(
+                    INDEX_TERM_KINDS,
+                    format!("unknown term kind byte {other}"),
+                ));
+            }
+        }
+    }
+
+    lens_pool.finish()?;
+    objects_pool.finish()?;
+    vertices_pool.finish()?;
+    alive_pool.finish()?;
+    nvd.scalars.finish()?;
+    nvd.lens.finish()?;
+    nvd.starts.finish()?;
+    nvd.cand_offsets.finish()?;
+    nvd.cands.finish()?;
+    nvd.objects.finish()?;
+    nvd.max_radius.finish()?;
+    nvd.adj_offsets.finish()?;
+    nvd.adj_data.finish()?;
+    nvd.deleted.finish()?;
+    nvd.att_offsets.finish()?;
+    nvd.att_data.finish()?;
+    nvd.inserted.finish()?;
+    nvd.corpus_ids.finish()?;
+
+    if meta[2] != nvd_count as u64 || meta[3] != small_count as u64 {
+        return Err(SnapshotError::decode(
+            INDEX_META,
+            format!(
+                "meta claims {}/{} nvd/small terms, kinds table holds {nvd_count}/{small_count}",
+                meta[2], meta[3]
+            ),
+        ));
+    }
+    let stats = BuildStats {
+        nvd_terms: nvd_count,
+        small_terms: small_count,
+        build_seconds: f64::from_bits(meta[4]),
+    };
+    let seed_cache = match meta[5] {
+        0 => {
+            if meta[6] != 0 || meta[7] != 0 {
+                return Err(SnapshotError::decode(
+                    INDEX_META,
+                    "cache shape must be zero when no cache is present",
+                ));
+            }
+            None
+        }
+        1 => {
+            let shards = decoded_usize(INDEX_META, "cache shard count", meta[6])?;
+            let budget = decoded_usize(INDEX_META, "cache shard budget", meta[7])?;
+            Some(HeapSeedCache::from_shape(shards, budget))
+        }
+        other => {
+            return Err(SnapshotError::decode(
+                INDEX_META,
+                format!("cache presence flag {other} is neither 0 nor 1"),
+            ));
+        }
+    };
+
+    Ok(KspinIndex::from_snapshot_parts(
+        rho, entries, stats, seed_cache,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// ALT (sections 60-61)
+// ---------------------------------------------------------------------
+
+/// Appends the ALT landmark set and distance table.
+pub fn encode_alt(w: &mut SnapshotWriter, alt: &kspin_alt::AltIndex) {
+    let (landmarks, _num_vertices, dist) = alt.flat_parts();
+    w.put_u32s(section::ALT_LANDMARKS, landmarks);
+    w.put_u32s(section::ALT_DIST, dist);
+}
+
+/// Reassembles the ALT index. `num_vertices` comes from the decoded
+/// graph (the table is `landmarks × vertices`, row-major).
+///
+/// # Errors
+/// Missing/mistyped sections or an inconsistent table shape.
+pub fn decode_alt(
+    f: &SnapshotFile<'_>,
+    num_vertices: usize,
+) -> Result<kspin_alt::AltIndex, SnapshotError> {
+    let landmarks = f.u32s(section::ALT_LANDMARKS)?;
+    let dist = f.u32s(section::ALT_DIST)?;
+    kspin_alt::AltIndex::from_flat_parts(landmarks, num_vertices, dist)
+        .map_err(|e| SnapshotError::decode(section::ALT_DIST, e))
+}
+
+// ---------------------------------------------------------------------
+// Contraction hierarchy (sections 70-74, optional)
+// ---------------------------------------------------------------------
+
+/// Appends the CH node order and upward adjacency.
+pub fn encode_ch(w: &mut SnapshotWriter, ch: &kspin_ch::ContractionHierarchy) {
+    let (rank, up_offsets, up_targets, up_weights, num_shortcuts) = ch.flat_parts();
+    w.put_u64s(section::CH_META, &[num_shortcuts as u64]);
+    w.put_u32s(section::CH_RANK, rank);
+    w.put_u32s(section::CH_UP_OFFSETS, up_offsets);
+    w.put_u32s(section::CH_UP_TARGETS, up_targets);
+    w.put_u32s(section::CH_UP_WEIGHTS, up_weights);
+}
+
+/// Reassembles the CH when present, `Ok(None)` when the snapshot was
+/// saved without one.
+///
+/// # Errors
+/// Mistyped/partial CH sections or any violated CH invariant (rank not
+/// a permutation, non-upward edges).
+pub fn decode_ch(
+    f: &SnapshotFile<'_>,
+) -> Result<Option<kspin_ch::ContractionHierarchy>, SnapshotError> {
+    use section::*;
+    if !f.has(CH_META) {
+        return Ok(None);
+    }
+    let meta = f.u64s(CH_META)?;
+    if meta.len() != 1 {
+        return Err(SnapshotError::decode(
+            CH_META,
+            format!("ch meta holds {} scalars, expected 1", meta.len()),
+        ));
+    }
+    let num_shortcuts = decoded_usize(CH_META, "shortcut count", meta[0])?;
+    let rank = f.u32s(CH_RANK)?;
+    let up_offsets = f.u32s(CH_UP_OFFSETS)?;
+    let up_targets = f.u32s(CH_UP_TARGETS)?;
+    let up_weights = f.u32s(CH_UP_WEIGHTS)?;
+    kspin_ch::ContractionHierarchy::from_flat_parts(
+        rank,
+        up_offsets,
+        up_targets,
+        up_weights,
+        num_shortcuts,
+    )
+    .map(Some)
+    .map_err(|e| SnapshotError::decode(CH_RANK, e))
+}
+
+// ---------------------------------------------------------------------
+// Relabeling (section 90, optional)
+// ---------------------------------------------------------------------
+
+/// Appends the active relabeling as its visit order
+/// (`order[local] = external`).
+pub fn encode_relabeling(w: &mut SnapshotWriter, r: &Relabeling) {
+    w.put_u32s(section::RELABEL_ORDER, r.inverse());
+}
+
+/// Reassembles the relabeling when present, `Ok(None)` when the
+/// snapshot was saved without one.
+///
+/// # Errors
+/// A mistyped section or an order that is not a permutation.
+pub fn decode_relabeling(f: &SnapshotFile<'_>) -> Result<Option<Relabeling>, SnapshotError> {
+    match f.u32s_opt(section::RELABEL_ORDER)? {
+        None => Ok(None),
+        Some(order) => Relabeling::try_from_order(order)
+            .map(Some)
+            .map_err(|e| SnapshotError::decode(section::RELABEL_ORDER, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::KspinConfig;
+    use crate::SeedCacheConfig;
+    use kspin_graph::{GraphBuilder, VertexId as V};
+    use kspin_text::CorpusBuilder;
+
+    fn grid_graph(side: u32) -> Graph {
+        let mut b = GraphBuilder::new((side * side) as usize);
+        for y in 0..side {
+            for x in 0..side {
+                b.set_coord(
+                    y * side + x,
+                    Point {
+                        x: x as i32 * 100,
+                        y: y as i32 * 100,
+                    },
+                );
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let v = y * side + x;
+                if x + 1 < side {
+                    b.add_edge(v, v + 1, 100 + ((v * 7) % 41));
+                }
+                if y + 1 < side {
+                    b.add_edge(v, v + side, 100 + ((v * 13) % 37));
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn small_corpus(g: &Graph) -> Corpus {
+        let mut cb = CorpusBuilder::new();
+        let n = g.num_vertices() as u32;
+        for v in (0..n).step_by(3) {
+            let mut terms: Vec<(u32, u32)> = vec![(0, 1 + v % 3)];
+            if v % 2 == 0 {
+                terms.push((1, 1));
+            }
+            if v % 5 == 0 {
+                terms.push((2 + v % 4, 2));
+            }
+            cb.add_object(v as V, &terms);
+        }
+        cb.build()
+    }
+
+    fn roundtrip_index(index: &KspinIndex) -> KspinIndex {
+        let mut w = SnapshotWriter::new();
+        encode_index(&mut w, index);
+        let bytes = w.finish();
+        let f = SnapshotFile::validate(&bytes).expect("canonical bytes validate");
+        decode_index(&f).expect("decode")
+    }
+
+    #[test]
+    fn graph_roundtrip_is_identity() {
+        let g = grid_graph(6);
+        let mut w = SnapshotWriter::new();
+        encode_graph(&mut w, &g);
+        let bytes = w.finish();
+        let f = SnapshotFile::validate(&bytes).unwrap();
+        let g2 = decode_graph(&f).unwrap();
+        assert_eq!(g.csr_parts(), g2.csr_parts());
+    }
+
+    #[test]
+    fn corpus_roundtrip_preserves_impact_bits() {
+        let g = grid_graph(6);
+        let c = small_corpus(&g);
+        let mut w = SnapshotWriter::new();
+        encode_corpus(&mut w, &c);
+        let bytes = w.finish();
+        let f = SnapshotFile::validate(&bytes).unwrap();
+        let c2 = decode_corpus(&f).unwrap();
+        let (v1, o1, d1) = c.flat_parts();
+        let (v2, o2, d2) = c2.flat_parts();
+        assert_eq!(v1, v2);
+        assert_eq!(o1, o2);
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(d2) {
+            assert_eq!(a.term, b.term);
+            assert_eq!(a.freq, b.freq);
+            assert_eq!(a.impact.to_bits(), b.impact.to_bits());
+        }
+    }
+
+    #[test]
+    fn index_roundtrip_preserves_structure_and_reencodes_identically() {
+        let g = grid_graph(8);
+        let c = small_corpus(&g);
+        let cfg = KspinConfig {
+            rho: 3,
+            seed_cache: SeedCacheConfig::enabled(),
+            ..KspinConfig::default()
+        };
+        let index = KspinIndex::build(&g, &c, &cfg);
+        let index2 = roundtrip_index(&index);
+        index2.validate(&c).expect("reloaded index validates");
+        assert_eq!(index.rho(), index2.rho());
+        assert_eq!(index.stats().nvd_terms, index2.stats().nvd_terms);
+        assert_eq!(index.stats().small_terms, index2.stats().small_terms);
+        assert!(index2.seed_cache().is_some());
+
+        // Canonical: encode(decode(encode(x))) == encode(x), byte for byte.
+        let mut w1 = SnapshotWriter::new();
+        encode_index(&mut w1, &index);
+        let mut w2 = SnapshotWriter::new();
+        encode_index(&mut w2, &index2);
+        assert_eq!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn alt_ch_relabeling_roundtrip() {
+        let g = grid_graph(6);
+        let alt = kspin_alt::AltIndex::build(&g, 4, kspin_alt::LandmarkStrategy::Farthest, 0);
+        let ch = kspin_ch::ContractionHierarchy::build(&g, &kspin_ch::ChConfig::default());
+        let r = Relabeling::hilbert(&g);
+        let mut w = SnapshotWriter::new();
+        encode_alt(&mut w, &alt);
+        encode_ch(&mut w, &ch);
+        encode_relabeling(&mut w, &r);
+        let bytes = w.finish();
+        let f = SnapshotFile::validate(&bytes).unwrap();
+        let alt2 = decode_alt(&f, g.num_vertices()).unwrap();
+        assert_eq!(alt.flat_parts(), alt2.flat_parts());
+        let ch2 = decode_ch(&f).unwrap().expect("ch present");
+        assert_eq!(ch.flat_parts(), ch2.flat_parts());
+        let r2 = decode_relabeling(&f).unwrap().expect("relabeling present");
+        assert_eq!(r.forward(), r2.forward());
+    }
+
+    #[test]
+    fn optional_sections_absent_decode_to_none() {
+        let g = grid_graph(4);
+        let mut w = SnapshotWriter::new();
+        encode_graph(&mut w, &g);
+        let bytes = w.finish();
+        let f = SnapshotFile::validate(&bytes).unwrap();
+        assert!(decode_ch(&f).unwrap().is_none());
+        assert!(decode_relabeling(&f).unwrap().is_none());
+    }
+
+    #[test]
+    fn logically_corrupt_but_checksum_valid_index_is_rejected() {
+        let g = grid_graph(8);
+        let c = small_corpus(&g);
+        let cfg = KspinConfig {
+            rho: 3,
+            ..KspinConfig::default()
+        };
+        let index = KspinIndex::build(&g, &c, &cfg);
+        let mut w = SnapshotWriter::new();
+        encode_index(&mut w, &index);
+        let good = w.finish();
+        let f = SnapshotFile::validate(&good).unwrap();
+
+        // Rewrite with a lying meta (term count inflated): the reassembled
+        // file has valid checksums but decode_index must reject it.
+        let mut meta = f.u64s(section::INDEX_META).unwrap();
+        meta[1] += 1;
+        let mut w2 = SnapshotWriter::new();
+        w2.put_u64s(section::INDEX_META, &meta);
+        let mut kinds = f.bytes(section::INDEX_TERM_KINDS).unwrap().to_vec();
+        kinds.push(2); // claims one more NVD than the pools hold
+        w2.put_bytes(section::INDEX_TERM_KINDS, &kinds);
+        for id in [
+            section::SMALL_LENS,
+            section::SMALL_OBJECTS,
+            section::SMALL_VERTICES,
+        ] {
+            w2.put_u32s(id, &f.u32s(id).unwrap());
+        }
+        w2.put_bytes(section::SMALL_ALIVE, f.bytes(section::SMALL_ALIVE).unwrap());
+        w2.put_u64s(section::NVD_SCALARS, &f.u64s(section::NVD_SCALARS).unwrap());
+        for id in [
+            section::NVD_LENS,
+            section::NVD_STARTS,
+            section::NVD_CAND_OFFSETS,
+            section::NVD_CANDS,
+            section::NVD_OBJECTS,
+            section::NVD_MAX_RADIUS,
+            section::NVD_ADJ_OFFSETS,
+            section::NVD_ADJ_DATA,
+        ] {
+            w2.put_u32s(id, &f.u32s(id).unwrap());
+        }
+        w2.put_bytes(section::NVD_DELETED, f.bytes(section::NVD_DELETED).unwrap());
+        for id in [
+            section::NVD_ATT_OFFSETS,
+            section::NVD_ATT_DATA,
+            section::NVD_INSERTED,
+            section::NVD_CORPUS_IDS,
+        ] {
+            w2.put_u32s(id, &f.u32s(id).unwrap());
+        }
+        let bad = w2.finish();
+        let f2 = SnapshotFile::validate(&bad).expect("checksums are fresh");
+        let err = decode_index(&f2).expect_err("lying meta accepted");
+        assert!(matches!(err, SnapshotError::Decode { .. }), "{err}");
+    }
+}

@@ -109,6 +109,71 @@ impl Graph {
             (min, max)
         }
     }
+
+    /// Borrowed views of the raw CSR arrays — `(offsets, targets, weights,
+    /// coords)` — the flat-serialization boundary for snapshots.
+    pub fn csr_parts(&self) -> (&[u32], &[VertexId], &[Weight], &[Point]) {
+        (&self.offsets, &self.targets, &self.weights, &self.coords)
+    }
+
+    /// Reassembles a graph from raw CSR arrays without re-sorting or
+    /// copying, validating every invariant the `PANIC-OK` indexing in the
+    /// accessors relies on: `n + 1` monotone offsets bracketing the arc
+    /// arrays, targets in range, and per-vertex adjacency strictly
+    /// ascending (the builder's canonical order).
+    ///
+    /// # Errors
+    /// A description of the first violated CSR invariant.
+    pub fn from_csr_parts(
+        offsets: Vec<u32>,
+        targets: Vec<VertexId>,
+        weights: Vec<Weight>,
+        coords: Vec<Point>,
+    ) -> Result<Graph, String> {
+        if offsets.is_empty() {
+            return Err("offsets must hold n + 1 entries, got 0".into());
+        }
+        let n = offsets.len() - 1;
+        if coords.len() != n {
+            return Err(format!(
+                "coords holds {} entries for {n} vertices",
+                coords.len()
+            ));
+        }
+        if targets.len() != weights.len() {
+            return Err(format!(
+                "targets/weights length mismatch: {} vs {}",
+                targets.len(),
+                weights.len()
+            ));
+        }
+        if u32::try_from(targets.len()).is_err() {
+            return Err(format!("arc count {} exceeds u32 offsets", targets.len()));
+        }
+        if offsets.first() != Some(&0) || offsets.last() != Some(&(targets.len() as u32)) {
+            return Err("offsets must start at 0 and end at the arc count".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be monotone non-decreasing".into());
+        }
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let adj = &targets[lo..hi];
+            if adj.iter().any(|&t| t as usize >= n) {
+                return Err(format!("vertex {v} has a target out of range {n}"));
+            }
+            if adj.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("vertex {v} adjacency is not strictly ascending"));
+            }
+        }
+        Ok(Graph {
+            offsets,
+            targets,
+            weights,
+            coords,
+        })
+    }
 }
 
 /// Incremental builder for [`Graph`].

@@ -45,6 +45,30 @@ impl MortonSpace {
         }
     }
 
+    /// The raw fields — `(min, scale_x, scale_y)` — the flat-serialization
+    /// boundary for snapshots.
+    pub fn to_parts(&self) -> (Point, f64, f64) {
+        (self.min, self.scale_x, self.scale_y)
+    }
+
+    /// Reassembles a space from stored parts.
+    ///
+    /// # Errors
+    /// When either scale is non-finite or non-positive (every space built
+    /// by [`MortonSpace::new`] has strictly positive finite scales).
+    pub fn from_parts(min: Point, scale_x: f64, scale_y: f64) -> Result<Self, String> {
+        if !(scale_x.is_finite() && scale_x > 0.0 && scale_y.is_finite() && scale_y > 0.0) {
+            return Err(format!(
+                "morton scales must be finite and positive, got ({scale_x}, {scale_y})"
+            ));
+        }
+        Ok(MortonSpace {
+            min,
+            scale_x,
+            scale_y,
+        })
+    }
+
     /// Grid cell of `p` on the normalized `2^BITS × 2^BITS` lattice. Points
     /// outside the box clamp to its border.
     #[inline]

@@ -54,19 +54,36 @@ impl Relabeling {
     /// # Panics
     /// If `order` is not a permutation of `0..n`.
     pub fn from_order(order: Vec<VertexId>) -> Self {
+        match Relabeling::try_from_order(order) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Relabeling::from_order`] for persisted orders:
+    /// returns `Err` instead of panicking when `order` is not a
+    /// permutation of `0..n` (the snapshot loader's entry point).
+    ///
+    /// # Errors
+    /// A description of the first out-of-range or repeated external id.
+    pub fn try_from_order(order: Vec<VertexId>) -> Result<Self, String> {
         let n = order.len();
         let mut forward = vec![VertexId::MAX; n];
         for (local, &ext) in order.iter().enumerate() {
-            assert!(
-                (ext as usize) < n && forward[ext as usize] == VertexId::MAX,
-                "order is not a permutation: external id {ext} out of range or repeated"
-            );
-            forward[ext as usize] = local as VertexId;
+            let slot = forward.get_mut(ext as usize).ok_or_else(|| {
+                format!("order is not a permutation: external id {ext} out of range {n}")
+            })?;
+            if *slot != VertexId::MAX {
+                return Err(format!(
+                    "order is not a permutation: external id {ext} repeated"
+                ));
+            }
+            *slot = local as VertexId;
         }
-        Relabeling {
+        Ok(Relabeling {
             forward,
             inverse: order,
-        }
+        })
     }
 
     /// Breadth-first order from vertex 0 (external numbering). Vertices in

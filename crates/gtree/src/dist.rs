@@ -37,7 +37,7 @@ impl<'a> GtreeDistance<'a> {
             gt,
             graph,
             source,
-            source_leaf: gt.hierarchy.leaf_of[source as usize],
+            source_leaf: gt.hierarchy.leaf_of(source),
             arrays: HashMap::new(),
             ops: 0,
         }
@@ -51,7 +51,7 @@ impl<'a> GtreeDistance<'a> {
     /// Re-pins to a new source, clearing materialized arrays.
     pub fn reset(&mut self, source: VertexId) {
         self.source = source;
-        self.source_leaf = self.gt.hierarchy.leaf_of[source as usize];
+        self.source_leaf = self.gt.hierarchy.leaf_of(source);
         self.arrays.clear();
     }
 
@@ -70,7 +70,7 @@ impl<'a> GtreeDistance<'a> {
         if t == self.source {
             return 0;
         }
-        let t_leaf = self.gt.hierarchy.leaf_of[t as usize];
+        let t_leaf = self.gt.hierarchy.leaf_of(t);
         if t_leaf == self.source_leaf {
             return self.same_leaf_distance(t);
         }
@@ -117,10 +117,13 @@ impl<'a> GtreeDistance<'a> {
         }
         // Neither the source leaf nor an ancestor: the parent's cb frame
         // contains this node's borders as a block.
-        let parent = self.gt.hierarchy.parent[n as usize];
+        let parent = self.gt.hierarchy.parent(n);
         debug_assert_ne!(parent, u32::MAX);
         let parent_frame = self.cb_array(parent);
-        let child_idx = self.gt.hierarchy.children[parent as usize]
+        let child_idx = self
+            .gt
+            .hierarchy
+            .children(parent)
             .iter()
             .position(|&c| c == n)
             .expect("child listed in parent");
@@ -141,7 +144,10 @@ impl<'a> GtreeDistance<'a> {
                 // Compose upward through the child on the source's path.
                 let c = self.gt.child_toward_leaf(n, self.source_leaf);
                 let child_borders = self.border_array(c);
-                let child_idx = self.gt.hierarchy.children[n as usize]
+                let child_idx = self
+                    .gt
+                    .hierarchy
+                    .children(n)
                     .iter()
                     .position(|&x| x == c)
                     .expect("child listed in parent");
@@ -230,7 +236,7 @@ impl<'a> GtreeDistance<'a> {
                 return d;
             }
             for (u, w) in self.graph.neighbors(v) {
-                if self.gt.hierarchy.leaf_of[u as usize] != leaf {
+                if self.gt.hierarchy.leaf_of(u) != leaf {
                     continue;
                 }
                 let nd = d + w;
@@ -247,7 +253,7 @@ impl<'a> GtreeDistance<'a> {
 impl GTree {
     /// The child of `anc` whose subtree contains `leaf`.
     pub(crate) fn child_toward_leaf(&self, anc: u32, leaf: u32) -> u32 {
-        for &c in &self.hierarchy.children[anc as usize] {
+        for &c in self.hierarchy.children(anc) {
             if self.in_subtree(c, leaf) {
                 return c;
             }
@@ -295,8 +301,8 @@ mod tests {
         let (g, gt) = build(500, 64, 93);
         let mut dij = Dijkstra::new(g.num_vertices());
         // Exhaustively test one leaf.
-        let leaf = gt.hierarchy.leaf_of[0];
-        let vs = gt.hierarchy.vertices[leaf as usize].clone();
+        let leaf = gt.hierarchy.leaf_of(0);
+        let vs = gt.hierarchy.leaf_vertices(leaf).to_vec();
         let s = vs[0];
         let mut gd = GtreeDistance::new(&gt, &g, s);
         dij.sssp(&g, s);
@@ -322,7 +328,7 @@ mod tests {
             let md = gd.min_dist(n);
             // Every vertex inside the node is at least min_dist away.
             if gt.hierarchy.is_leaf(n) {
-                for &v in &gt.hierarchy.vertices[n as usize] {
+                for &v in gt.hierarchy.leaf_vertices(n) {
                     assert!(md <= space.distance(v).unwrap(), "node {n} vertex {v}");
                 }
             }

@@ -41,7 +41,7 @@ pub struct GtreeSpatialKeyword<'a> {
     corpus: &'a Corpus,
     /// Per node: term → maximum impact of that term in the subtree.
     pseudo_doc: Vec<HashMap<TermId, f64>>,
-    /// Per node: child positions (into `hierarchy.children[n]`) containing
+    /// Per node: child positions (into the node's child list) containing
     /// at least one object.
     occurrence: Vec<Vec<u8>>,
     /// Per node: per-term child positions (Gtree-Opt).
@@ -62,7 +62,7 @@ impl<'a> GtreeSpatialKeyword<'a> {
         let mut leaf_objects: Vec<Vec<ObjectId>> = vec![Vec::new(); n];
 
         for o in 0..corpus.num_objects() as ObjectId {
-            let leaf = gt.hierarchy.leaf_of[corpus.vertex_of(o) as usize] as usize;
+            let leaf = gt.hierarchy.leaf_of(corpus.vertex_of(o)) as usize;
             leaf_objects[leaf].push(o);
             for p in corpus.doc(o) {
                 let e = pseudo_doc[leaf].entry(p.term).or_insert(0.0);
@@ -77,7 +77,7 @@ impl<'a> GtreeSpatialKeyword<'a> {
             if gt.hierarchy.is_leaf(node as u32) {
                 continue;
             }
-            let children = gt.hierarchy.children[node].clone();
+            let children = gt.hierarchy.children(node as u32).to_vec();
             for (ci, &c) in children.iter().enumerate() {
                 if pseudo_doc[c as usize].is_empty() {
                     continue; // no objects below
@@ -122,7 +122,7 @@ impl<'a> GtreeSpatialKeyword<'a> {
 
     /// Children of `node` that may contain relevant objects, per mode.
     fn candidate_children(&self, node: u32, terms: &[TermId], mode: OccurrenceMode) -> Vec<u32> {
-        let kids = &self.gt.hierarchy.children[node as usize];
+        let kids = self.gt.hierarchy.children(node);
         match mode {
             OccurrenceMode::Aggregated => self.occurrence[node as usize]
                 .iter()

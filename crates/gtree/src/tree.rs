@@ -34,11 +34,11 @@ pub struct GTree {
     pub(crate) cb_child_offset: Vec<Vec<u32>>,
     /// Per node: positions of `borders[n]` within the parent-facing frame —
     /// for internal nodes, indices into `cb[n]`; for leaves, indices into
-    /// `hierarchy.vertices[n]`.
+    /// the leaf's vertex list.
     pub(crate) border_pos: Vec<Vec<u32>>,
     /// Per node matrix, row-major:
-    /// * leaf: `borders × leaf_vertices` (column order =
-    ///   `hierarchy.vertices[n]` order),
+    /// * leaf: `borders × leaf_vertices` (column order = the leaf's
+    ///   vertex-list order),
     /// * internal: `cb × cb`.
     pub(crate) matrix: Vec<Vec<Weight>>,
     /// Per leaf: vertex → column index.
@@ -79,11 +79,8 @@ impl GTree {
             if !hierarchy.is_leaf(n) {
                 continue;
             }
-            for &v in &hierarchy.vertices[n as usize] {
-                if graph
-                    .neighbors(v)
-                    .any(|(u, _)| hierarchy.leaf_of[u as usize] != n)
-                {
+            for &v in hierarchy.leaf_vertices(n) {
+                if graph.neighbors(v).any(|(u, _)| hierarchy.leaf_of(u) != n) {
                     borders[n as usize].push(v);
                 }
             }
@@ -95,11 +92,11 @@ impl GTree {
                 continue;
             }
             let mut bs = Vec::new();
-            for &c in &hierarchy.children[n as usize] {
+            for &c in hierarchy.children(n) {
                 for &b in &borders[c as usize] {
                     let outside = graph
                         .neighbors(b)
-                        .any(|(u, _)| !in_subtree(n, hierarchy.leaf_of[u as usize]));
+                        .any(|(u, _)| !in_subtree(n, hierarchy.leaf_of(u)));
                     if outside {
                         bs.push(b);
                     }
@@ -117,7 +114,7 @@ impl GTree {
             }
             let mut frame = Vec::new();
             let mut offsets = Vec::new();
-            for &c in &hierarchy.children[n as usize] {
+            for &c in hierarchy.children(n) {
                 offsets.push(frame.len() as u32);
                 frame.extend_from_slice(&borders[c as usize]);
             }
@@ -128,7 +125,8 @@ impl GTree {
         let mut leaf_col: Vec<HashMap<VertexId, u32>> = vec![HashMap::new(); num_nodes];
         for n in 0..num_nodes as u32 {
             if hierarchy.is_leaf(n) {
-                leaf_col[n as usize] = hierarchy.vertices[n as usize]
+                leaf_col[n as usize] = hierarchy
+                    .leaf_vertices(n)
                     .iter()
                     .enumerate()
                     .map(|(i, &v)| (v, i as u32))
@@ -189,10 +187,7 @@ impl GTree {
                 }
                 let (n, r) = jobs[j];
                 let (source, targets): (VertexId, &[VertexId]) = if hierarchy.is_leaf(n) {
-                    (
-                        borders[n as usize][r as usize],
-                        &hierarchy.vertices[n as usize],
-                    )
+                    (borders[n as usize][r as usize], hierarchy.leaf_vertices(n))
                 } else {
                     (cb[n as usize][r as usize], &cb[n as usize])
                 };
@@ -232,7 +227,7 @@ impl GTree {
     pub fn border_shortcut(&self, n: u32, i: usize, j: usize) -> Weight {
         let ni = n as usize;
         if self.hierarchy.is_leaf(n) {
-            let cols = self.hierarchy.vertices[ni].len();
+            let cols = self.hierarchy.leaf_vertices(n).len();
             let col = self.border_pos[ni][j] as usize;
             self.matrix[ni][i * cols + col]
         } else {
@@ -256,7 +251,7 @@ impl GTree {
         let mats: usize = self.matrix.iter().map(|m| m.len() * 4).sum();
         let frames: usize = self.cb.iter().map(|f| f.len() * 4).sum();
         let bs: usize = self.borders.iter().map(|b| b.len() * 8).sum();
-        let leaves: usize = self.hierarchy.vertices.iter().map(|v| v.len() * 12).sum();
+        let leaves: usize = self.hierarchy.total_leaf_vertices() * 12;
         mats + frames + bs + leaves
     }
 
@@ -282,7 +277,7 @@ fn dfs_intervals(
         order[n as usize] = *counter;
         *counter += 1;
     } else {
-        for &c in &h.children[n as usize] {
+        for &c in h.children(n) {
             dfs_intervals(h, c, counter, range, order);
         }
     }
@@ -324,7 +319,7 @@ mod tests {
             for &b in gt.borders(n) {
                 let has_outside = g
                     .neighbors(b)
-                    .any(|(u, _)| !gt.in_subtree(n, gt.hierarchy.leaf_of[u as usize]));
+                    .any(|(u, _)| !gt.in_subtree(n, gt.hierarchy.leaf_of(u)));
                 assert!(has_outside, "border {b} of node {n} has no outside edge");
             }
         }
@@ -336,10 +331,7 @@ mod tests {
         // Every edge crossing a leaf boundary has both endpoints as leaf
         // borders.
         for e in g.edges() {
-            let (lu, lv) = (
-                gt.hierarchy.leaf_of[e.u as usize],
-                gt.hierarchy.leaf_of[e.v as usize],
-            );
+            let (lu, lv) = (gt.hierarchy.leaf_of(e.u), gt.hierarchy.leaf_of(e.v));
             if lu != lv {
                 assert!(gt.borders(lu).contains(&e.u));
                 assert!(gt.borders(lv).contains(&e.v));
@@ -352,8 +344,8 @@ mod tests {
         let (g, gt) = build(400, 32);
         let mut dij = Dijkstra::new(g.num_vertices());
         // Check one leaf exhaustively.
-        let leaf = gt.hierarchy.leaf_of[0];
-        let cols = &gt.hierarchy.vertices[leaf as usize];
+        let leaf = gt.hierarchy.leaf_of(0);
+        let cols = gt.hierarchy.leaf_vertices(leaf);
         for (bi, &b) in gt.borders(leaf).iter().enumerate() {
             dij.sssp(&g, b);
             let space = dij.space();
@@ -391,7 +383,7 @@ mod tests {
             for (i, &b) in gt.borders[ni].iter().enumerate() {
                 let p = gt.border_pos[ni][i] as usize;
                 if gt.hierarchy.is_leaf(n) {
-                    assert_eq!(gt.hierarchy.vertices[ni][p], b);
+                    assert_eq!(gt.hierarchy.leaf_vertices(n)[p], b);
                 } else {
                     assert_eq!(gt.cb[ni][p], b);
                 }
@@ -404,7 +396,7 @@ mod tests {
         let (_, gt) = build(500, 32);
         for n in 0..gt.hierarchy.num_nodes() as u32 {
             let ni = n as usize;
-            for (k, &c) in gt.hierarchy.children[ni].iter().enumerate() {
+            for (k, &c) in gt.hierarchy.children(n).iter().enumerate() {
                 let off = gt.cb_child_offset[ni][k] as usize;
                 let bs = &gt.borders[c as usize];
                 assert_eq!(&gt.cb[ni][off..off + bs.len()], &bs[..]);

@@ -75,6 +75,48 @@ impl AdjacencyGraph {
         self.lists.iter().map(|l| l.len() * 4 + 24).sum()
     }
 
+    /// Flattens the lists into `(offsets, data)` CSR form — the snapshot
+    /// serialization boundary. Neighbor order is preserved verbatim so a
+    /// flatten → rebuild round trip is the identity.
+    pub fn flat_parts(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = Vec::with_capacity(self.lists.len() + 1);
+        offsets.push(0u32);
+        let mut data = Vec::new();
+        for l in &self.lists {
+            data.extend_from_slice(l);
+            offsets.push(data.len() as u32);
+        }
+        (offsets, data)
+    }
+
+    /// Rebuilds the nested lists from flattened CSR form, preserving
+    /// neighbor order exactly, then audits ranges and symmetry.
+    ///
+    /// # Errors
+    /// Malformed offsets, or any violation [`Self::validate_symmetric`]
+    /// reports.
+    pub fn from_flat(offsets: &[u32], data: &[u32]) -> Result<Self, String> {
+        if offsets.is_empty() {
+            return Err("adjacency offsets must hold m + 1 entries, got 0".into());
+        }
+        if u32::try_from(data.len()).is_err() {
+            return Err(format!("adjacency edge count {} exceeds u32", data.len()));
+        }
+        if offsets.first() != Some(&0) || offsets.last() != Some(&(data.len() as u32)) {
+            return Err("adjacency offsets must start at 0 and end at the edge count".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("adjacency offsets must be monotone non-decreasing".into());
+        }
+        let lists = offsets
+            .windows(2)
+            .map(|w| data[w[0] as usize..w[1] as usize].to_vec())
+            .collect();
+        let g = AdjacencyGraph { lists };
+        g.validate_symmetric().map_err(|v| v.join("; "))?;
+        Ok(g)
+    }
+
     /// Invariant audit: every list entry is in range, no self-loops, no
     /// duplicates, and every edge has its reverse (the graph is undirected
     /// by construction — Observation 2a relies on it). Returns each

@@ -39,6 +39,36 @@ pub struct ApproxNvd {
     pub(crate) pending_updates: usize,
 }
 
+/// Borrowed flat views of every array an [`ApproxNvd`] owns, as handed
+/// out by [`ApproxNvd::snapshot_parts`] for serialization.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxNvdParts<'a> {
+    /// The ρ the index was built with.
+    pub rho: usize,
+    /// The Morton space normalizing coordinates onto the quadtree grid.
+    pub space: MortonSpace,
+    /// Leaf start codes, ascending.
+    pub starts: &'a [u32],
+    /// Per-leaf candidate offsets (length `starts.len() + 1`).
+    pub cand_offsets: &'a [u32],
+    /// Pooled leaf candidate generator indices.
+    pub cands: &'a [u32],
+    /// Build-time generator vertices.
+    pub objects: &'a [VertexId],
+    /// Per-generator `MaxRadius` values.
+    pub max_radius: &'a [Weight],
+    /// The generator adjacency graph (originals + inserted overlay).
+    pub adjacency: &'a AdjacencyGraph,
+    /// §6.2 overlay: deletion flags, one per overlay generator.
+    pub deleted: &'a [bool],
+    /// §6.2 overlay: inserted ids attached to each original generator.
+    pub attached: &'a [Vec<u32>],
+    /// §6.2 overlay: vertices of lazily inserted objects.
+    pub inserted_vertices: &'a [VertexId],
+    /// §6.2 overlay: pending lazy updates.
+    pub pending_updates: usize,
+}
+
 impl ApproxNvd {
     /// Builds the index: exact NVD sweep, then quadtree compression.
     pub fn build(graph: &Graph, generators: &[VertexId], rho: usize) -> Self {
@@ -309,6 +339,84 @@ impl ApproxNvd {
         } else {
             Err(errs)
         }
+    }
+
+    /// Borrowed views of every array the index owns — the snapshot
+    /// serialization boundary.
+    pub fn snapshot_parts(&self) -> ApproxNvdParts<'_> {
+        ApproxNvdParts {
+            rho: self.rho,
+            space: self.space,
+            starts: &self.starts,
+            cand_offsets: &self.cand_offsets,
+            cands: &self.cands,
+            objects: &self.objects,
+            max_radius: &self.max_radius,
+            adjacency: &self.adjacency,
+            deleted: &self.deleted,
+            attached: &self.attached,
+            inserted_vertices: &self.inserted_vertices,
+            pending_updates: self.pending_updates,
+        }
+    }
+
+    /// Reassembles an index from decoded snapshot arrays, verbatim (no
+    /// rebuild, so serving is bit-identical), then runs the full
+    /// structural audit of [`ApproxNvd::validate`] before returning it.
+    ///
+    /// # Errors
+    /// A description of every violated invariant, joined with `"; "`.
+    pub fn from_snapshot_parts(
+        rho: usize,
+        space: MortonSpace,
+        starts: Vec<u32>,
+        cand_offsets: Vec<u32>,
+        cands: Vec<u32>,
+        objects: Vec<VertexId>,
+        max_radius: Vec<Weight>,
+        adjacency: AdjacencyGraph,
+        deleted: Vec<bool>,
+        attached: Vec<Vec<u32>>,
+        inserted_vertices: Vec<VertexId>,
+        pending_updates: usize,
+    ) -> Result<Self, String> {
+        if rho == 0 {
+            return Err("rho must be at least 1".into());
+        }
+        if max_radius.len() != objects.len() {
+            return Err(format!(
+                "max_radius has {} entries for {} generators",
+                max_radius.len(),
+                objects.len()
+            ));
+        }
+        // validate() slices cands through cand_offsets, so bound those
+        // first — the audit must not be able to panic on decoded input.
+        if u32::try_from(cands.len()).is_err() {
+            return Err(format!("candidate count {} exceeds u32", cands.len()));
+        }
+        if cand_offsets.first() != Some(&0) || cand_offsets.last() != Some(&(cands.len() as u32)) {
+            return Err("cand_offsets must start at 0 and end at the candidate count".into());
+        }
+        if cand_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("cand_offsets must be monotone non-decreasing".into());
+        }
+        let nvd = ApproxNvd {
+            rho,
+            space,
+            starts,
+            cand_offsets,
+            cands,
+            objects,
+            max_radius,
+            adjacency,
+            deleted,
+            attached,
+            inserted_vertices,
+            pending_updates,
+        };
+        nvd.validate().map_err(|v| v.join("; "))?;
+        Ok(nvd)
     }
 
     /// Index size in bytes: Morton list + candidate lists + adjacency +

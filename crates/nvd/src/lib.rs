@@ -30,6 +30,6 @@ pub mod rtree;
 pub mod update;
 
 pub use adjacency::AdjacencyGraph;
-pub use approx::ApproxNvd;
+pub use approx::{ApproxNvd, ApproxNvdParts};
 pub use exact::ExactNvd;
 pub use rtree::RTreeNvd;

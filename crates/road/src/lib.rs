@@ -57,7 +57,7 @@ impl<'a> RoadIndex<'a> {
         let mut rnet_terms: Vec<HashSet<TermId>> = vec![HashSet::new(); num_nodes];
         let mut rnet_objects = vec![0u32; num_nodes];
         for o in 0..corpus.num_objects() as ObjectId {
-            let mut node = gt.hierarchy.leaf_of[corpus.vertex_of(o) as usize];
+            let mut node = gt.hierarchy.leaf_of(corpus.vertex_of(o));
             loop {
                 rnet_objects[node as usize] += 1;
                 for p in corpus.doc(o) {
@@ -66,7 +66,7 @@ impl<'a> RoadIndex<'a> {
                 if node == 0 {
                     break;
                 }
-                node = gt.hierarchy.parent[node as usize];
+                node = gt.hierarchy.parent(node);
             }
         }
 
@@ -109,7 +109,7 @@ impl<'a> RoadIndex<'a> {
     where
         F: FnMut(ObjectId, Weight) -> bool,
     {
-        let q_leaf = self.gt.hierarchy.leaf_of[q as usize];
+        let q_leaf = self.gt.hierarchy.leaf_of(q);
         let n = self.graph.num_vertices();
         let mut dist: Vec<Weight> = vec![INFINITY; n];
         let mut settled = vec![false; n];
@@ -145,10 +145,7 @@ impl<'a> RoadIndex<'a> {
                 }
                 // …and still take original edges that leave the Rnet.
                 for (u, w) in self.graph.neighbors(v) {
-                    if self
-                        .gt
-                        .in_subtree(net, self.gt.hierarchy.leaf_of[u as usize])
-                    {
+                    if self.gt.in_subtree(net, self.gt.hierarchy.leaf_of(u)) {
                         continue;
                     }
                     let nd = d + w;

@@ -1,0 +1,248 @@
+//! On-disk layout constants and the section-id registry.
+//!
+//! # File layout (all integers little-endian)
+//!
+//! | bytes          | field                                             |
+//! |----------------|---------------------------------------------------|
+//! | `0..8`         | magic `b"KSPINSNP"`                               |
+//! | `8..12`        | format version (`u32`, currently 1)               |
+//! | `12..16`       | endianness tag (`u32`, `0x0A0B0C0D`)              |
+//! | `16..20`       | section count `k` (`u32`)                         |
+//! | `20..24`       | reserved, must be 0                               |
+//! | `24..32`       | total file length (`u64`)                         |
+//! | `32..40`       | header+table checksum (`u64` xxHash64)            |
+//! | `40..40+32k`   | section table, one 32-byte entry per section      |
+//! | `40+32k..`     | section payloads, contiguous, 8-aligned           |
+//!
+//! Each table entry is `{ id: u32, kind: u32, offset: u64, count: u64,
+//! checksum: u64 }`. `offset` is absolute from the start of the file;
+//! `count` is in *elements* of the section's kind. Payloads are padded
+//! with zero bytes to the next multiple of 8 and each section checksum
+//! covers its whole padded range `[offset, next_offset)`, so together
+//! with the header checksum (which covers bytes `0..32` plus the table)
+//! **every byte of the file is covered by exactly one checksum**.
+//!
+//! # Versioning and compatibility
+//!
+//! The format version is bumped on any change to the header, table-entry
+//! shape or the meaning of an existing section id; readers reject files
+//! with an unknown version or endianness tag outright. New *section ids*
+//! may be added without a version bump — sections are self-describing and
+//! loaders ignore ids they do not request — which is how optional
+//! structures (CH, G-tree hierarchy, relabeling) already work.
+//!
+//! # Canonical serialization
+//!
+//! A conforming writer emits sections in strictly ascending id order at
+//! the smallest conforming offsets with zero padding. Two snapshots of
+//! equal logical content are therefore byte-identical, and save → load →
+//! save is the identity on bytes (test-enforced).
+
+/// File magic, bytes `0..8`.
+pub const MAGIC: [u8; 8] = *b"KSPINSNP";
+
+/// Current format version, bytes `8..12`.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Endianness tag, bytes `12..16`: read back as this value only when the
+/// file and host agree on little-endian layout of `u32`s.
+pub const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
+
+/// Fixed header length in bytes (the section table starts here).
+pub const HEADER_LEN: usize = 40;
+
+/// Length of one section-table entry in bytes.
+pub const TABLE_ENTRY_LEN: usize = 32;
+
+/// Seed for the header+table checksum.
+pub const HEADER_SEED: u64 = 0x4B53_5049_4E53_4E50; // "KSPINSNP"
+
+/// Element kind: `u32` little-endian, 4 bytes per element.
+pub const KIND_U32: u32 = 0;
+/// Element kind: `u64` little-endian, 8 bytes per element.
+pub const KIND_U64: u32 = 1;
+/// Element kind: `f64` stored as its IEEE-754 bit pattern in a
+/// little-endian `u64`, 8 bytes per element.
+pub const KIND_F64: u32 = 2;
+/// Element kind: raw bytes, 1 byte per element.
+pub const KIND_BYTES: u32 = 3;
+
+/// Bytes per element of `kind`, or `None` for an unknown kind.
+#[inline]
+pub fn elem_size(kind: u32) -> Option<u64> {
+    match kind {
+        KIND_U32 => Some(4),
+        KIND_U64 | KIND_F64 => Some(8),
+        KIND_BYTES => Some(1),
+        _ => None,
+    }
+}
+
+/// Section ids. The registry is append-only: ids are never reused or
+/// renumbered (see the module docs on compatibility).
+pub mod section {
+    /// CSR adjacency offsets, `u32`, length `n + 1`.
+    pub const GRAPH_OFFSETS: u32 = 1;
+    /// CSR edge targets, `u32`.
+    pub const GRAPH_TARGETS: u32 = 2;
+    /// CSR edge weights, `u32`.
+    pub const GRAPH_WEIGHTS: u32 = 3;
+    /// Vertex coordinates interleaved `[x0, y0, x1, y1, ..]`, `i32` stored
+    /// as `u32` bit patterns.
+    pub const GRAPH_COORDS: u32 = 4;
+
+    /// Corpus: vertex of each object, `u32`, length = number of objects.
+    pub const CORPUS_VERTEX_OF: u32 = 10;
+    /// Corpus: per-object document offsets into the posting columns,
+    /// `u32`, length = objects + 1.
+    pub const CORPUS_DOC_OFFSETS: u32 = 11;
+    /// Corpus: posting term ids, `u32` (column of the flattened docs).
+    pub const CORPUS_DOC_TERMS: u32 = 12;
+    /// Corpus: posting frequencies, `u32`.
+    pub const CORPUS_DOC_FREQS: u32 = 13;
+    /// Corpus: posting impacts (Eq. 2/3), `f64` bit patterns.
+    pub const CORPUS_DOC_IMPACTS: u32 = 14;
+
+    /// Vocabulary: byte offsets of each term string, `u32`, length
+    /// = terms + 1.
+    pub const VOCAB_OFFSETS: u32 = 20;
+    /// Vocabulary: concatenated UTF-8 term bytes.
+    pub const VOCAB_BYTES: u32 = 21;
+
+    /// Index scalars, `u64`: `[rho, term_slots, nvd_terms, small_terms,
+    /// build_seconds_bits, cache_present, cache_shards,
+    /// cache_shard_budget]`.
+    pub const INDEX_META: u32 = 30;
+    /// Per-term-slot kind byte: 0 = absent, 1 = small list, 2 = NVD.
+    pub const INDEX_TERM_KINDS: u32 = 31;
+    /// Small lists: per small term `[objects_len]`, `u32`.
+    pub const SMALL_LENS: u32 = 32;
+    /// Small lists: pooled object ids, `u32`.
+    pub const SMALL_OBJECTS: u32 = 33;
+    /// Small lists: pooled object vertices, `u32`.
+    pub const SMALL_VERTICES: u32 = 34;
+    /// Small lists: pooled liveness flags, bytes 0/1.
+    pub const SMALL_ALIVE: u32 = 35;
+
+    /// NVD scalars, `u64`, 6 per NVD term: `[rho, pending_updates,
+    /// min_x (i32 bits), min_y (i32 bits), scale_x_bits, scale_y_bits]`.
+    pub const NVD_SCALARS: u32 = 36;
+    /// NVD pooled-array lengths, `u32`, 8 per NVD term: `[starts,
+    /// cand_offsets, cands, generators, adjacency_nodes, adjacency_edges,
+    /// attached_total, inserted]`.
+    pub const NVD_LENS: u32 = 37;
+    /// NVD pooled Morton-list leaf starts, `u32`.
+    pub const NVD_STARTS: u32 = 38;
+    /// NVD pooled per-leaf candidate offsets, `u32`.
+    pub const NVD_CAND_OFFSETS: u32 = 39;
+    /// NVD pooled leaf candidate generator indices, `u32`.
+    pub const NVD_CANDS: u32 = 40;
+    /// NVD pooled generator vertices, `u32`.
+    pub const NVD_OBJECTS: u32 = 41;
+    /// NVD pooled per-generator max cell radii, `u32`.
+    pub const NVD_MAX_RADIUS: u32 = 42;
+    /// NVD pooled adjacency CSR offsets (per term, rebased to 0), `u32`.
+    pub const NVD_ADJ_OFFSETS: u32 = 43;
+    /// NVD pooled adjacency CSR neighbor lists, `u32`.
+    pub const NVD_ADJ_DATA: u32 = 44;
+    /// NVD pooled deletion flags, bytes 0/1, one per overlay generator.
+    pub const NVD_DELETED: u32 = 45;
+    /// NVD pooled attached-overlay offsets (per term, rebased), `u32`.
+    pub const NVD_ATT_OFFSETS: u32 = 46;
+    /// NVD pooled attached-overlay generator indices, `u32`.
+    pub const NVD_ATT_DATA: u32 = 47;
+    /// NVD pooled inserted-generator vertices, `u32`.
+    pub const NVD_INSERTED: u32 = 48;
+    /// NVD pooled per-generator corpus object ids, `u32`.
+    pub const NVD_CORPUS_IDS: u32 = 49;
+
+    /// ALT landmark vertex ids, `u32`.
+    pub const ALT_LANDMARKS: u32 = 60;
+    /// ALT distance table, row-major `[landmark][vertex]`, `u32`.
+    pub const ALT_DIST: u32 = 61;
+
+    /// CH scalars, `u64`: `[num_shortcuts]`.
+    pub const CH_META: u32 = 70;
+    /// CH contraction ranks, `u32`, one per vertex.
+    pub const CH_RANK: u32 = 71;
+    /// CH upward-graph CSR offsets, `u32`, length `n + 1`.
+    pub const CH_UP_OFFSETS: u32 = 72;
+    /// CH upward-graph edge targets, `u32`.
+    pub const CH_UP_TARGETS: u32 = 73;
+    /// CH upward-graph edge weights, `u32`.
+    pub const CH_UP_WEIGHTS: u32 = 74;
+
+    /// G-tree hierarchy: parent of each node, `u32`.
+    pub const HIER_PARENT: u32 = 80;
+    /// G-tree hierarchy: child-list offsets, `u32`, length nodes + 1.
+    pub const HIER_CHILD_OFFSETS: u32 = 81;
+    /// G-tree hierarchy: pooled child node ids, `u32`.
+    pub const HIER_CHILD_DATA: u32 = 82;
+    /// G-tree hierarchy: depth of each node, `u32`.
+    pub const HIER_DEPTH: u32 = 83;
+    /// G-tree hierarchy: leaf vertex-list offsets, `u32`, length nodes + 1.
+    pub const HIER_VERT_OFFSETS: u32 = 84;
+    /// G-tree hierarchy: pooled leaf vertex ids, `u32`.
+    pub const HIER_VERT_DATA: u32 = 85;
+    /// G-tree hierarchy: leaf node of each vertex, `u32`.
+    pub const HIER_LEAF_OF: u32 = 86;
+
+    /// Active relabeling as a visit order (`order[local] = external`),
+    /// `u32`, one per vertex.
+    pub const RELABEL_ORDER: u32 = 90;
+}
+
+/// Human-readable name of a section id (for error messages and the CLI
+/// metadata listing). Unknown ids render as `"unknown"`.
+pub fn section_name(id: u32) -> &'static str {
+    use section::*;
+    match id {
+        GRAPH_OFFSETS => "graph.offsets",
+        GRAPH_TARGETS => "graph.targets",
+        GRAPH_WEIGHTS => "graph.weights",
+        GRAPH_COORDS => "graph.coords",
+        CORPUS_VERTEX_OF => "corpus.vertex_of",
+        CORPUS_DOC_OFFSETS => "corpus.doc_offsets",
+        CORPUS_DOC_TERMS => "corpus.doc_terms",
+        CORPUS_DOC_FREQS => "corpus.doc_freqs",
+        CORPUS_DOC_IMPACTS => "corpus.doc_impacts",
+        VOCAB_OFFSETS => "vocab.offsets",
+        VOCAB_BYTES => "vocab.bytes",
+        INDEX_META => "index.meta",
+        INDEX_TERM_KINDS => "index.term_kinds",
+        SMALL_LENS => "index.small_lens",
+        SMALL_OBJECTS => "index.small_objects",
+        SMALL_VERTICES => "index.small_vertices",
+        SMALL_ALIVE => "index.small_alive",
+        NVD_SCALARS => "nvd.scalars",
+        NVD_LENS => "nvd.lens",
+        NVD_STARTS => "nvd.starts",
+        NVD_CAND_OFFSETS => "nvd.cand_offsets",
+        NVD_CANDS => "nvd.cands",
+        NVD_OBJECTS => "nvd.objects",
+        NVD_MAX_RADIUS => "nvd.max_radius",
+        NVD_ADJ_OFFSETS => "nvd.adj_offsets",
+        NVD_ADJ_DATA => "nvd.adj_data",
+        NVD_DELETED => "nvd.deleted",
+        NVD_ATT_OFFSETS => "nvd.att_offsets",
+        NVD_ATT_DATA => "nvd.att_data",
+        NVD_INSERTED => "nvd.inserted",
+        NVD_CORPUS_IDS => "nvd.corpus_ids",
+        ALT_LANDMARKS => "alt.landmarks",
+        ALT_DIST => "alt.dist",
+        CH_META => "ch.meta",
+        CH_RANK => "ch.rank",
+        CH_UP_OFFSETS => "ch.up_offsets",
+        CH_UP_TARGETS => "ch.up_targets",
+        CH_UP_WEIGHTS => "ch.up_weights",
+        HIER_PARENT => "gtree.parent",
+        HIER_CHILD_OFFSETS => "gtree.child_offsets",
+        HIER_CHILD_DATA => "gtree.child_data",
+        HIER_DEPTH => "gtree.depth",
+        HIER_VERT_OFFSETS => "gtree.vert_offsets",
+        HIER_VERT_DATA => "gtree.vert_data",
+        HIER_LEAF_OF => "gtree.leaf_of",
+        RELABEL_ORDER => "relabel.order",
+        _ => "unknown",
+    }
+}

@@ -33,12 +33,22 @@ pub struct InvPosting {
 ///
 /// Immutable after construction — dynamic updates (§6.2) are handled at the
 /// index layer, which keeps its own overlay of inserted/deleted objects.
+///
+/// Documents and inverted lists are stored *flat*: one pooled posting
+/// array each, sliced through `u32` offset tables. Accessors hand out the
+/// same `&[DocPosting]` / `&[InvPosting]` slices as before, but the whole
+/// corpus is now four cache-dense arrays — the layout the snapshot format
+/// serializes verbatim.
 #[derive(Debug, Clone)]
 pub struct Corpus {
     vertex_of: Vec<VertexId>,
     object_at: HashMap<VertexId, ObjectId>,
-    docs: Vec<Vec<DocPosting>>,
-    inverted: Vec<Vec<InvPosting>>,
+    /// `doc_offsets[o]..doc_offsets[o + 1]` slices `docs` for object `o`.
+    doc_offsets: Vec<u32>,
+    docs: Vec<DocPosting>,
+    /// `inv_offsets[t]..inv_offsets[t + 1]` slices `inverted` for term `t`.
+    inv_offsets: Vec<u32>,
+    inverted: Vec<InvPosting>,
     max_impact: Vec<f64>,
     doc_len: Vec<u32>,
     total_occurrences: u64,
@@ -53,7 +63,7 @@ impl Corpus {
     /// Number of distinct keywords `|W|` (including any ids with empty
     /// inverted lists).
     pub fn num_terms(&self) -> usize {
-        self.inverted.len()
+        self.inv_offsets.len() - 1
     }
 
     /// Total keyword occurrences `|doc(V)|` (sum of document lengths).
@@ -92,14 +102,22 @@ impl Corpus {
     /// Document of `o`, sorted by term id.
     #[inline]
     pub fn doc(&self, o: ObjectId) -> &[DocPosting] {
-        &self.docs[o as usize]
+        let lo = self.doc_offsets[o as usize] as usize;
+        let hi = self.doc_offsets[o as usize + 1] as usize;
+        &self.docs[lo..hi]
     }
 
     /// Inverted list `inv(t)`, sorted by object id. Empty for term ids the
     /// corpus has never seen (queries may mention words no object carries).
     #[inline]
     pub fn inverted(&self, t: TermId) -> &[InvPosting] {
-        self.inverted.get(t as usize).map_or(&[], Vec::as_slice)
+        match (
+            self.inv_offsets.get(t as usize),
+            self.inv_offsets.get(t as usize + 1),
+        ) {
+            (Some(&lo), Some(&hi)) => &self.inverted[lo as usize..hi as usize],
+            _ => &[],
+        }
     }
 
     /// `|inv(t)|` — the keyword's frequency in Observation 1's sense.
@@ -134,9 +152,7 @@ impl Corpus {
 
     /// Whether object `o`'s document contains `t`.
     pub fn contains(&self, o: ObjectId, t: TermId) -> bool {
-        self.docs[o as usize]
-            .binary_search_by_key(&t, |p| p.term)
-            .is_ok()
+        self.doc(o).binary_search_by_key(&t, |p| p.term).is_ok()
     }
 
     /// Whether `o` contains *all* of `terms` (conjunctive criterion).
@@ -158,10 +174,158 @@ impl Corpus {
     /// Approximate memory footprint in bytes (documents + inverted lists).
     pub fn size_bytes(&self) -> usize {
         let posting = std::mem::size_of::<DocPosting>();
-        let doc_bytes: usize = self.docs.iter().map(|d| d.len() * posting).sum();
-        let inv_bytes: usize = self.inverted.iter().map(|l| l.len() * posting).sum();
-        doc_bytes + inv_bytes + self.vertex_of.len() * 4 + self.max_impact.len() * 8
+        self.docs.len() * posting
+            + self.inverted.len() * posting
+            + (self.doc_offsets.len() + self.inv_offsets.len()) * 4
+            + self.vertex_of.len() * 4
+            + self.max_impact.len() * 8
     }
+
+    /// Borrowed views of the flat storage — `(vertex_of, doc_offsets,
+    /// docs)` — the snapshot serialization boundary. Inverted lists,
+    /// impacts statistics and the vertex→object map are all derivable from
+    /// these three arrays (and are re-derived deterministically on load).
+    pub fn flat_parts(&self) -> (&[VertexId], &[u32], &[DocPosting]) {
+        (&self.vertex_of, &self.doc_offsets, &self.docs)
+    }
+
+    /// Reassembles a corpus from its flat columns, copying stored impact
+    /// bits verbatim (no recomputation, so a reloaded corpus scores
+    /// bit-identically) and re-deriving the inverted lists, per-term
+    /// impact maxima, document lengths and the vertex→object map exactly
+    /// as [`CorpusBuilder::build`] does.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant: non-monotone or
+    /// mis-sized offsets, column length mismatches, empty documents,
+    /// unsorted document terms, non-positive frequencies or impacts, or a
+    /// vertex hosting two objects.
+    pub fn from_parts(
+        vertex_of: Vec<VertexId>,
+        doc_offsets: Vec<u32>,
+        terms: &[TermId],
+        freqs: &[u32],
+        impacts: &[f64],
+    ) -> Result<Corpus, String> {
+        let num_objects = vertex_of.len();
+        if doc_offsets.len() != num_objects + 1 {
+            return Err(format!(
+                "doc_offsets holds {} entries for {num_objects} objects",
+                doc_offsets.len()
+            ));
+        }
+        if terms.len() != freqs.len() || terms.len() != impacts.len() {
+            return Err(format!(
+                "posting columns disagree: {} terms, {} freqs, {} impacts",
+                terms.len(),
+                freqs.len(),
+                impacts.len()
+            ));
+        }
+        if doc_offsets.first() != Some(&0) || doc_offsets.last() != Some(&(terms.len() as u32)) {
+            return Err("doc_offsets must start at 0 and end at the posting count".into());
+        }
+        if u32::try_from(terms.len()).is_err() {
+            return Err(format!("posting count {} exceeds u32 offsets", terms.len()));
+        }
+        if doc_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("doc_offsets must be monotone non-decreasing".into());
+        }
+        let mut docs = Vec::with_capacity(terms.len());
+        let mut doc_len = Vec::with_capacity(num_objects);
+        let mut total_occurrences = 0u64;
+        let mut num_terms = 0usize;
+        for o in 0..num_objects {
+            let lo = doc_offsets[o] as usize;
+            let hi = doc_offsets[o + 1] as usize;
+            if lo == hi {
+                return Err(format!("object {o} has an empty document"));
+            }
+            let mut len = 0u32;
+            for i in lo..hi {
+                let (term, freq, impact) = (terms[i], freqs[i], impacts[i]);
+                if i > lo && terms[i - 1] >= term {
+                    return Err(format!("object {o} document terms not strictly ascending"));
+                }
+                if freq == 0 {
+                    return Err(format!("object {o} carries a zero frequency"));
+                }
+                if !(impact.is_finite() && impact > 0.0) {
+                    return Err(format!("object {o} carries a non-positive impact {impact}"));
+                }
+                num_terms = num_terms.max(term as usize + 1);
+                len += freq;
+                total_occurrences += u64::from(freq);
+                docs.push(DocPosting { term, freq, impact });
+            }
+            doc_len.push(len);
+        }
+        let mut sorted_vertices = vertex_of.clone();
+        sorted_vertices.sort_unstable();
+        if sorted_vertices.windows(2).any(|w| w[0] == w[1]) {
+            return Err("a vertex hosts more than one object".into());
+        }
+        let (inv_offsets, inverted, max_impact) = invert(&docs, &doc_offsets, num_terms);
+        let object_at = vertex_of
+            .iter()
+            .enumerate()
+            .map(|(o, &v)| (v, o as ObjectId))
+            .collect();
+        Ok(Corpus {
+            vertex_of,
+            object_at,
+            doc_offsets,
+            docs,
+            inv_offsets,
+            inverted,
+            max_impact,
+            doc_len,
+            total_occurrences,
+        })
+    }
+}
+
+/// Derives the flat inverted lists (counting sort by term, objects kept in
+/// ascending order) and per-term impact maxima from the flat documents.
+fn invert(
+    docs: &[DocPosting],
+    doc_offsets: &[u32],
+    num_terms: usize,
+) -> (Vec<u32>, Vec<InvPosting>, Vec<f64>) {
+    let mut inv_offsets = vec![0u32; num_terms + 1];
+    for p in docs {
+        inv_offsets[p.term as usize + 1] += 1;
+    }
+    for t in 0..num_terms {
+        inv_offsets[t + 1] += inv_offsets[t];
+    }
+    let mut next: Vec<u32> = inv_offsets[..num_terms].to_vec();
+    let mut inverted = vec![
+        InvPosting {
+            object: 0,
+            freq: 0,
+            impact: 0.0
+        };
+        docs.len()
+    ];
+    let mut max_impact = vec![0.0f64; num_terms];
+    for o in 0..doc_offsets.len().saturating_sub(1) {
+        let lo = doc_offsets[o] as usize;
+        let hi = doc_offsets[o + 1] as usize;
+        for p in &docs[lo..hi] {
+            let t = p.term as usize;
+            inverted[next[t] as usize] = InvPosting {
+                object: o as ObjectId,
+                freq: p.freq,
+                impact: p.impact,
+            };
+            next[t] += 1;
+            if p.impact > max_impact[t] {
+                max_impact[t] = p.impact;
+            }
+        }
+    }
+    (inv_offsets, inverted, max_impact)
 }
 
 /// Builder for [`Corpus`]. Objects are added one at a time; impacts are
@@ -210,16 +374,18 @@ impl CorpusBuilder {
     }
 
     /// Finalizes the corpus, computing impacts `λ_{t,o} = w_{t,o} / ‖w_o‖`
-    /// with `w_{t,o} = 1 + ln f_{t,o}` per Eq. (2)/(3).
+    /// with `w_{t,o} = 1 + ln f_{t,o}` per Eq. (2)/(3). Storage is flat:
+    /// documents pool into one posting array behind per-object offsets and
+    /// the inverted lists are derived by a counting sort over it.
     pub fn build(self) -> Corpus {
         let num_objects = self.vertex_of.len();
-        let mut docs = Vec::with_capacity(num_objects);
-        let mut inverted: Vec<Vec<InvPosting>> = vec![Vec::new(); self.num_terms];
-        let mut max_impact = vec![0.0f64; self.num_terms];
+        let mut doc_offsets = Vec::with_capacity(num_objects + 1);
+        doc_offsets.push(0u32);
+        let mut docs: Vec<DocPosting> = Vec::new();
         let mut doc_len = Vec::with_capacity(num_objects);
         let mut total_occurrences = 0u64;
 
-        for (o, raw) in self.raw_docs.into_iter().enumerate() {
+        for raw in self.raw_docs {
             let norm: f64 = raw
                 .iter()
                 .map(|&(_, f)| {
@@ -228,27 +394,17 @@ impl CorpusBuilder {
                 })
                 .sum::<f64>()
                 .sqrt();
-            let doc: Vec<DocPosting> = raw
-                .into_iter()
-                .map(|(term, freq)| {
-                    total_occurrences += freq as u64;
-                    let impact = (1.0 + (freq as f64).ln()) / norm;
-                    DocPosting { term, freq, impact }
-                })
-                .collect();
-            for p in &doc {
-                inverted[p.term as usize].push(InvPosting {
-                    object: o as ObjectId,
-                    freq: p.freq,
-                    impact: p.impact,
-                });
-                if p.impact > max_impact[p.term as usize] {
-                    max_impact[p.term as usize] = p.impact;
-                }
+            let mut len = 0u32;
+            for (term, freq) in raw {
+                total_occurrences += freq as u64;
+                len += freq;
+                let impact = (1.0 + (freq as f64).ln()) / norm;
+                docs.push(DocPosting { term, freq, impact });
             }
-            doc_len.push(doc.iter().map(|p| p.freq).sum());
-            docs.push(doc);
+            doc_len.push(len);
+            doc_offsets.push(docs.len() as u32);
         }
+        let (inv_offsets, inverted, max_impact) = invert(&docs, &doc_offsets, self.num_terms);
 
         let object_at = self
             .vertex_of
@@ -260,7 +416,9 @@ impl CorpusBuilder {
         Corpus {
             vertex_of: self.vertex_of,
             object_at,
+            doc_offsets,
             docs,
+            inv_offsets,
             inverted,
             max_impact,
             doc_len,

@@ -50,6 +50,27 @@ impl Vocabulary {
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
     }
+
+    /// All interned terms in id order — the snapshot serialization
+    /// boundary (the intern map is derived, not stored).
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Rebuilds a vocabulary from an id-ordered term list, re-deriving
+    /// the intern map (the snapshot loader's entry point).
+    ///
+    /// # Errors
+    /// When a term repeats — interning is a bijection.
+    pub fn from_terms(terms: Vec<String>) -> Result<Self, String> {
+        let mut index = HashMap::with_capacity(terms.len());
+        for (id, term) in terms.iter().enumerate() {
+            if index.insert(term.clone(), id as TermId).is_some() {
+                return Err(format!("term {term:?} appears twice in the vocabulary"));
+            }
+        }
+        Ok(Vocabulary { terms, index })
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub use kspin_road as road;
 pub use kspin_text as text;
 
 pub mod adapters;
+pub mod snapshot;
 
 use kspin_alt::{AltIndex, LandmarkStrategy};
 use kspin_core::{DijkstraDistance, KspinConfig, KspinIndex, NetworkDistance, QueryEngine};
@@ -64,7 +65,9 @@ use kspin_text::{Corpus, Vocabulary};
 /// Common imports for applications.
 pub mod prelude {
     pub use crate::adapters::{ChDistance, GtreeNetworkDistance, HlDistance};
+    pub use crate::snapshot::SnapshotExtras;
     pub use crate::KspinSystem;
+    pub use kspin_core::snapshot::{SnapshotError, SnapshotFile};
     pub use kspin_core::{
         BatchExecutor, BoolExpr, DijkstraDistance, KspinConfig, KspinIndex, LowerBound,
         NetworkDistance, Op, QueryEngine, QueryStats, SeedCacheConfig, ServingQuery, ServingResult,

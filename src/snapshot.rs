@@ -1,0 +1,230 @@
+//! Full-system snapshots: one flat binary file holding an entire K-SPIN
+//! deployment, loadable in milliseconds.
+//!
+//! [`KspinSystem::save_snapshot`] serializes the graph, corpus,
+//! vocabulary, Keyword Separated Index and ALT tables — plus any
+//! optional acceleration structures handed over in [`SnapshotExtras`]
+//! (CH upward graph, G-tree hierarchy, the active relabeling) — into
+//! the canonical section layout of [`kspin_core::snapshot`].
+//! [`KspinSystem::load_snapshot`] validates the bytes fail-closed
+//! (checksums first, then every structural invariant through the
+//! crates' own `from_*_parts` constructors) and reassembles a system
+//! that serves *bit-identically* to the one that was saved — no
+//! rebuild, no re-derivation of impact scores, no NVD sweeps.
+//!
+//! Serialization is canonical: save → load → save is byte-identical,
+//! and a logically equal system always produces the same bytes. Both
+//! properties are test-enforced (`tests/snapshot_roundtrip.rs`).
+
+use crate::KspinSystem;
+use kspin_ch::ContractionHierarchy;
+use kspin_core::snapshot::format::section;
+use kspin_core::snapshot::{
+    decode_alt, decode_ch, decode_corpus, decode_graph, decode_index, decode_relabeling,
+    encode_alt, encode_ch, encode_corpus, encode_graph, encode_index, encode_relabeling, format,
+    SnapshotError, SnapshotFile, SnapshotWriter,
+};
+use kspin_graph::Relabeling;
+use kspin_gtree::partition::Hierarchy;
+use kspin_text::Vocabulary;
+
+pub use kspin_core::snapshot::{FormatError, IndexStore, SectionLabel, SectionView};
+
+/// Optional acceleration structures that ride along in a snapshot.
+///
+/// The core system (graph, corpus, vocabulary, index, ALT) is always
+/// present; these are saved only when provided and decode to `None`
+/// when their sections are absent.
+#[derive(Default)]
+pub struct SnapshotExtras {
+    /// Contraction hierarchy: node order + upward adjacency.
+    pub ch: Option<ContractionHierarchy>,
+    /// G-tree partition hierarchy (the tree shape; distance matrices are
+    /// rebuilt, not snapshotted).
+    pub hierarchy: Option<Hierarchy>,
+    /// The vertex renumbering the saved system was built under.
+    pub relabeling: Option<Relabeling>,
+}
+
+impl std::fmt::Debug for SnapshotExtras {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotExtras")
+            .field("ch", &self.ch.is_some())
+            .field("hierarchy", &self.hierarchy.is_some())
+            .field("relabeling", &self.relabeling.is_some())
+            .finish()
+    }
+}
+
+/// Appends the vocabulary as an offset table over pooled UTF-8 bytes.
+pub fn encode_vocab(w: &mut SnapshotWriter, v: &Vocabulary) {
+    let terms = v.terms();
+    let mut offsets = Vec::with_capacity(terms.len() + 1);
+    let mut bytes = Vec::new();
+    offsets.push(0u32);
+    for t in terms {
+        bytes.extend_from_slice(t.as_bytes());
+        offsets.push(bytes.len() as u32);
+    }
+    w.put_u32s(section::VOCAB_OFFSETS, &offsets);
+    w.put_bytes(section::VOCAB_BYTES, &bytes);
+}
+
+/// Reassembles the vocabulary through [`Vocabulary::from_terms`].
+///
+/// # Errors
+/// Missing/mistyped sections, malformed offsets, non-UTF-8 term bytes,
+/// or duplicate terms.
+pub fn decode_vocab(f: &SnapshotFile<'_>) -> Result<Vocabulary, SnapshotError> {
+    let offsets = f.u32s(section::VOCAB_OFFSETS)?;
+    let bytes = f.bytes(section::VOCAB_BYTES)?;
+    if offsets.first() != Some(&0) {
+        return Err(SnapshotError::decode(
+            section::VOCAB_OFFSETS,
+            "vocabulary offsets must start at 0",
+        ));
+    }
+    if offsets.last().map(|&e| e as usize) != Some(bytes.len()) {
+        return Err(SnapshotError::decode(
+            section::VOCAB_OFFSETS,
+            "vocabulary offsets must end at the pooled byte count",
+        ));
+    }
+    let terms: Vec<String> = offsets
+        .windows(2)
+        .map(|win| {
+            let slice = bytes.get(win[0] as usize..win[1] as usize).ok_or_else(|| {
+                SnapshotError::decode(
+                    section::VOCAB_OFFSETS,
+                    format!("term offsets {}..{} out of order or range", win[0], win[1]),
+                )
+            })?;
+            String::from_utf8(slice.to_vec()).map_err(|e| {
+                SnapshotError::decode(section::VOCAB_BYTES, format!("term is not UTF-8: {e}"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Vocabulary::from_terms(terms).map_err(|e| SnapshotError::decode(section::VOCAB_OFFSETS, e))
+}
+
+/// Appends the G-tree partition hierarchy's flat arrays.
+pub fn encode_hierarchy(w: &mut SnapshotWriter, h: &Hierarchy) {
+    let (parent, child_offsets, child_data, depth, vert_offsets, vert_data, leaf_of) =
+        h.flat_parts();
+    w.put_u32s(section::HIER_PARENT, parent);
+    w.put_u32s(section::HIER_CHILD_OFFSETS, child_offsets);
+    w.put_u32s(section::HIER_CHILD_DATA, child_data);
+    w.put_u32s(section::HIER_DEPTH, depth);
+    w.put_u32s(section::HIER_VERT_OFFSETS, vert_offsets);
+    w.put_u32s(section::HIER_VERT_DATA, vert_data);
+    w.put_u32s(section::HIER_LEAF_OF, leaf_of);
+}
+
+/// Reassembles the hierarchy when present, `Ok(None)` when the snapshot
+/// was saved without one.
+///
+/// # Errors
+/// Mistyped/partial sections or any violated tree invariant.
+pub fn decode_hierarchy(f: &SnapshotFile<'_>) -> Result<Option<Hierarchy>, SnapshotError> {
+    use section::*;
+    if !f.has(HIER_PARENT) {
+        return Ok(None);
+    }
+    Hierarchy::from_flat_parts(
+        f.u32s(HIER_PARENT)?,
+        f.u32s(HIER_CHILD_OFFSETS)?,
+        f.u32s(HIER_CHILD_DATA)?,
+        f.u32s(HIER_DEPTH)?,
+        f.u32s(HIER_VERT_OFFSETS)?,
+        f.u32s(HIER_VERT_DATA)?,
+        f.u32s(HIER_LEAF_OF)?,
+    )
+    .map(Some)
+    .map_err(|e| SnapshotError::decode(HIER_PARENT, e))
+}
+
+impl KspinSystem {
+    /// Serializes the whole deployment (plus `extras`) into the canonical
+    /// snapshot byte layout. The result validates, round-trips through
+    /// [`KspinSystem::load_snapshot`] bit-identically, and re-saves to the
+    /// same bytes.
+    pub fn save_snapshot(&self, extras: &SnapshotExtras) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        encode_graph(&mut w, &self.graph);
+        encode_corpus(&mut w, &self.corpus);
+        encode_vocab(&mut w, &self.vocab);
+        encode_index(&mut w, &self.index);
+        encode_alt(&mut w, &self.alt);
+        if let Some(ch) = &extras.ch {
+            encode_ch(&mut w, ch);
+        }
+        if let Some(h) = &extras.hierarchy {
+            encode_hierarchy(&mut w, h);
+        }
+        if let Some(r) = &extras.relabeling {
+            encode_relabeling(&mut w, r);
+        }
+        w.finish()
+    }
+
+    /// Validates `bytes` fail-closed and reassembles the deployment.
+    ///
+    /// Checksums are verified before any decoding, then every structure
+    /// passes through its crate's validating constructor, so corrupt or
+    /// adversarial input yields a structured [`SnapshotError`] naming the
+    /// failing section — never a panic, never a partially-initialized
+    /// system. The reloaded system serves bit-identically to the saved
+    /// one (test-enforced).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Format`] for framing/checksum violations;
+    /// [`SnapshotError::Decode`] for structural ones.
+    pub fn load_snapshot(bytes: &[u8]) -> Result<(KspinSystem, SnapshotExtras), SnapshotError> {
+        let f = SnapshotFile::validate(bytes)?;
+        let graph = decode_graph(&f)?;
+        let corpus = decode_corpus(&f)?;
+        let vocab = decode_vocab(&f)?;
+        let index = decode_index(&f)?;
+        let alt = decode_alt(&f, graph.num_vertices())?;
+        let extras = SnapshotExtras {
+            ch: decode_ch(&f)?,
+            hierarchy: decode_hierarchy(&f)?,
+            relabeling: decode_relabeling(&f)?,
+        };
+        Ok((
+            KspinSystem {
+                graph,
+                corpus,
+                vocab,
+                alt,
+                index,
+            },
+            extras,
+        ))
+    }
+}
+
+/// One formatted line per section: id, name, kind, element count and
+/// payload bytes — the CLI's `snapshot load` metadata listing.
+pub fn describe_sections(f: &SnapshotFile<'_>) -> Vec<String> {
+    (0..f.num_sections())
+        .filter_map(|i| f.section_at(i))
+        .map(|s| {
+            let kind = match s.kind {
+                format::KIND_U32 => "u32",
+                format::KIND_U64 => "u64",
+                format::KIND_F64 => "f64",
+                format::KIND_BYTES => "bytes",
+                _ => "?",
+            };
+            format!(
+                "  [{:>2}] {:<20} {:<5} {:>12} elems {:>14} bytes",
+                s.id,
+                format::section_name(s.id),
+                kind,
+                s.count,
+                s.payload.len()
+            )
+        })
+        .collect()
+}

@@ -258,6 +258,104 @@ fn hilbert_renumbering_is_invisible_to_serving() {
     }
 }
 
+/// Snapshot persistence must be invisible at the serving boundary: save
+/// the whole deployment, reload it from bytes, and every batch — at any
+/// thread count, with the seed cache on or off, with and without the
+/// one-to-many sweep pre-pass — answers bit-identically to the sequential
+/// cold reference over the *originally built* structures. A §6.2 update
+/// epoch applied to the reloaded engine then must land exactly where the
+/// same epoch lands on a never-snapshotted cold build.
+#[test]
+fn snapshot_reload_is_invisible_to_serving() {
+    let f = fixture();
+    let reference = sequential_cold(&f);
+
+    // The fixture discards its vocabulary; regenerate it with the same
+    // deterministic config to assemble a full system for the save.
+    let mut cc = kspin::text::generate::CorpusConfig::new(f.graph.num_vertices(), 2027);
+    cc.object_fraction = 0.1;
+    let (_, vocab) = kspin::text::generate::corpus(&cc);
+    let ch = kspin::ch::ContractionHierarchy::build(&f.graph, &kspin::ch::ChConfig::default());
+    let system = KspinSystem {
+        graph: f.graph,
+        corpus: f.corpus,
+        vocab,
+        alt: f.alt,
+        index: f.index,
+    };
+    let bytes = system.save_snapshot(&kspin::snapshot::SnapshotExtras {
+        ch: Some(ch),
+        ..Default::default()
+    });
+    drop(system); // only the bytes survive
+    let (mut sys, extras) = KspinSystem::load_snapshot(&bytes).expect("snapshot loads");
+    let pch = extras.ch.expect("ch rides along");
+
+    for threads in [1, 4] {
+        for cache in [false, true] {
+            for sweep in [false, true] {
+                let mut exec = BatchExecutor::new(&sys.graph, &sys.corpus, &sys.index, &sys.alt, 1)
+                    .with_exact_threads(threads)
+                    .with_seed_cache(cache);
+                if sweep {
+                    exec = exec.with_sweep(&pch);
+                }
+                let out = exec.execute(&f.queries, || DijkstraDistance::new(&sys.graph));
+                assert_eq!(
+                    out.results, reference,
+                    "reloaded {threads}-thread cache={cache} sweep={sweep} run diverged"
+                );
+                if sweep {
+                    assert!(out.stats.sweeps > 0, "sweep pre-pass never ran");
+                }
+            }
+        }
+    }
+
+    // The same §6.2 epoch on the reloaded engine and on a fresh cold
+    // build: delete a batch of queried objects, re-insert half.
+    let mut touched: Vec<ObjectId> = f
+        .queries
+        .iter()
+        .filter_map(|q| match q {
+            ServingQuery::Bknn { terms, .. } | ServingQuery::TopK { terms, .. } => {
+                sys.corpus.inverted(terms[0]).first().map(|p| p.object)
+            }
+            ServingQuery::Boolean { .. } => None,
+        })
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    touched.truncate(6);
+    assert!(touched.len() >= 2, "workload touched too few objects");
+
+    let mut f2 = fixture();
+    let mut dist2 = DijkstraDistance::new(&f2.graph);
+    let mut dist = DijkstraDistance::new(&sys.graph);
+    for &o in &touched {
+        sys.index.delete_object(&sys.corpus, o);
+        f2.index.delete_object(&f2.corpus, o);
+    }
+    for &o in touched.iter().step_by(2) {
+        sys.index
+            .insert_object(&sys.graph, &sys.corpus, o, &mut dist);
+        f2.index.insert_object(&f2.graph, &f2.corpus, o, &mut dist2);
+    }
+    let reference2 = sequential_cold(&f2);
+    for threads in [1, 4] {
+        for cache in [false, true] {
+            let exec = BatchExecutor::new(&sys.graph, &sys.corpus, &sys.index, &sys.alt, 1)
+                .with_exact_threads(threads)
+                .with_seed_cache(cache);
+            let out = exec.execute(&f.queries, || DijkstraDistance::new(&sys.graph));
+            assert_eq!(
+                out.results, reference2,
+                "post-load epoch {threads}-thread cache={cache} run diverged from cold build"
+            );
+        }
+    }
+}
+
 #[test]
 fn batch_executor_stays_deterministic_after_updates() {
     let mut f = fixture();

@@ -25,7 +25,7 @@
 /// kernel ops, inverted-heap extraction (Algorithm 4), the seed-cache
 /// hit path, and the PHAST/RPHAST one-to-many sweep kernels the batch
 /// executor's pre-pass runs per keyword group.
-pub const STEADY_ENTRIES: [&str; 15] = [
+pub const STEADY_ENTRIES: [&str; 16] = [
     "QueryEngine::bknn",
     "QueryEngine::bknn_disjunctive",
     "QueryEngine::bknn_conjunctive",
@@ -41,6 +41,7 @@ pub const STEADY_ENTRIES: [&str; 15] = [
     "HeapSeedCache::lookup",
     "OneToManySweep::one_to_many",
     "OneToManySweep::one_to_many_restricted",
+    "SnapshotFile::validate",
 ];
 
 /// Warm-up boundary specs, resolved with entry-point semantics (a bare
@@ -50,7 +51,11 @@ pub const STEADY_ENTRIES: [&str; 15] = [
 /// CH preprocessing driver, only ever called from
 /// `ContractionHierarchy::build`; it is fenced by name because the
 /// conservative resolver would otherwise link it from `ServingQuery::run`.
-pub const WARM_UP: [&str; 7] = [
+/// `SnapshotWriter::push` and `Pool::take` are snapshot persist/load-time
+/// code (never on the serving path), fenced by name for the same reason:
+/// the resolver would link them from the heap kernel's `push` and the
+/// query processors' iterator `take` call sites.
+pub const WARM_UP: [&str; 9] = [
     "new",
     "build",
     "InvertedHeap::create",
@@ -58,18 +63,21 @@ pub const WARM_UP: [&str; 7] = [
     "HeapSeedCache::admit",
     "compute_seeds",
     "Contractor::run",
+    "SnapshotWriter::push",
+    "Pool::take",
 ];
 
 /// Files (beyond the `crates/core/src/query/` processors) that define a
 /// steady-state entry point; with the prefix below this is H1's hot-loop
 /// scope.
-pub const HOT_LOOP_FILES: [&str; 6] = [
+pub const HOT_LOOP_FILES: [&str; 7] = [
     "crates/core/src/heap.rs",
     "crates/core/src/serving.rs",
     "crates/core/src/cache.rs",
     "crates/graph/src/dheap.rs",
     "crates/nvd/src/knn.rs",
     "crates/ch/src/sweep.rs",
+    "crates/snapshot/src/reader.rs",
 ];
 
 /// Path prefixes in H1's hot-loop scope.

@@ -36,7 +36,7 @@ use crate::scope::SourceFile;
 /// The serving entry points the certificate quantifies over: every query
 /// processor the engine exposes (§4 of the paper), the batch executor,
 /// the d-ary heap kernel API, and both Heap Generator constructors.
-pub const DEFAULT_ENTRIES: [&str; 12] = [
+pub const DEFAULT_ENTRIES: [&str; 13] = [
     "QueryEngine::bknn",
     "QueryEngine::bknn_disjunctive",
     "QueryEngine::bknn_conjunctive",
@@ -49,6 +49,7 @@ pub const DEFAULT_ENTRIES: [&str; 12] = [
     "DaryHeap::insert_or_decrease",
     "InvertedHeap::create",
     "InvertedHeap::create_seeded",
+    "SnapshotFile::validate",
 ];
 
 /// CLI usage.

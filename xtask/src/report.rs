@@ -201,12 +201,13 @@ pub(crate) fn to_f64(n: usize) -> f64 {
 /// pre-pass made its PHAST kernels a steady-state serving path; HL,
 /// G-tree and the other baselines remain offline crates no serving path
 /// calls into.
-pub const CERT_DIRS: [&str; 5] = [
+pub const CERT_DIRS: [&str; 6] = [
     "crates/graph/src",
     "crates/alt/src",
     "crates/nvd/src",
     "crates/core/src",
     "crates/ch/src",
+    "crates/snapshot/src",
 ];
 
 /// Loads the certified perimeter from disk. Shared by `cargo xtask
