@@ -157,9 +157,13 @@ pub fn decode_graph(f: &SnapshotFile<'_>) -> Result<Graph, SnapshotError> {
     }
     let coords: Vec<Point> = interleaved
         .chunks_exact(2)
-        .map(|c| Point {
-            x: c[0] as i32,
-            y: c[1] as i32,
+        .map(|c| {
+            // TAINT-OK(chunks_exact(2) yields exactly two elements per chunk)
+            let (x, y) = (c[0], c[1]);
+            Point {
+                x: x.cast_signed(),
+                y: y.cast_signed(),
+            }
         })
         .collect();
     Graph::from_csr_parts(offsets, targets, weights, coords)
@@ -356,41 +360,63 @@ fn len_field(id: u32, what: &str, v: u32) -> Result<usize, SnapshotError> {
     decoded_usize(id, what, u64::from(v))
 }
 
+/// Upper bound on a decoded seed-cache shard count.
+/// [`HeapSeedCache::from_shape`] eagerly allocates one mutexed shard per
+/// count, so unlike the pooled sections (bounded by the file's own size)
+/// a decoded shard count is an amplification lever: 8 bytes of snapshot
+/// could demand gigabytes. Real configurations use at most a few hundred
+/// shards; 65 536 is far above any of them.
+const MAX_CACHE_SHARDS: usize = 1 << 16;
+
 fn decode_one_nvd(rho: usize, p: &mut NvdPools<'_>) -> Result<NvdIndex, SnapshotError> {
     use section::*;
-    let scalars = p.scalars.take(6)?;
-    let lens = p.lens.take(8)?;
+    let &[s_rho, s_pending, s_min_x, s_min_y, s_scale_x, s_scale_y] = p.scalars.take(6)? else {
+        return Err(SnapshotError::decode(
+            NVD_SCALARS,
+            "scalar pool slice is not 6 wide",
+        ));
+    };
+    let &[l_starts, l_cand_offsets, l_cands, l_gens, l_adj_nodes, l_adj_edges, l_att_total, l_inserted] =
+        p.lens.take(8)?
+    else {
+        return Err(SnapshotError::decode(
+            NVD_LENS,
+            "length pool slice is not 8 wide",
+        ));
+    };
 
-    let term_rho = decoded_usize(NVD_SCALARS, "rho", scalars[0])?;
+    let term_rho = decoded_usize(NVD_SCALARS, "rho", s_rho)?;
     if term_rho != rho {
         return Err(SnapshotError::decode(
             NVD_SCALARS,
             format!("NVD rho {term_rho} disagrees with index rho {rho}"),
         ));
     }
-    let pending_updates = decoded_usize(NVD_SCALARS, "pending_updates", scalars[1])?;
-    let min_x = u32::try_from(scalars[2])
+    let pending_updates = decoded_usize(NVD_SCALARS, "pending_updates", s_pending)?;
+    let min_x = u32::try_from(s_min_x)
         .map_err(|_| SnapshotError::decode(NVD_SCALARS, "min_x exceeds 32 bits"))?;
-    let min_y = u32::try_from(scalars[3])
+    let min_y = u32::try_from(s_min_y)
         .map_err(|_| SnapshotError::decode(NVD_SCALARS, "min_y exceeds 32 bits"))?;
     let min = Point {
-        x: min_x as i32,
-        y: min_y as i32,
+        x: min_x.cast_signed(),
+        y: min_y.cast_signed(),
     };
-    let space =
-        MortonSpace::from_parts(min, f64::from_bits(scalars[4]), f64::from_bits(scalars[5]))
-            .map_err(|e| SnapshotError::decode(NVD_SCALARS, e))?;
+    let space = MortonSpace::from_parts(min, f64::from_bits(s_scale_x), f64::from_bits(s_scale_y))
+        .map_err(|e| SnapshotError::decode(NVD_SCALARS, e))?;
 
-    let starts_len = len_field(NVD_LENS, "starts length", lens[0])?;
-    let cand_offsets_len = len_field(NVD_LENS, "cand_offsets length", lens[1])?;
-    let cands_len = len_field(NVD_LENS, "cands length", lens[2])?;
-    let gens = len_field(NVD_LENS, "generator count", lens[3])?;
-    let adj_nodes = len_field(NVD_LENS, "adjacency node count", lens[4])?;
-    let adj_edges = len_field(NVD_LENS, "adjacency edge count", lens[5])?;
-    let att_total = len_field(NVD_LENS, "attached total", lens[6])?;
-    let inserted_len = len_field(NVD_LENS, "inserted count", lens[7])?;
+    let starts_len = len_field(NVD_LENS, "starts length", l_starts)?;
+    let cand_offsets_len = len_field(NVD_LENS, "cand_offsets length", l_cand_offsets)?;
+    let cands_len = len_field(NVD_LENS, "cands length", l_cands)?;
+    let gens = len_field(NVD_LENS, "generator count", l_gens)?;
+    let adj_nodes = len_field(NVD_LENS, "adjacency node count", l_adj_nodes)?;
+    let adj_edges = len_field(NVD_LENS, "adjacency edge count", l_adj_edges)?;
+    let att_total = len_field(NVD_LENS, "attached total", l_att_total)?;
+    let inserted_len = len_field(NVD_LENS, "inserted count", l_inserted)?;
 
-    if cand_offsets_len != starts_len + 1 {
+    let leaf_fences = starts_len
+        .checked_add(1)
+        .ok_or_else(|| SnapshotError::decode(NVD_LENS, "leaf count overflows"))?;
+    if cand_offsets_len != leaf_fences {
         return Err(SnapshotError::decode(
             NVD_LENS,
             format!("{cand_offsets_len} cand offsets for {starts_len} leaves"),
@@ -411,14 +437,20 @@ fn decode_one_nvd(rho: usize, p: &mut NvdPools<'_>) -> Result<NvdIndex, Snapshot
     let cands = p.cands.take(cands_len)?.to_vec();
     let objects = p.objects.take(gens)?.to_vec();
     let max_radius = p.max_radius.take(gens)?.to_vec();
-    let adj_offsets = p.adj_offsets.take(adj_nodes + 1)?;
+    let adj_fences = adj_nodes
+        .checked_add(1)
+        .ok_or_else(|| SnapshotError::decode(NVD_LENS, "adjacency node count overflows"))?;
+    let adj_offsets = p.adj_offsets.take(adj_fences)?;
     let adj_data = p.adj_data.take(adj_edges)?;
     let adjacency = AdjacencyGraph::from_flat(adj_offsets, adj_data)
         .map_err(|e| SnapshotError::decode(NVD_ADJ_OFFSETS, e))?;
     let deleted = decoded_bools(NVD_DELETED, p.deleted.take(overlay)?)?;
-    let att_offsets = p.att_offsets.take(gens + 1)?;
+    let att_fences = gens
+        .checked_add(1)
+        .ok_or_else(|| SnapshotError::decode(NVD_LENS, "generator count overflows"))?;
+    let att_offsets = p.att_offsets.take(att_fences)?;
     let att_data = p.att_data.take(att_total)?;
-    if att_offsets.first() != Some(&0) || att_offsets.last() != Some(&(lens[6])) {
+    if att_offsets.first() != Some(&0) || att_offsets.last() != Some(&l_att_total) {
         return Err(SnapshotError::decode(
             NVD_ATT_OFFSETS,
             "attached offsets must start at 0 and end at the attached total",
@@ -427,18 +459,16 @@ fn decode_one_nvd(rho: usize, p: &mut NvdPools<'_>) -> Result<NvdIndex, Snapshot
     let attached: Vec<Vec<u32>> = att_offsets
         .windows(2)
         .map(|win| {
-            att_data
-                .get(win[0] as usize..win[1] as usize)
-                .map(<[u32]>::to_vec)
-                .ok_or_else(|| {
-                    SnapshotError::decode(
-                        NVD_ATT_OFFSETS,
-                        format!(
-                            "attached offsets {}..{} out of order or range",
-                            win[0], win[1]
-                        ),
-                    )
-                })
+            // TAINT-OK(windows(2) yields exactly two elements per window)
+            let (lo, hi) = (win[0], win[1]);
+            let range = len_field(NVD_ATT_OFFSETS, "attached offset", lo)?
+                ..len_field(NVD_ATT_OFFSETS, "attached offset", hi)?;
+            att_data.get(range).map(<[u32]>::to_vec).ok_or_else(|| {
+                SnapshotError::decode(
+                    NVD_ATT_OFFSETS,
+                    format!("attached offsets {lo}..{hi} out of order or range"),
+                )
+            })
         })
         .collect::<Result<_, _>>()?;
     let inserted_vertices = p.inserted.take(inserted_len)?.to_vec();
@@ -485,17 +515,19 @@ fn decode_one_nvd(rho: usize, p: &mut NvdPools<'_>) -> Result<NvdIndex, Snapshot
 pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
     use section::*;
     let meta = f.u64s(INDEX_META)?;
-    if meta.len() != 8 {
+    let &[m_rho, m_slots, m_nvd_terms, m_small_terms, m_build_seconds, m_cache_present, m_cache_shards, m_cache_budget] =
+        meta.as_slice()
+    else {
         return Err(SnapshotError::decode(
             INDEX_META,
             format!("index meta holds {} scalars, expected 8", meta.len()),
         ));
-    }
-    let rho = decoded_usize(INDEX_META, "rho", meta[0])?;
+    };
+    let rho = decoded_usize(INDEX_META, "rho", m_rho)?;
     if rho == 0 {
         return Err(SnapshotError::decode(INDEX_META, "rho must be at least 1"));
     }
-    let term_slots = decoded_usize(INDEX_META, "term slot count", meta[1])?;
+    let term_slots = decoded_usize(INDEX_META, "term slot count", m_slots)?;
     let kinds = f.bytes(INDEX_TERM_KINDS)?;
     if kinds.len() != term_slots {
         return Err(SnapshotError::decode(
@@ -544,6 +576,7 @@ pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
         corpus_ids: Pool::new(NVD_CORPUS_IDS, &nvd_corpus_ids),
     };
 
+    // TAINT-OK(term_slots equals the validated INDEX_TERM_KINDS section length, so the capacity is bounded by the file size)
     let mut entries: Vec<Option<KeywordIndex>> = Vec::with_capacity(term_slots);
     let mut small_count = 0usize;
     let mut nvd_count = 0usize;
@@ -551,6 +584,7 @@ pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
         match kind {
             0 => entries.push(None),
             1 => {
+                // TAINT-OK(slot counter bounded by the kinds section length)
                 small_count += 1;
                 let len = len_field(SMALL_LENS, "small list length", lens_pool.take1()?)?;
                 let objects = objects_pool.take(len)?.to_vec();
@@ -563,6 +597,7 @@ pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
                 })));
             }
             2 => {
+                // TAINT-OK(slot counter bounded by the kinds section length)
                 nvd_count += 1;
                 let idx = decode_one_nvd(rho, &mut nvd)?;
                 entries.push(Some(KeywordIndex::Nvd(Box::new(idx))));
@@ -595,23 +630,25 @@ pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
     nvd.inserted.finish()?;
     nvd.corpus_ids.finish()?;
 
-    if meta[2] != nvd_count as u64 || meta[3] != small_count as u64 {
+    // lint:allow(no-as-cast-in-decode) — usize → u64 widening of in-memory
+    // counters, lossless on every supported target
+    if m_nvd_terms != nvd_count as u64 || m_small_terms != small_count as u64 {
         return Err(SnapshotError::decode(
             INDEX_META,
             format!(
-                "meta claims {}/{} nvd/small terms, kinds table holds {nvd_count}/{small_count}",
-                meta[2], meta[3]
+                "meta claims {m_nvd_terms}/{m_small_terms} nvd/small terms, \
+                 kinds table holds {nvd_count}/{small_count}"
             ),
         ));
     }
     let stats = BuildStats {
         nvd_terms: nvd_count,
         small_terms: small_count,
-        build_seconds: f64::from_bits(meta[4]),
+        build_seconds: f64::from_bits(m_build_seconds),
     };
-    let seed_cache = match meta[5] {
+    let seed_cache = match m_cache_present {
         0 => {
-            if meta[6] != 0 || meta[7] != 0 {
+            if m_cache_shards != 0 || m_cache_budget != 0 {
                 return Err(SnapshotError::decode(
                     INDEX_META,
                     "cache shape must be zero when no cache is present",
@@ -620,8 +657,17 @@ pub fn decode_index(f: &SnapshotFile<'_>) -> Result<KspinIndex, SnapshotError> {
             None
         }
         1 => {
-            let shards = decoded_usize(INDEX_META, "cache shard count", meta[6])?;
-            let budget = decoded_usize(INDEX_META, "cache shard budget", meta[7])?;
+            let shards = decoded_usize(INDEX_META, "cache shard count", m_cache_shards)?;
+            let budget = decoded_usize(INDEX_META, "cache shard budget", m_cache_budget)?;
+            // `from_shape` allocates one mutexed shard up front per count,
+            // so an adversarial shard count is an OOM lever; the budget is
+            // lazily consumed and needs no cap.
+            if shards > MAX_CACHE_SHARDS {
+                return Err(SnapshotError::decode(
+                    INDEX_META,
+                    format!("cache shard count {shards} exceeds the {MAX_CACHE_SHARDS} cap"),
+                ));
+            }
             Some(HeapSeedCache::from_shape(shards, budget))
         }
         other => {
@@ -691,13 +737,13 @@ pub fn decode_ch(
         return Ok(None);
     }
     let meta = f.u64s(CH_META)?;
-    if meta.len() != 1 {
+    let &[m_shortcuts] = meta.as_slice() else {
         return Err(SnapshotError::decode(
             CH_META,
             format!("ch meta holds {} scalars, expected 1", meta.len()),
         ));
-    }
-    let num_shortcuts = decoded_usize(CH_META, "shortcut count", meta[0])?;
+    };
+    let num_shortcuts = decoded_usize(CH_META, "shortcut count", m_shortcuts)?;
     let rank = f.u32s(CH_RANK)?;
     let up_offsets = f.u32s(CH_UP_OFFSETS)?;
     let up_targets = f.u32s(CH_UP_TARGETS)?;

@@ -40,6 +40,7 @@ fn merge_round(h: u64, acc: u64) -> u64 {
 /// Deterministic, endian-independent (inputs are read little-endian on
 /// every platform) and panic-free for every input length.
 pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    // lint:allow(no-as-cast-in-decode) — lossless usize → u64 widening
     let len = data.len() as u64;
     let mut h: u64;
     let mut tail = data;

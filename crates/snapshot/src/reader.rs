@@ -50,6 +50,7 @@ struct RawEntry {
 }
 
 fn entry(data: &[u8], i: u32) -> Option<RawEntry> {
+    // lint:allow(no-as-cast-in-decode) — lossless u32 → usize widening
     let base = HEADER_LEN.checked_add((i as usize).checked_mul(TABLE_ENTRY_LEN)?)?;
     Some(RawEntry {
         id: read_u32(data, base)?,
@@ -116,6 +117,7 @@ impl<'a> SnapshotFile<'a> {
             return Err(SnapshotError::format(HDR, FormatError::BadReserved));
         }
         let file_len = read_u64(data, 24).ok_or_else(truncated)?;
+        // lint:allow(no-as-cast-in-decode) — lossless usize → u64 widening
         if file_len != data.len() as u64 {
             return Err(SnapshotError::format(HDR, FormatError::LengthMismatch));
         }
@@ -123,8 +125,12 @@ impl<'a> SnapshotFile<'a> {
 
         let overflow = || SnapshotError::format(TBL, FormatError::CountOverflow);
         let table_len = u64::from(num_sections)
+            // lint:allow(no-as-cast-in-decode) — lossless widening of a
+            // small layout constant
             .checked_mul(TABLE_ENTRY_LEN as u64)
             .ok_or_else(overflow)?;
+        // lint:allow(no-as-cast-in-decode) — lossless widening of a small
+        // layout constant
         let table_end = (HEADER_LEN as u64)
             .checked_add(table_len)
             .ok_or_else(overflow)?;
@@ -133,6 +139,8 @@ impl<'a> SnapshotFile<'a> {
         }
         let head = data.get(..32).ok_or_else(truncated)?;
         let table = data
+            // lint:allow(no-as-cast-in-decode) — table_end ≤ file_len ==
+            // data.len(), which fits usize by construction
             .get(HEADER_LEN..table_end as usize)
             .ok_or_else(|| SnapshotError::format(TBL, FormatError::Truncated))?;
         if xxh64(table, xxh64(head, HEADER_SEED)) != stored_sum {
@@ -167,9 +175,13 @@ impl<'a> SnapshotFile<'a> {
             }
             let sec_truncated = || SnapshotError::format(at, FormatError::Truncated);
             let range = data
+                // lint:allow(no-as-cast-in-decode) — offset == cursor and
+                // end ≤ file_len == data.len() (checked above), both fit usize
                 .get(e.offset as usize..end as usize)
                 .ok_or_else(sec_truncated)?;
             let pad = range
+                // lint:allow(no-as-cast-in-decode) — payload_len ≤ padded ==
+                // range length, which fits usize
                 .get(payload_len as usize..)
                 .ok_or_else(sec_truncated)?;
             if pad.iter().any(|&b| b != 0) {
@@ -214,6 +226,9 @@ impl<'a> SnapshotFile<'a> {
             id: e.id,
             kind: e.kind,
             count: e.count,
+            // lint:allow(no-as-cast-in-decode) — validation proved every
+            // section's offset..end ⊆ 0..data.len(), which fits usize; an
+            // out-of-range cast would have failed validate()
             payload: self.data.get(e.offset as usize..end as usize)?,
         })
     }

@@ -84,6 +84,7 @@ pub fn decode_vocab(f: &SnapshotFile<'_>) -> Result<Vocabulary, SnapshotError> {
             "vocabulary offsets must start at 0",
         ));
     }
+    // lint:allow(no-as-cast-in-decode) — lossless u32 → usize widening
     if offsets.last().map(|&e| e as usize) != Some(bytes.len()) {
         return Err(SnapshotError::decode(
             section::VOCAB_OFFSETS,
@@ -93,10 +94,13 @@ pub fn decode_vocab(f: &SnapshotFile<'_>) -> Result<Vocabulary, SnapshotError> {
     let terms: Vec<String> = offsets
         .windows(2)
         .map(|win| {
-            let slice = bytes.get(win[0] as usize..win[1] as usize).ok_or_else(|| {
+            // TAINT-OK(windows(2) yields exactly two elements per window)
+            let (lo, hi) = (win[0], win[1]);
+            // lint:allow(no-as-cast-in-decode) — lossless u32 → usize widening
+            let slice = bytes.get(lo as usize..hi as usize).ok_or_else(|| {
                 SnapshotError::decode(
                     section::VOCAB_OFFSETS,
-                    format!("term offsets {}..{} out of order or range", win[0], win[1]),
+                    format!("term offsets {lo}..{hi} out of order or range"),
                 )
             })?;
             String::from_utf8(slice.to_vec()).map_err(|e| {

@@ -19,6 +19,66 @@
 //! H1's hot-loop file scope is *derived* from the same set: every file
 //! defining a steady-state entry point must be in [`hot_loop_scope`],
 //! enforced by the live-workspace test below.
+//!
+//! This module is also the single registration point for every
+//! certifier's *perimeter*: [`CERT_DIRS`] (the shared reachability
+//! perimeter of `panics`/`allocs`/`determinism`), [`PANIC_ENTRIES`] (the
+//! panic certificate's serving surface), and [`TAINT_DIRS`] (the taint
+//! certifier's wider perimeter, which adds the facade + CLI where
+//! untrusted files enter). A future server crate registers its frame
+//! parser here — one table, every certificate widens together.
+
+/// The certified perimeter, relative to the workspace root: the five
+/// hot-path crates, closed under the `kspin-core::modules` trait dispatch
+/// (every `NetworkDistance` / `LowerBound` implementation lives inside
+/// it). `crates/ch` joined when the batch executor's one-to-many sweep
+/// pre-pass made its PHAST kernels a steady-state serving path; HL,
+/// G-tree and the other baselines remain offline crates no serving path
+/// calls into.
+pub const CERT_DIRS: [&str; 6] = [
+    "crates/graph/src",
+    "crates/alt/src",
+    "crates/nvd/src",
+    "crates/core/src",
+    "crates/ch/src",
+    "crates/snapshot/src",
+];
+
+/// The untrusted-input certifier's perimeter: everything in
+/// [`CERT_DIRS`] plus the facade and CLI sources under `src/`, because
+/// that is where snapshot bytes enter from disk (`kspin-cli snapshot
+/// load` → `KspinSystem::load_snapshot`). Kept a superset of
+/// `CERT_DIRS` by the test below so the taint flood sees every function
+/// the reachability certificates see.
+pub const TAINT_DIRS: [&str; 7] = [
+    "crates/graph/src",
+    "crates/alt/src",
+    "crates/nvd/src",
+    "crates/core/src",
+    "crates/ch/src",
+    "crates/snapshot/src",
+    "src",
+];
+
+/// The serving entry points the panic certificate quantifies over: every
+/// query processor the engine exposes (§4 of the paper), the batch
+/// executor, the d-ary heap kernel API, and both Heap Generator
+/// constructors.
+pub const PANIC_ENTRIES: [&str; 13] = [
+    "QueryEngine::bknn",
+    "QueryEngine::bknn_disjunctive",
+    "QueryEngine::bknn_conjunctive",
+    "QueryEngine::top_k",
+    "QueryEngine::top_k_with",
+    "QueryEngine::bknn_expr",
+    "BatchExecutor::execute",
+    "DaryHeap::push",
+    "DaryHeap::pop",
+    "DaryHeap::insert_or_decrease",
+    "InvertedHeap::create",
+    "InvertedHeap::create_seeded",
+    "SnapshotFile::validate",
+];
 
 /// Steady-state serving entry points for the allocation certificate: the
 /// 6 query processors (§4.1/§4.2), the batch executor, the 4 d-ary heap
@@ -139,5 +199,33 @@ mod tests {
         assert!(hot_loop_scope("crates/graph/src/dheap.rs"));
         assert!(!hot_loop_scope("crates/graph/src/csr.rs"));
         assert!(!hot_loop_scope("crates/gtree/src/tree.rs"));
+    }
+
+    /// The taint perimeter must contain everything the reachability
+    /// certificates cover — a dir added to `CERT_DIRS` but forgotten in
+    /// `TAINT_DIRS` would silently exempt new code from flow analysis.
+    #[test]
+    fn taint_perimeter_is_a_superset_of_the_certified_perimeter() {
+        for dir in CERT_DIRS {
+            assert!(
+                TAINT_DIRS.contains(&dir),
+                "{dir} is certified but outside the taint perimeter"
+            );
+        }
+        assert!(TAINT_DIRS.contains(&"src"), "facade + CLI must be swept");
+    }
+
+    /// Panic entries resolve on the live workspace, same rot guard as the
+    /// warm-up specs above.
+    #[test]
+    fn panic_entries_resolve_on_the_live_workspace() {
+        let files = load_perimeter();
+        let graph = CallGraph::build(&files);
+        for spec in PANIC_ENTRIES {
+            assert!(
+                !graph.resolve_entry(spec).is_empty(),
+                "panic entry {spec} resolves to nothing"
+            );
+        }
     }
 }

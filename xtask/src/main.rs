@@ -13,6 +13,7 @@ mod panics;
 mod report;
 mod rules;
 mod scope;
+mod taint;
 
 use std::process::ExitCode;
 
@@ -24,6 +25,7 @@ tasks:
   panics       certify serving hot paths panic-free (see `cargo xtask panics --help`)
   allocs       certify serving steady state alloc-free (see `cargo xtask allocs --help`)
   determinism  certify serving results order-deterministic (see `cargo xtask determinism --help`)
+  taint        certify untrusted input sanitized before every sink (see `cargo xtask taint --help`)
 
 Run `cargo xtask lint --list-rules` for the rule catalog.";
 
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
         Some("panics") => panics::run(&args[1..]),
         Some("allocs") => allocs::run(&args[1..]),
         Some("determinism") => determinism::run(&args[1..]),
+        Some("taint") => taint::run(&args[1..]),
         Some("-h" | "--help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

@@ -4,7 +4,7 @@
 //! declared serving entry points of the release binary. The pipeline:
 //!
 //! 1. [`crate::items`] parses every `fn` in the certified perimeter
-//!    ([`crate::report::CERT_DIRS`]).
+//!    ([`crate::entrypoints::CERT_DIRS`]).
 //! 2. [`crate::callgraph`] builds a conservative call graph (trait-object
 //!    calls fan out to every same-named method) and runs BFS from the
 //!    entry points, keeping shortest-chain parents.
@@ -33,24 +33,9 @@ use crate::report::{self, Certifier, Hooks, Site};
 use crate::rules::{statement_around, Rule};
 use crate::scope::SourceFile;
 
-/// The serving entry points the certificate quantifies over: every query
-/// processor the engine exposes (§4 of the paper), the batch executor,
-/// the d-ary heap kernel API, and both Heap Generator constructors.
-pub const DEFAULT_ENTRIES: [&str; 13] = [
-    "QueryEngine::bknn",
-    "QueryEngine::bknn_disjunctive",
-    "QueryEngine::bknn_conjunctive",
-    "QueryEngine::top_k",
-    "QueryEngine::top_k_with",
-    "QueryEngine::bknn_expr",
-    "BatchExecutor::execute",
-    "DaryHeap::push",
-    "DaryHeap::pop",
-    "DaryHeap::insert_or_decrease",
-    "InvertedHeap::create",
-    "InvertedHeap::create_seeded",
-    "SnapshotFile::validate",
-];
+/// The serving entry points the certificate quantifies over, registered
+/// with the other certifier perimeters in [`crate::entrypoints`].
+pub use crate::entrypoints::PANIC_ENTRIES as DEFAULT_ENTRIES;
 
 /// CLI usage.
 pub const USAGE: &str = "\

@@ -194,29 +194,13 @@ pub(crate) fn to_f64(n: usize) -> f64 {
 // The shared call-graph certifier driver.
 // ---------------------------------------------------------------------------
 
-/// The certified perimeter, relative to the workspace root: the five
-/// hot-path crates, closed under the `kspin-core::modules` trait dispatch
-/// (every `NetworkDistance` / `LowerBound` implementation lives inside
-/// it). `crates/ch` joined when the batch executor's one-to-many sweep
-/// pre-pass made its PHAST kernels a steady-state serving path; HL,
-/// G-tree and the other baselines remain offline crates no serving path
-/// calls into.
-pub const CERT_DIRS: [&str; 6] = [
-    "crates/graph/src",
-    "crates/alt/src",
-    "crates/nvd/src",
-    "crates/core/src",
-    "crates/ch/src",
-    "crates/snapshot/src",
-];
-
-/// Loads the certified perimeter from disk. Shared by `cargo xtask
-/// panics`, `allocs`, and `determinism`, which certify the same five
-/// hot-path crates.
-pub(crate) fn load_perimeter() -> Vec<SourceFile> {
+/// Loads the `.rs` files under the given workspace-relative dirs, sorted
+/// by path. The dir tables themselves live in [`crate::entrypoints`] —
+/// the single registration point for every certifier's perimeter.
+pub(crate) fn load_files(dirs: &[&str]) -> Vec<SourceFile> {
     let root = workspace_root();
     let mut paths = Vec::new();
-    for dir in CERT_DIRS {
+    for dir in dirs {
         walk_rs(&root.join(dir), &mut paths);
     }
     paths.sort();
@@ -224,6 +208,14 @@ pub(crate) fn load_perimeter() -> Vec<SourceFile> {
         .iter()
         .filter_map(|p| SourceFile::load(&root, p))
         .collect()
+}
+
+/// Loads the certified perimeter
+/// ([`crate::entrypoints::CERT_DIRS`]) from disk. Shared by `cargo xtask
+/// panics`, `allocs`, and `determinism`, which certify the same five
+/// hot-path crates.
+pub(crate) fn load_perimeter() -> Vec<SourceFile> {
+    load_files(&crate::entrypoints::CERT_DIRS)
 }
 
 /// One classified site inside an item body, independent of which

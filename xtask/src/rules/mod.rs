@@ -12,6 +12,7 @@ use crate::lex::Token;
 use crate::scope::{SourceFile, TokenScope};
 
 pub mod a1_weight_arith;
+pub mod c1_no_as_cast;
 pub mod e1_swallowed_result;
 pub mod h1_no_alloc;
 pub mod k1_no_binary_heap;
@@ -39,6 +40,8 @@ pub enum Rule {
     NoSwallowedResult,
     /// K1: no `BinaryHeap` construction in the d-ary-kernel crates.
     NoBinaryHeap,
+    /// C1: no bare `as` numeric casts in decode-classified files.
+    NoAsCastInDecode,
     /// P1: no unjustified panic source reachable from a serving entry
     /// point. Not a token-local pass — produced by `cargo xtask panics`
     /// (see `crate::panics`), listed here so its findings share the
@@ -58,11 +61,16 @@ pub enum Rule {
     /// listed here so its findings share the baseline ratchet and report
     /// plumbing.
     Determinism,
+    /// T1: no untrusted source→sink flow without a sanitizer on every
+    /// chain. Not a token-local pass — produced by `cargo xtask taint`
+    /// (see `crate::taint`), listed here so its findings share the
+    /// baseline ratchet and report plumbing.
+    Taint,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NoUnwrap,
         Rule::TotalOrderWeights,
         Rule::SanctionedConcurrency,
@@ -71,6 +79,7 @@ impl Rule {
         Rule::CheckedWeightArithmetic,
         Rule::NoSwallowedResult,
         Rule::NoBinaryHeap,
+        Rule::NoAsCastInDecode,
     ];
 
     /// The name used inside `lint:allow(..)` comments, CLI filters, and
@@ -85,9 +94,11 @@ impl Rule {
             Rule::CheckedWeightArithmetic => "checked-weight-arithmetic",
             Rule::NoSwallowedResult => "no-swallowed-result",
             Rule::NoBinaryHeap => "no-binary-heap",
+            Rule::NoAsCastInDecode => "no-as-cast-in-decode",
             Rule::PanicReachability => "panic-reachability",
             Rule::AllocReachability => "alloc-reachability",
             Rule::Determinism => "determinism",
+            Rule::Taint => "taint-flow",
         }
     }
 
@@ -102,9 +113,11 @@ impl Rule {
             Rule::CheckedWeightArithmetic => "A1 checked-weight-arithmetic",
             Rule::NoSwallowedResult => "E1 no-swallowed-result",
             Rule::NoBinaryHeap => "K1 no-binary-heap",
+            Rule::NoAsCastInDecode => "C1 no-as-cast-in-decode",
             Rule::PanicReachability => "P1 panic-reachability",
             Rule::AllocReachability => "H2 alloc-reachability",
             Rule::Determinism => "D1 determinism",
+            Rule::Taint => "T1 taint-flow",
         }
     }
 
@@ -141,8 +154,14 @@ impl Rule {
             Rule::AllocReachability => {
                 "no unjustified allocation reachable from a steady-state entry point (cargo xtask allocs)"
             }
+            Rule::NoAsCastInDecode => {
+                "no bare `as` numeric casts in decode-classified files (use try_from/From or justify)"
+            }
             Rule::Determinism => {
                 "no unjustified nondeterminism source reachable from a steady-state entry point (cargo xtask determinism)"
+            }
+            Rule::Taint => {
+                "no untrusted source→sink flow without a sanitizer on every chain (cargo xtask taint)"
             }
         }
     }
@@ -215,10 +234,13 @@ pub fn scan_file(file: &SourceFile, rules: &[Rule], summary: &mut Summary) {
             Rule::CheckedWeightArithmetic => a1_weight_arith::check(file, summary),
             Rule::NoSwallowedResult => e1_swallowed_result::check(file, summary),
             Rule::NoBinaryHeap => k1_no_binary_heap::check(file, summary),
+            Rule::NoAsCastInDecode => c1_no_as_cast::check(file, summary),
             // Whole-workspace reachability, not a per-file pass: runs via
             // `cargo xtask panics` / `cargo xtask allocs` /
-            // `cargo xtask determinism`, never through `scan_file`.
-            Rule::PanicReachability | Rule::AllocReachability | Rule::Determinism => {}
+            // `cargo xtask determinism` / `cargo xtask taint`, never
+            // through `scan_file`.
+            Rule::PanicReachability | Rule::AllocReachability | Rule::Determinism | Rule::Taint => {
+            }
         }
     }
 }
